@@ -1,0 +1,202 @@
+package gowren_test
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablations over the design choices DESIGN.md calls out. The benchmarks run
+// the same harnesses as cmd/experiments on the discrete-event clock, so an
+// "op" is one full experiment; the reported custom metrics are *simulated*
+// seconds — the quantities the paper's tables and figures plot — while
+// ns/op measures the harness's real cost.
+//
+// Scales are reduced where a full-scale experiment would make `go test
+// -bench=.` take minutes (Fig. 4's real sorting); cmd/experiments runs
+// everything at paper scale.
+
+import (
+	"fmt"
+	"testing"
+
+	"gowren/internal/experiments"
+)
+
+func BenchmarkTable1ClassicVsFull(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable1(int64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.ClassicInvoke.Seconds(), "classic-invoke-sim-s")
+		b.ReportMetric(res.FullInvoke.Seconds(), "massive-invoke-sim-s")
+		b.ReportMetric(res.InvokeSpeedup(), "invoke-speedup-x")
+	}
+}
+
+func BenchmarkFig2MassiveFunctionSpawning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig2(experiments.Fig2Functions, experiments.Fig2TaskSeconds, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Local.InvokeAll.Seconds(), "local-invoke-sim-s")
+		b.ReportMetric(res.Local.Total.Seconds(), "local-total-sim-s")
+		b.ReportMetric(res.Massive.InvokeAll.Seconds(), "massive-invoke-sim-s")
+		b.ReportMetric(res.Massive.Total.Seconds(), "massive-total-sim-s")
+		b.ReportMetric(res.InvocationSpeedup(), "invoke-speedup-x")
+	}
+}
+
+func BenchmarkFig3ElasticityConcurrency(b *testing.B) {
+	for _, workload := range experiments.Fig3Workloads {
+		b.Run(fmt.Sprintf("workload-%d", workload), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig3([]int{workload}, experiments.Fig3TaskSeconds, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run := res.Runs[0]
+				if !run.FullConcurrency() {
+					b.Fatalf("workload %d reached only %d concurrent", workload, run.PeakConcurrency)
+				}
+				b.ReportMetric(float64(run.PeakConcurrency), "peak-concurrency")
+				b.ReportMetric(run.TimeToFull.Seconds(), "time-to-full-sim-s")
+				b.ReportMetric(run.Total.Seconds(), "total-sim-s")
+			}
+		})
+	}
+}
+
+func BenchmarkFig4MergesortComposition(b *testing.B) {
+	// Reduced sizes keep the real sorting cost of one iteration around a
+	// few seconds; shapes (linear growth, depth crossover) are preserved.
+	sizes := []int64{500_000, 2_000_000}
+	for _, depth := range experiments.Fig4Depths {
+		b.Run(fmt.Sprintf("depth-%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig4(sizes, []int{depth}, int64(i)+1, false)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for s, n := range sizes {
+					b.ReportMetric(res.Cells[0][s].Elapsed.Seconds(), fmt.Sprintf("sort-%dk-sim-s", n/1000))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkTable3AirbnbMapReduce(b *testing.B) {
+	// 1/10 dataset per iteration; the full 1.9 GB sweep runs in
+	// cmd/experiments. Chunk endpoints cover the paper's extremes.
+	chunks := []int{8, 2}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(chunks, experiments.Table3DatasetBytes/10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Sequential.Elapsed.Seconds(), "sequential-sim-s")
+		for j, row := range res.Rows {
+			b.ReportMetric(row.Elapsed.Seconds(), fmt.Sprintf("chunk%dMiB-sim-s", chunks[j]))
+			b.ReportMetric(row.Speedup, fmt.Sprintf("chunk%dMiB-speedup-x", chunks[j]))
+		}
+	}
+}
+
+func BenchmarkTable3FullScale(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full 1.9GB sweep skipped in -short mode")
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(experiments.Table3ChunksMiB, experiments.Table3DatasetBytes, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Sequential.Elapsed.Seconds(), "sequential-sim-s")
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(last.Speedup, "best-speedup-x")
+		b.ReportMetric(float64(last.Concurrency), "max-executors")
+	}
+}
+
+func BenchmarkAblationSpawnGroupSize(b *testing.B) {
+	for _, group := range []int{10, 100, 1000} {
+		b.Run(fmt.Sprintf("group-%d", group), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunSpawnGroupAblation(500, []int{group}, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res[0].InvokeAll.Seconds(), "invoke-all-sim-s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationWarmVsCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunWarmColdAblation(200, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Cold.Seconds(), "cold-sim-s")
+		b.ReportMetric(res.Warm.Seconds(), "warm-sim-s")
+	}
+}
+
+func BenchmarkAblationPartitionGranularity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunPartitionGranularityAblation(
+			experiments.Table3DatasetBytes/10, 4, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.ChunkedExecutors), "chunked-executors")
+		b.ReportMetric(res.ChunkedElapsed.Seconds(), "chunked-sim-s")
+		b.ReportMetric(float64(res.PerObjectCount), "per-object-executors")
+		b.ReportMetric(res.PerObjectElapsed.Seconds(), "per-object-sim-s")
+	}
+}
+
+func BenchmarkAblationShuffleReducers(b *testing.B) {
+	for _, r := range []int{1, 3} {
+		b.Run(fmt.Sprintf("reducers-%d", r), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunShuffleAblation(
+					experiments.Table3DatasetBytes/10, []int{r}, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows[0].Elapsed.Seconds(), "job-sim-s")
+				b.ReportMetric(float64(rows[0].Keys), "keys")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationWANLatency(b *testing.B) {
+	sweeps := []experiments.WANSweepRow{
+		{RTTMillis: 60},
+		{RTTMillis: 240, FailureProb: 0.08},
+		{RTTMillis: 600, FailureProb: 0.15},
+	}
+	for _, sw := range sweeps {
+		b.Run(fmt.Sprintf("rtt-%dms", sw.RTTMillis), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rows, err := experiments.RunWANLatencySweep(300, []experiments.WANSweepRow{sw}, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rows[0].InvokeAll.Seconds(), "invoke-all-sim-s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationSpeculativeExecution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSpeculationAblation(100, 10, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Plain.Seconds(), "plain-sim-s")
+		b.ReportMetric(res.Speculative.Seconds(), "speculative-sim-s")
+	}
+}

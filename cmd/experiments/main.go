@@ -1,0 +1,243 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§6) on the simulated cloud:
+//
+//	experiments table1            feature matrix (Table 1), with measured demos
+//	experiments fig2              local invocation vs massive spawning (Fig. 2)
+//	experiments fig3              elasticity & concurrency sweep (Fig. 3)
+//	experiments fig4              mergesort dynamic composition (Fig. 4)
+//	experiments table3            Airbnb MapReduce chunk-size sweep (Table 3)
+//	experiments fig5 [-city name] tone-analysis city map render (Fig. 5)
+//	experiments all               everything above
+//
+// Flags:
+//
+//	-seed n     simulation seed (default 1)
+//	-scale f    scale factor in (0,1] applied to workload sizes (default 1 =
+//	            the paper's full scale)
+//	-csv        also print CSV for series/tables
+//	-out dir    additionally write each experiment's report (and CSVs) into
+//	            dir as <name>.txt / <name>.*.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"gowren/internal/experiments"
+	"gowren/internal/metrics"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "workload scale factor in (0,1]")
+	csv := fs.Bool("csv", false, "also emit CSV outputs")
+	outDir := fs.String("out", "", "directory to write reports and CSV files into")
+	city := fs.String("city", "new-york", "city for the fig5 map render")
+	if len(args) == 0 {
+		fs.Usage()
+		return fmt.Errorf("missing subcommand (table1|fig2|fig3|fig4|table3|fig5|all)")
+	}
+	sub := args[0]
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if *scale <= 0 || *scale > 1 {
+		return fmt.Errorf("scale %v out of (0,1]", *scale)
+	}
+	var sink *outputSink
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		sink = &outputSink{dir: *outDir}
+	}
+
+	runOne := func(name string) error {
+		start := time.Now()
+		var err error
+		switch name {
+		case "table1":
+			err = runTable1(*seed, sink)
+		case "fig2":
+			err = runFig2(*seed, *scale, *csv, sink)
+		case "fig3":
+			err = runFig3(*seed, *scale, sink)
+		case "fig4":
+			err = runFig4(*seed, *scale, sink)
+		case "table3":
+			err = runTable3(*seed, *scale, *csv, "", sink)
+		case "fig5":
+			err = runTable3(*seed, *scale, false, *city, sink)
+		default:
+			return fmt.Errorf("unknown subcommand %q", name)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Printf("[%s completed in %v wall time]\n\n", name, time.Since(start).Round(10*time.Millisecond))
+		return nil
+	}
+
+	if sub == "all" {
+		for _, name := range []string{"table1", "fig2", "fig3", "fig4", "table3", "fig5"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(sub)
+}
+
+// outputSink mirrors reports and CSV files into a directory.
+type outputSink struct {
+	dir string
+}
+
+// report returns a writer that both prints to stdout and (when the sink is
+// armed) appends to <name>.txt. The returned close function must be called.
+func (s *outputSink) report(name string) (io.Writer, func() error) {
+	if s == nil {
+		return os.Stdout, func() error { return nil }
+	}
+	f, err := os.Create(filepath.Join(s.dir, name+".txt"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: report file:", err)
+		return os.Stdout, func() error { return nil }
+	}
+	return io.MultiWriter(os.Stdout, f), f.Close
+}
+
+// file writes content to <name> inside the sink directory.
+func (s *outputSink) file(name, content string) {
+	if s == nil {
+		return
+	}
+	if err := os.WriteFile(filepath.Join(s.dir, name), []byte(content), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments: write", name+":", err)
+	}
+}
+
+func runTable1(seed int64, sink *outputSink) error {
+	res, err := experiments.RunTable1(seed)
+	if err != nil {
+		return err
+	}
+	w, closeFn := sink.report("table1")
+	defer closeFn()
+	res.Report(w)
+	return nil
+}
+
+func runFig2(seed int64, scale float64, csv bool, sink *outputSink) error {
+	n := scaleInt(experiments.Fig2Functions, scale)
+	res, err := experiments.RunFig2(n, experiments.Fig2TaskSeconds, seed)
+	if err != nil {
+		return err
+	}
+	w, closeFn := sink.report("fig2")
+	defer closeFn()
+	res.Report(w)
+	sink.file("fig2.local.csv", metrics.CSV(res.Local.Series))
+	sink.file("fig2.massive.csv", metrics.CSV(res.Massive.Series))
+	if csv {
+		fmt.Println("local series CSV:")
+		fmt.Print(metrics.CSV(res.Local.Series))
+		fmt.Println("massive series CSV:")
+		fmt.Print(metrics.CSV(res.Massive.Series))
+	}
+	return nil
+}
+
+func runFig3(seed int64, scale float64, sink *outputSink) error {
+	sizes := make([]int, 0, len(experiments.Fig3Workloads))
+	for _, n := range experiments.Fig3Workloads {
+		sizes = append(sizes, scaleInt(n, scale))
+	}
+	res, err := experiments.RunFig3(sizes, experiments.Fig3TaskSeconds, seed)
+	if err != nil {
+		return err
+	}
+	w, closeFn := sink.report("fig3")
+	defer closeFn()
+	res.Report(w)
+	for _, run := range res.Runs {
+		sink.file(fmt.Sprintf("fig3.workload-%d.csv", run.Workload), metrics.CSV(run.Series))
+	}
+	return nil
+}
+
+func runFig4(seed int64, scale float64, sink *outputSink) error {
+	sizes := make([]int64, 0, len(experiments.Fig4Sizes))
+	for _, n := range experiments.Fig4Sizes {
+		sizes = append(sizes, int64(float64(n)*scale))
+	}
+	res, err := experiments.RunFig4(sizes, experiments.Fig4Depths, seed, true)
+	if err != nil {
+		return err
+	}
+	w, closeFn := sink.report("fig4")
+	defer closeFn()
+	res.Report(w)
+	tbl := metrics.Table{Headers: []string{"integers", "depth", "seconds"}}
+	for d, depth := range res.Depths {
+		for s, n := range res.Sizes {
+			tbl.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", depth),
+				fmt.Sprintf("%.1f", res.Cells[d][s].Elapsed.Seconds()))
+		}
+	}
+	sink.file("fig4.csv", tbl.RenderCSV())
+	return nil
+}
+
+func runTable3(seed int64, scale float64, csv bool, renderCity string, sink *outputSink) error {
+	bytes := int64(float64(experiments.Table3DatasetBytes) * scale)
+	res, err := experiments.RunTable3(experiments.Table3ChunksMiB, bytes, seed)
+	if err != nil {
+		return err
+	}
+	if renderCity != "" {
+		w, closeFn := sink.report("fig5")
+		defer closeFn()
+		fmt.Fprintln(w, "Fig. 5 — tone analysis map (ASCII render; + good, . neutral, x bad)")
+		fmt.Fprint(w, res.RenderCityMap(renderCity, 72, 20))
+		fmt.Fprintln(w)
+		return nil
+	}
+	w, closeFn := sink.report("table3")
+	defer closeFn()
+	res.Report(w)
+	tbl := metrics.Table{Headers: []string{"chunk_mib", "executors", "seconds", "speedup", "cost_usd"}}
+	tbl.AddRow("0", "0", fmt.Sprintf("%.0f", res.Sequential.Elapsed.Seconds()), "1.0",
+		fmt.Sprintf("%.4f", res.Sequential.CostUSD))
+	for _, row := range res.Rows {
+		tbl.AddRow(fmt.Sprintf("%d", row.ChunkMiB), fmt.Sprintf("%d", row.Concurrency),
+			fmt.Sprintf("%.0f", row.Elapsed.Seconds()), fmt.Sprintf("%.2f", row.Speedup),
+			fmt.Sprintf("%.4f", row.CostUSD))
+	}
+	sink.file("table3.csv", tbl.RenderCSV())
+	if csv {
+		fmt.Print(tbl.RenderCSV())
+	}
+	return nil
+}
+
+func scaleInt(n int, scale float64) int {
+	out := int(float64(n) * scale)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}

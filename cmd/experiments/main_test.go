@@ -1,0 +1,144 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStdout runs fn with os.Stdout redirected and returns the output.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	var sb strings.Builder
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestRunRequiresSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand accepted")
+	}
+	if err := run([]string{"nonsense"}); err == nil {
+		t.Fatal("unknown subcommand accepted")
+	}
+	if err := run([]string{"fig2", "-scale", "3"}); err == nil {
+		t.Fatal("out-of-range scale accepted")
+	}
+}
+
+func TestRunFig2SmallScale(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig2", "-scale", "0.05", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 2", "massive spawning", "speedup", "offset_s,value"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"table1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "Composability") {
+		t.Errorf("output missing Table 1 rows:\n%s", out)
+	}
+}
+
+func TestRunFig3SmallScale(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig3", "-scale", "0.1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 3") || !strings.Contains(out, "true") {
+		t.Errorf("fig3 output:\n%s", out)
+	}
+}
+
+func TestRunFig4SmallScale(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"fig4", "-scale", "0.02"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Fig. 4") || !strings.Contains(out, "d=4") {
+		t.Errorf("fig4 output:\n%s", out)
+	}
+}
+
+func TestRunTable3AndFig5SmallScale(t *testing.T) {
+	out, err := captureStdout(t, func() error {
+		return run([]string{"table3", "-scale", "0.05", "-csv"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table 3", "sequential", "chunk_mib,executors"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 output missing %q", want)
+		}
+	}
+	out, err = captureStdout(t, func() error {
+		return run([]string{"fig5", "-scale", "0.05", "-city", "paris"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "paris") {
+		t.Errorf("fig5 output missing city render:\n%s", out)
+	}
+}
+
+func TestRunWithOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	_, err := captureStdout(t, func() error {
+		return run([]string{"fig2", "-scale", "0.05", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig2.txt", "fig2.local.csv", "fig2.massive.csv"} {
+		data, err := os.ReadFile(dir + "/" + name)
+		if err != nil {
+			t.Fatalf("missing output file %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("output file %s empty", name)
+		}
+	}
+	_, err = captureStdout(t, func() error {
+		return run([]string{"table3", "-scale", "0.03", "-out", dir})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(dir + "/table3.csv"); err != nil || !strings.Contains(string(data), "chunk_mib") {
+		t.Fatalf("table3.csv = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,217 @@
+// Command gowren-server runs the simulated cloud as a standalone service:
+// the COS object store is served over HTTP (the REST dialect of
+// internal/cos) and a small job API executes map / map_reduce requests
+// through the real-time platform, so external clients (cmd/gowren, curl)
+// can drive the full IBM-PyWren flow across a socket.
+//
+//	gowren-server [-addr :7070]
+//
+// Endpoints:
+//
+//	/cos/...           object store (PUT/GET/HEAD/DELETE /cos/b/{bucket}/{key})
+//	POST /v1/map       {"function","args":[...],"runtime"} → {"results":[...]}
+//	POST /v1/mapreduce {"map","reduce","buckets":[...],"chunkBytes",
+//	                    "reducerOnePerObject"} → {"results":[...]}
+//	GET  /v1/functions registered functions per runtime image
+//	GET  /healthz
+//	GET  /debug/trace  platform flight-recorder timeline (text)
+//
+// The server preloads the workload functions (tone analysis, mergesort,
+// compute-bound); rebuild with your own image to serve custom functions.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"gowren"
+	"gowren/internal/cos"
+	"gowren/internal/workloads"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	srv, err := newServer(*seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gowren-server:", err)
+		os.Exit(1)
+	}
+	log.Printf("gowren-server listening on %s", *addr)
+	if err := http.ListenAndServe(*addr, srv.routes()); err != nil {
+		fmt.Fprintln(os.Stderr, "gowren-server:", err)
+		os.Exit(1)
+	}
+}
+
+type server struct {
+	cloud *gowren.Cloud
+	image *gowren.Image
+}
+
+func newServer(seed int64) (*server, error) {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := workloads.Register(img); err != nil {
+		return nil, err
+	}
+	// Model costs run 20x wall speed: realistic durations in reports,
+	// responsive job turnaround for interactive clients.
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		RealTime:      true,
+		TimeScale:     20,
+		Images:        []*gowren.Image{img},
+		Seed:          seed,
+		TraceCapacity: 65536,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &server{cloud: cloud, image: img}, nil
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/cos/", http.StripPrefix("/cos", cos.Handler(s.cloud.Store())))
+	// OpenWhisk-style management API for the FaaS controller
+	// (actions, activations, direct invocations).
+	mux.Handle("/faas/", http.StripPrefix("/faas", s.cloud.Platform().Controller().Handler()))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if err := s.cloud.Trace().Dump(w, time.Time{}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /v1/functions", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, map[string][]string{s.image.Name(): s.image.Functions()})
+	})
+	mux.HandleFunc("POST /v1/map", s.handleMap)
+	mux.HandleFunc("POST /v1/mapreduce", s.handleMapReduce)
+	return mux
+}
+
+type mapRequest struct {
+	Function string            `json:"function"`
+	Args     []json.RawMessage `json:"args"`
+	Runtime  string            `json:"runtime,omitempty"`
+	TimeoutS float64           `json:"timeoutSeconds,omitempty"`
+}
+
+type mapReduceRequest struct {
+	Map                 string   `json:"map"`
+	Reduce              string   `json:"reduce"`
+	Buckets             []string `json:"buckets"`
+	ChunkBytes          int64    `json:"chunkBytes,omitempty"`
+	ReducerOnePerObject bool     `json:"reducerOnePerObject,omitempty"`
+	Runtime             string   `json:"runtime,omitempty"`
+	TimeoutS            float64  `json:"timeoutSeconds,omitempty"`
+}
+
+type jobResponse struct {
+	ExecutorID string            `json:"executorId"`
+	Results    []json.RawMessage `json:"results"`
+	ElapsedMS  int64             `json:"elapsedMs"`
+}
+
+func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
+	var req mapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Function == "" || len(req.Args) == 0 {
+		http.Error(w, "function and args required", http.StatusBadRequest)
+		return
+	}
+	exec, err := s.executor(req.Runtime)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	args := make([]any, len(req.Args))
+	for i, raw := range req.Args {
+		args[i] = raw
+	}
+	start := time.Now()
+	if _, err := exec.MapSlice(req.Function, args); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	results, err := exec.GetResult(gowren.GetResultOptions{Timeout: timeout(req.TimeoutS)})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, jobResponse{
+		ExecutorID: exec.ID(),
+		Results:    results,
+		ElapsedMS:  time.Since(start).Milliseconds(),
+	})
+}
+
+func (s *server) handleMapReduce(w http.ResponseWriter, r *http.Request) {
+	var req mapReduceRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Map == "" || req.Reduce == "" || len(req.Buckets) == 0 {
+		http.Error(w, "map, reduce and buckets required", http.StatusBadRequest)
+		return
+	}
+	exec, err := s.executor(req.Runtime)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	_, err = exec.MapReduce(req.Map, gowren.FromBuckets(req.Buckets...), req.Reduce, gowren.MapReduceOptions{
+		ChunkBytes:          req.ChunkBytes,
+		ReducerOnePerObject: req.ReducerOnePerObject,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	results, err := exec.GetResult(gowren.GetResultOptions{Timeout: timeout(req.TimeoutS)})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, jobResponse{
+		ExecutorID: exec.ID(),
+		Results:    results,
+		ElapsedMS:  time.Since(start).Milliseconds(),
+	})
+}
+
+func (s *server) executor(runtimeName string) (*gowren.Executor, error) {
+	opts := []gowren.ExecutorOption{gowren.WithPollInterval(2 * time.Millisecond)}
+	if runtimeName != "" {
+		opts = append(opts, gowren.WithRuntime(runtimeName))
+	}
+	return s.cloud.Executor(opts...)
+}
+
+func timeout(seconds float64) time.Duration {
+	if seconds <= 0 {
+		return 2 * time.Minute
+	}
+	return time.Duration(seconds * float64(time.Second))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"gowren/internal/workloads"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	s, err := newServer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(s.routes())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerHealthAndFunctions(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	fresp, err := http.Get(srv.URL + "/v1/functions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	var fns map[string][]string
+	if err := json.NewDecoder(fresp.Body).Decode(&fns); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, names := range fns {
+		for _, n := range names {
+			if n == workloads.FuncComputeBound {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("functions listing missing workloads: %v", fns)
+	}
+}
+
+func TestServerMapJob(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/map", map[string]any{
+		"function": workloads.FuncComputeBound,
+		"args":     []any{0.01, 0.02},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("map status = %d", resp.StatusCode)
+	}
+	var out jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.ExecutorID == "" {
+		t.Fatalf("response = %+v", out)
+	}
+	if string(out.Results[0]) != "0.01" {
+		t.Fatalf("result[0] = %s", out.Results[0])
+	}
+}
+
+func TestServerMapValidation(t *testing.T) {
+	srv := newTestServer(t)
+	resp := postJSON(t, srv.URL+"/v1/map", map[string]any{"function": ""})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty request status = %d", resp.StatusCode)
+	}
+	resp2 := postJSON(t, srv.URL+"/v1/map", map[string]any{
+		"function": "no/such/function",
+		"args":     []any{1},
+	})
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("unknown function status = %d", resp2.StatusCode)
+	}
+}
+
+func TestServerMapReduceJobOverCOS(t *testing.T) {
+	srv := newTestServer(t)
+	// Seed a dataset through the COS endpoint, as a client would.
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/cos/b/docs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create bucket: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+	city := workloads.Cities(1 << 20)[0]
+	buf := make([]byte, 4*workloads.RecordSize)
+	workloads.CityGenerator(city, 1).FillAt(0, buf)
+	putReq, err := http.NewRequest(http.MethodPut, srv.URL+"/cos/b/docs/reviews", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(putReq); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("put object: %v %v", resp.Status, err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp := postJSON(t, srv.URL+"/v1/mapreduce", map[string]any{
+		"map":                 workloads.FuncToneMap,
+		"reduce":              workloads.FuncToneReduce,
+		"buckets":             []string{"docs"},
+		"reducerOnePerObject": true,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mapreduce status = %d", resp.StatusCode)
+	}
+	var out jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 1 {
+		t.Fatalf("reducers = %d, want 1", len(out.Results))
+	}
+	var m workloads.CityMap
+	if err := json.Unmarshal(out.Results[0], &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counts.Records != 4 {
+		t.Fatalf("records = %d, want 4", m.Counts.Records)
+	}
+}
+
+func TestServerFaasGateway(t *testing.T) {
+	srv := newTestServer(t)
+	resp, err := http.Get(srv.URL + "/faas/api/v1/actions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gateway actions status = %d", resp.StatusCode)
+	}
+}
+
+func TestServerDebugTrace(t *testing.T) {
+	srv := newTestServer(t)
+	// Generate some platform activity first.
+	resp := postJSON(t, srv.URL+"/v1/map", map[string]any{
+		"function": workloads.FuncComputeBound,
+		"args":     []any{0.01},
+	})
+	resp.Body.Close()
+	tr, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("trace status = %d", tr.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(tr.Body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("invoke")) {
+		t.Fatalf("trace missing events:\n%s", buf.String())
+	}
+}

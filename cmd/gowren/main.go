@@ -1,0 +1,383 @@
+// Command gowren is the client CLI: it submits map / map_reduce jobs and
+// manages object-store data, either against a running gowren-server
+// (-server URL) or an in-process simulated cloud.
+//
+//	gowren functions                              list registered functions
+//	gowren map -fn compute/busy 1 2 3             map a function over JSON args
+//	gowren mapreduce -map tone/analyze-chunk -reduce tone/render-city \
+//	        -bucket airbnb -chunk 4 -per-object   run a MapReduce job
+//	gowren put -bucket b -key k [file]            upload an object (stdin if no file)
+//	gowren get -bucket b -key k                   print an object
+//	gowren ls -bucket b [-prefix p]               list keys
+//	gowren buckets                                list buckets
+//	gowren activations [-limit n]                 list recent activations
+//	gowren seed-airbnb -bucket airbnb -mb 50      load the synthetic reviews dataset
+//
+// Global flags: -server http://host:port (empty = in-process).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"gowren"
+	"gowren/internal/cos"
+	"gowren/internal/workloads"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "gowren:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: gowren <functions|map|mapreduce|put|get|ls|buckets|activations|seed-airbnb> [flags]")
+	}
+	sub, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
+	server := fs.String("server", "", "gowren-server base URL (empty = in-process)")
+	fn := fs.String("fn", "", "function name (map)")
+	mapFn := fs.String("map", "", "map function (mapreduce)")
+	reduceFn := fs.String("reduce", "", "reduce function (mapreduce)")
+	bucket := fs.String("bucket", "", "bucket name")
+	key := fs.String("key", "", "object key")
+	prefix := fs.String("prefix", "", "list prefix")
+	chunkMiB := fs.Int("chunk", 0, "chunk size in MiB (0 = per-object granularity)")
+	perObject := fs.Bool("per-object", false, "one reducer per object")
+	mb := fs.Int("mb", 50, "dataset size in MB (seed-airbnb)")
+	limit := fs.Int("limit", 20, "max activations to list")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	cli, err := newClient(*server)
+	if err != nil {
+		return err
+	}
+
+	switch sub {
+	case "functions":
+		return cli.functions(os.Stdout)
+	case "map":
+		if *fn == "" || fs.NArg() == 0 {
+			return fmt.Errorf("map requires -fn and at least one JSON argument")
+		}
+		return cli.runMap(os.Stdout, *fn, fs.Args())
+	case "mapreduce":
+		if *mapFn == "" || *reduceFn == "" || *bucket == "" {
+			return fmt.Errorf("mapreduce requires -map, -reduce and -bucket")
+		}
+		return cli.runMapReduce(os.Stdout, *mapFn, *reduceFn, *bucket, int64(*chunkMiB)<<20, *perObject)
+	case "put":
+		if *bucket == "" || *key == "" {
+			return fmt.Errorf("put requires -bucket and -key")
+		}
+		var body []byte
+		if fs.NArg() > 0 {
+			body, err = os.ReadFile(fs.Arg(0))
+		} else {
+			body, err = io.ReadAll(os.Stdin)
+		}
+		if err != nil {
+			return err
+		}
+		return cli.put(*bucket, *key, body)
+	case "get":
+		if *bucket == "" || *key == "" {
+			return fmt.Errorf("get requires -bucket and -key")
+		}
+		data, err := cli.get(*bucket, *key)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(data)
+		return err
+	case "ls":
+		if *bucket == "" {
+			return fmt.Errorf("ls requires -bucket")
+		}
+		return cli.list(os.Stdout, *bucket, *prefix)
+	case "buckets":
+		names, err := cli.store.ListBuckets()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			fmt.Println(name)
+		}
+		return nil
+	case "activations":
+		return cli.activations(os.Stdout, *limit)
+	case "seed-airbnb":
+		if *bucket == "" {
+			*bucket = "airbnb"
+		}
+		return cli.seedAirbnb(os.Stdout, *bucket, int64(*mb)*1_000_000)
+	default:
+		return fmt.Errorf("unknown subcommand %q", sub)
+	}
+}
+
+// client abstracts in-process vs remote execution.
+type client struct {
+	// remote mode
+	base string
+	hc   *http.Client
+	// in-process mode
+	cloud *gowren.Cloud
+	image *gowren.Image
+	store cos.Client
+}
+
+func newClient(server string) (*client, error) {
+	if server != "" {
+		return &client{
+			base:  server,
+			hc:    &http.Client{Timeout: 5 * time.Minute},
+			store: cos.NewHTTPClient(server+"/cos", nil),
+		}, nil
+	}
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := workloads.Register(img); err != nil {
+		return nil, err
+	}
+	// Accelerate model costs 20x so interactive jobs stay snappy while
+	// reported durations remain realistic.
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{RealTime: true, TimeScale: 20, Images: []*gowren.Image{img}})
+	if err != nil {
+		return nil, err
+	}
+	return &client{cloud: cloud, image: img, store: cloud.Store()}, nil
+}
+
+func (c *client) functions(w io.Writer) error {
+	if c.cloud != nil {
+		for _, name := range c.image.Functions() {
+			fmt.Fprintln(w, name)
+		}
+		return nil
+	}
+	var out map[string][]string
+	if err := c.getJSON("/v1/functions", &out); err != nil {
+		return err
+	}
+	for image, fns := range out {
+		for _, name := range fns {
+			fmt.Fprintf(w, "%s\t%s\n", image, name)
+		}
+	}
+	return nil
+}
+
+func (c *client) runMap(w io.Writer, fn string, rawArgs []string) error {
+	args := make([]json.RawMessage, len(rawArgs))
+	for i, a := range rawArgs {
+		if !json.Valid([]byte(a)) {
+			return fmt.Errorf("argument %d is not valid JSON: %q", i, a)
+		}
+		args[i] = json.RawMessage(a)
+	}
+	if c.cloud != nil {
+		anyArgs := make([]any, len(args))
+		for i, a := range args {
+			anyArgs[i] = a
+		}
+		var results []json.RawMessage
+		var err error
+		c.cloud.Run(func() {
+			exec, execErr := c.cloud.Executor(gowren.WithPollInterval(2 * time.Millisecond))
+			if execErr != nil {
+				err = execErr
+				return
+			}
+			if _, mapErr := exec.MapSlice(fn, anyArgs); mapErr != nil {
+				err = mapErr
+				return
+			}
+			results, err = exec.GetResult()
+		})
+		if err != nil {
+			return err
+		}
+		return printResults(w, results)
+	}
+	var resp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	body := map[string]any{"function": fn, "args": args}
+	if err := c.postJSON("/v1/map", body, &resp); err != nil {
+		return err
+	}
+	return printResults(w, resp.Results)
+}
+
+func (c *client) runMapReduce(w io.Writer, mapFn, reduceFn, bucket string, chunkBytes int64, perObject bool) error {
+	if c.cloud != nil {
+		var results []json.RawMessage
+		var err error
+		c.cloud.Run(func() {
+			exec, execErr := c.cloud.Executor(gowren.WithPollInterval(2 * time.Millisecond))
+			if execErr != nil {
+				err = execErr
+				return
+			}
+			_, mrErr := exec.MapReduce(mapFn, gowren.FromBuckets(bucket), reduceFn, gowren.MapReduceOptions{
+				ChunkBytes:          chunkBytes,
+				ReducerOnePerObject: perObject,
+			})
+			if mrErr != nil {
+				err = mrErr
+				return
+			}
+			results, err = exec.GetResult()
+		})
+		if err != nil {
+			return err
+		}
+		return printResults(w, results)
+	}
+	var resp struct {
+		Results []json.RawMessage `json:"results"`
+	}
+	body := map[string]any{
+		"map":                 mapFn,
+		"reduce":              reduceFn,
+		"buckets":             []string{bucket},
+		"chunkBytes":          chunkBytes,
+		"reducerOnePerObject": perObject,
+	}
+	if err := c.postJSON("/v1/mapreduce", body, &resp); err != nil {
+		return err
+	}
+	return printResults(w, resp.Results)
+}
+
+// activations lists recent activations, newest first.
+func (c *client) activations(w io.Writer, limit int) error {
+	type row struct {
+		ID        string `json:"ID"`
+		Action    string `json:"Action"`
+		OK        bool   `json:"OK"`
+		ColdStart bool   `json:"ColdStart"`
+		StartAt   time.Time
+		EndAt     time.Time
+	}
+	var rows []row
+	if c.cloud != nil {
+		acts := c.cloud.Platform().Controller().Activations()
+		for i := len(acts) - 1; i >= 0 && len(rows) < limit; i-- {
+			a := acts[i]
+			rows = append(rows, row{ID: a.ID, Action: a.Action, OK: a.OK, ColdStart: a.ColdStart, StartAt: a.StartAt, EndAt: a.EndAt})
+		}
+	} else {
+		if err := c.getJSON(fmt.Sprintf("/faas/api/v1/activations?limit=%d", limit), &rows); err != nil {
+			return err
+		}
+	}
+	for _, r := range rows {
+		state := "running"
+		dur := ""
+		if !r.EndAt.IsZero() {
+			state = "failed"
+			if r.OK {
+				state = "ok"
+			}
+			dur = r.EndAt.Sub(r.StartAt).Round(time.Millisecond).String()
+		}
+		cold := "warm"
+		if r.ColdStart {
+			cold = "cold"
+		}
+		fmt.Fprintf(w, "%-10s  %-7s  %-4s  %10s  %s\n", r.ID, state, cold, dur, r.Action)
+	}
+	return nil
+}
+
+func (c *client) put(bucket, key string, body []byte) error {
+	if ok, err := c.store.BucketExists(bucket); err == nil && !ok {
+		if err := c.store.CreateBucket(bucket); err != nil {
+			return err
+		}
+	}
+	_, err := c.store.Put(bucket, key, body)
+	return err
+}
+
+func (c *client) get(bucket, key string) ([]byte, error) {
+	data, _, err := c.store.Get(bucket, key)
+	return data, err
+}
+
+func (c *client) list(w io.Writer, bucket, prefix string) error {
+	metas, err := cos.ListAll(c.store, bucket, prefix)
+	if err != nil {
+		return err
+	}
+	for _, m := range metas {
+		fmt.Fprintf(w, "%12d  %s\n", m.Size, m.Key)
+	}
+	return nil
+}
+
+func (c *client) seedAirbnb(w io.Writer, bucket string, totalBytes int64) error {
+	if c.cloud == nil {
+		return fmt.Errorf("seed-airbnb works in-process only; against a server, generate locally and put per city")
+	}
+	cities, err := workloads.LoadDataset(c.cloud.Store(), bucket, totalBytes, 42)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "seeded %d cities (%d bytes) into bucket %q\n", len(cities), workloads.TotalBytes(cities), bucket)
+	return nil
+}
+
+func printResults(w io.Writer, results []json.RawMessage) error {
+	for _, r := range results {
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, r); err != nil {
+			return err
+		}
+		fmt.Fprintln(w, buf.String())
+	}
+	return nil
+}
+
+func (c *client) postJSON(path string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *client) getJSON(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return fmt.Errorf("server: %s: %s", resp.Status, bytes.TrimSpace(msg))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

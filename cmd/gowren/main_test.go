@@ -1,0 +1,147 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"gowren"
+	"gowren/internal/cos"
+	"gowren/internal/workloads"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"bogus"},
+		{"map"},                     // missing -fn and args
+		{"mapreduce"},               // missing required flags
+		{"put"},                     // missing bucket/key
+		{"get", "-bucket", "b"},     // missing key
+		{"ls"},                      // missing bucket
+		{"map", "-fn", "f", "{not"}, // invalid JSON arg
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestInProcessMapAndFunctions(t *testing.T) {
+	cli, err := newClient("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := cli.functions(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), workloads.FuncComputeBound) {
+		t.Fatalf("functions output = %q", out.String())
+	}
+	out.Reset()
+	if err := cli.runMap(&out, workloads.FuncComputeBound, []string{"0.01", "0.02"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); got != "0.01\n0.02\n" {
+		t.Fatalf("map output = %q", got)
+	}
+}
+
+func TestInProcessObjectOps(t *testing.T) {
+	cli, err := newClient("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.put("b", "k", []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cli.get("b", "k")
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("get = %q, %v", data, err)
+	}
+	var out bytes.Buffer
+	if err := cli.list(&out, "b", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "k") {
+		t.Fatalf("ls output = %q", out.String())
+	}
+}
+
+func TestInProcessSeedAndMapReduce(t *testing.T) {
+	cli, err := newClient("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := cli.seedAirbnb(&out, "airbnb", 2_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "seeded 33 cities") {
+		t.Fatalf("seed output = %q", out.String())
+	}
+	out.Reset()
+	err = cli.runMapReduce(&out, workloads.FuncToneMap, workloads.FuncToneReduce, "airbnb", 256<<10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out.String(), "\n"); got != 33 {
+		t.Fatalf("mapreduce rows = %d, want 33 city maps", got)
+	}
+}
+
+// TestRemoteModeAgainstCOSServer exercises the HTTP client path of the CLI
+// against a served store (object operations only; job submission against a
+// live gowren-server is covered by the server's own integration).
+func TestRemoteModeAgainstCOSServer(t *testing.T) {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := workloads.Register(img); err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{RealTime: true, Images: []*gowren.Image{img}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(cos.Handler(cloud.Store()))
+	defer srv.Close()
+
+	cli := &client{store: cos.NewHTTPClient(srv.URL, srv.Client())}
+	if err := cli.put("remote", "obj", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := cli.get("remote", "obj")
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("remote get = %q, %v", data, err)
+	}
+	var out bytes.Buffer
+	if err := cli.list(&out, "remote", ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "obj") {
+		t.Fatalf("remote ls = %q", out.String())
+	}
+}
+
+func TestActivationsSubcommand(t *testing.T) {
+	cli, err := newClient("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := cli.runMap(&out, workloads.FuncComputeBound, []string{"0.01"}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := cli.activations(&out, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "gowren-runner--") {
+		t.Fatalf("activations output = %q", out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("activations output missing state: %q", out.String())
+	}
+}

@@ -1,0 +1,183 @@
+package gowren_test
+
+// Runnable godoc examples for the public API. Each compiles into the test
+// suite and its output is verified by `go test`.
+
+import (
+	"fmt"
+	"log"
+
+	"gowren"
+)
+
+// Example reproduces the paper's Fig. 1 flow end to end.
+func Example() {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := gowren.RegisterFunc(img, "my_function", func(_ *gowren.Ctx, x int) (int, error) {
+		return x + 7, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := exec.Map("my_function", 3, 6, 9); err != nil {
+			log.Fatal(err)
+		}
+		results, err := gowren.Results[int](exec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(results)
+	})
+	// Output: [10 13 16]
+}
+
+// ExampleExecutor_MapReduce runs a full map_reduce over a discovered bucket
+// with automatic partitioning.
+func ExampleExecutor_MapReduce() {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := gowren.RegisterMapFunc(img, "bytes", func(_ *gowren.Ctx, part *gowren.PartitionReader) (int64, error) {
+		return part.Size(), nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := gowren.RegisterReduceFunc(img, "sum", func(_ *gowren.Ctx, _ string, sizes []int64) (int64, error) {
+		var total int64
+		for _, s := range sizes {
+			total += s
+		}
+		return total, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := cloud.Store()
+	if err := store.CreateBucket("data"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Put("data", "a", make([]byte, 1200)); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := store.Put("data", "b", make([]byte, 800)); err != nil {
+		log.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// 500-byte chunks: object a becomes 3 partitions, b becomes 2.
+		if _, err := exec.MapReduce("bytes", gowren.FromBuckets("data"), "sum",
+			gowren.MapReduceOptions{ChunkBytes: 500}); err != nil {
+			log.Fatal(err)
+		}
+		total, err := gowren.Result[int64](exec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(total)
+	})
+	// Output: 2000
+}
+
+// ExampleChain shows a sequential composition: the client receives the
+// final value of the chain without orchestrating the middle step.
+func ExampleChain() {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := gowren.RegisterFunc(img, "square", func(_ *gowren.Ctx, x int) (int, error) {
+		return x * x, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := gowren.RegisterComposerFunc(img, "negate_then_square", func(ctx *gowren.Ctx, x int) (*gowren.FuturesRef, error) {
+		return gowren.Chain(ctx, "square", -x)
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := exec.CallAsync("negate_then_square", 6); err != nil {
+			log.Fatal(err)
+		}
+		v, err := gowren.Result[int](exec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(v)
+	})
+	// Output: 36
+}
+
+// ExampleExecutor_MapReduceShuffle counts keys through the object-storage
+// shuffle with two reduce executors.
+func ExampleExecutor_MapReduceShuffle() {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := gowren.RegisterKVMapFunc(img, "emit", func(_ *gowren.Ctx, part *gowren.PartitionReader) ([]gowren.KV, error) {
+		data, err := part.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		var out []gowren.KV
+		for _, b := range data {
+			kv, err := gowren.EmitKV(string(b), 1)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, kv)
+		}
+		return out, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := gowren.RegisterKVReduceFunc(img, "count", func(_ *gowren.Ctx, _ string, ones []int) (int, error) {
+		return len(ones), nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cloud.Store().CreateBucket("letters"); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cloud.Store().Put("letters", "doc", []byte("abcaab")); err != nil {
+		log.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := exec.MapReduceShuffle("emit", gowren.FromBuckets("letters"), "count",
+			gowren.ShuffleOptions{NumReducers: 2}); err != nil {
+			log.Fatal(err)
+		}
+		merged, err := gowren.ShuffleResults(exec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, kr := range merged {
+			fmt.Printf("%s=%s ", kr.Key, kr.Value)
+		}
+		fmt.Println()
+	})
+	// Output: a=3 b=2 c=1
+}

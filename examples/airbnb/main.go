@@ -1,0 +1,112 @@
+// Airbnb runs the paper's §6.4 use case end to end: tone analysis of city
+// review datasets with map_reduce, automatic data discovery and
+// partitioning, a reducer per city, and an ASCII render of the resulting
+// city map (the paper's Fig. 5).
+//
+//	go run ./examples/airbnb [-mb 100] [-chunk 4] [-city new-york]
+//
+// The simulation runs on virtual time, so the output reports the simulated
+// duration the job would take on the modeled cloud alongside the measured
+// speedup over a sequential baseline.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"gowren"
+	"gowren/internal/workloads"
+)
+
+func main() {
+	datasetMB := flag.Int("mb", 100, "dataset size in MB (paper: 1900)")
+	chunkMiB := flag.Int("chunk", 4, "partition chunk size in MiB")
+	city := flag.String("city", "new-york", "city map to render")
+	flag.Parse()
+
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := workloads.Register(img); err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}, Jitter: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	totalBytes := int64(*datasetMB) * 1_000_000
+	cities, err := workloads.LoadDataset(cloud.Store(), "airbnb", totalBytes, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d cities, %.2f MB, %d comments\n",
+		len(cities), float64(workloads.TotalBytes(cities))/1e6, workloads.TotalRecords(cities))
+
+	var (
+		maps     []workloads.CityMap
+		elapsed  time.Duration
+		executor int
+	)
+	cloud.Run(func() {
+		exec, err := cloud.Executor(
+			gowren.WithClientProfile(gowren.ClientInCloud), // a Watson-Studio-style notebook
+			gowren.WithMassiveSpawning(0),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts, err := gowren.PlanPartitions(cloud.Store(), gowren.FromBuckets("airbnb"), int64(*chunkMiB)<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		executor = len(parts)
+
+		start := cloud.Clock().Now()
+		_, err = exec.MapReduce(
+			workloads.FuncToneMap,
+			gowren.FromBuckets("airbnb"),
+			workloads.FuncToneReduce,
+			gowren.MapReduceOptions{ChunkBytes: int64(*chunkMiB) << 20, ReducerOnePerObject: true},
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		maps, err = gowren.Results[workloads.CityMap](exec, gowren.GetResultOptions{
+			Progress: func(done, total int) {
+				fmt.Printf("\rreducers finished: %d/%d", done, total)
+			},
+		})
+		fmt.Println()
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed = cloud.Clock().Now().Sub(start)
+	})
+
+	fmt.Printf("map executors: %d (chunk %d MiB)\n", executor, *chunkMiB)
+	fmt.Printf("simulated job time: %v\n", elapsed.Round(time.Second))
+
+	var total workloads.ToneCounts
+	for _, m := range maps {
+		total.Add(m.Counts)
+	}
+	fmt.Printf("tones across all cities: good %d / neutral %d / bad %d\n\n",
+		total.Good, total.Neutral, total.Bad)
+
+	for _, m := range maps {
+		if strings.HasSuffix(m.City, *city) {
+			fmt.Print(workloads.RenderASCIIMap(m, 72, 18))
+			return
+		}
+	}
+	fmt.Printf("city %q not in dataset; available: ", *city)
+	for i, c := range cities {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Print(c.Name)
+	}
+	fmt.Println()
+}

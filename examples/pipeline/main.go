@@ -1,0 +1,120 @@
+// Pipeline demonstrates dynamic function composition (paper §4.4): a
+// sequential chain f3 = f2 ∘ f1 built with Chain, a dynamic fan-out where
+// one function spawns a parallel map over data it generated, and the three
+// wait() unlock modes of §4.2.
+//
+//	go run ./examples/pipeline
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"gowren"
+)
+
+func main() {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	register := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A two-stage sequence: normalize then score. normalize returns a
+	// continuation, so the client receives score's output directly.
+	register(gowren.RegisterFunc(img, "score", func(_ *gowren.Ctx, text string) (int, error) {
+		return len(text), nil
+	}))
+	register(gowren.RegisterComposerFunc(img, "normalize", func(ctx *gowren.Ctx, text string) (*gowren.FuturesRef, error) {
+		trimmed := ""
+		for _, r := range text {
+			if r != ' ' {
+				trimmed += string(r)
+			}
+		}
+		return gowren.Chain(ctx, "score", trimmed)
+	}))
+
+	// A dynamic fan-out: generate a random list inside the cloud, then map
+	// over it in parallel — the paper's foo()/add_seven() example.
+	register(gowren.RegisterFunc(img, "add_seven", func(_ *gowren.Ctx, y int) (int, error) {
+		return y + 7, nil
+	}))
+	register(gowren.RegisterComposerFunc(img, "foo", func(ctx *gowren.Ctx, n int) (*gowren.FuturesRef, error) {
+		rng := rand.New(rand.NewSource(99))
+		items := make([]any, n)
+		for i := range items {
+			items[i] = rng.Intn(100)
+		}
+		return gowren.Spawn(ctx, "add_seven", items)
+	}))
+
+	// Tasks of mixed durations for the wait() demo.
+	register(gowren.RegisterFunc(img, "work", func(ctx *gowren.Ctx, ms int) (int, error) {
+		if err := ctx.ChargeCompute(time.Duration(ms) * time.Millisecond); err != nil {
+			return 0, err
+		}
+		return ms, nil
+	}))
+
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{RealTime: true, Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cloud.Run(func() {
+		newExec := func() *gowren.Executor {
+			exec, err := cloud.Executor(gowren.WithPollInterval(2 * time.Millisecond))
+			if err != nil {
+				log.Fatal(err)
+			}
+			return exec
+		}
+
+		// --- Sequence: f3 = score ∘ normalize ---
+		seq := newExec()
+		if _, err := seq.CallAsync("normalize", "a b c d"); err != nil {
+			log.Fatal(err)
+		}
+		n, err := gowren.Result[int](seq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("sequence  : score(normalize(%q)) = %d\n", "a b c d", n)
+
+		// --- Dynamic parallel fan-out ---
+		fan := newExec()
+		if _, err := fan.CallAsync("foo", 10); err != nil {
+			log.Fatal(err)
+		}
+		values, err := gowren.Result[[]int](fan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("fan-out   : foo spawned %d add_seven calls → %v\n", len(values), values)
+
+		// --- Wait strategies ---
+		waiter := newExec()
+		if _, err := waiter.Map("work", 30, 300, 600); err != nil {
+			log.Fatal(err)
+		}
+		done, pending, err := waiter.Wait(gowren.WaitAlways, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wait      : Always       → %d done, %d pending\n", len(done), len(pending))
+		done, pending, err = waiter.Wait(gowren.WaitAnyCompleted, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wait      : AnyCompleted → %d done, %d pending\n", len(done), len(pending))
+		done, pending, err = waiter.Wait(gowren.WaitAllCompleted, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wait      : AllCompleted → %d done, %d pending\n", len(done), len(pending))
+	})
+}

@@ -1,0 +1,57 @@
+// Quickstart reproduces the paper's Fig. 1 execution flow: a plain Go
+// function mapped over a list of values through the serverless platform.
+//
+//	go run ./examples/quickstart
+//
+// The cloud runs in real time (wall clock) with an in-process object store
+// and FaaS controller — no external services.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"gowren"
+)
+
+func main() {
+	// 1. Build a runtime image and register the function in it. This is
+	// GoWren's analogue of PyWren serializing your code: the image is the
+	// unit of code distribution (see DESIGN.md).
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	err := gowren.RegisterFunc(img, "my_function", func(_ *gowren.Ctx, x int) (int, error) {
+		return x + 7, nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Wire up a simulated IBM Cloud: COS + Cloud Functions.
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{RealTime: true, Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cloud.Run(func() {
+		// 3. exec = pw.ibm_cf_executor()
+		exec, err := cloud.Executor(gowren.WithPollInterval(2 * time.Millisecond))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// 4. exec.map(my_function, [3, 6, 9])
+		data := []any{3, 6, 9}
+		if _, err := exec.MapSlice("my_function", data); err != nil {
+			log.Fatal(err)
+		}
+
+		// 5. result = exec.get_result()
+		results, err := gowren.Results[int](exec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("input: ", data)
+		fmt.Println("result:", results) // [10 13 16]
+	})
+}

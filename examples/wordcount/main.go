@@ -1,0 +1,221 @@
+// Wordcount is the classic MapReduce job written against GoWren's public
+// API with user-defined map and reduce functions: documents stored in the
+// object store are discovered, partitioned by chunk size, counted in
+// parallel map executors, and merged by a single global reducer.
+//
+// It also demonstrates correct record handling across partition
+// boundaries: partitions split mid-line, so each map executor skips its
+// leading partial line and reads past its end to finish the last one —
+// the standard technique the paper's partitioner expects map code to use.
+//
+// With -shuffle R the job instead runs through the keyed object-storage
+// shuffle: map executors emit (word, 1) pairs that are hash-partitioned
+// across R reduce executors — the shuffle architecture the paper's
+// related-work section identifies as the open challenge for serverless
+// MapReduce.
+//
+//	go run ./examples/wordcount [-shuffle 4]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+	"time"
+
+	"gowren"
+)
+
+// chunkSize deliberately splits the documents mid-line.
+const chunkSize = 1 << 10
+
+func main() {
+	shuffleReducers := flag.Int("shuffle", 0, "run via keyed shuffle with this many reducers (0 = classic global reducer)")
+	flag.Parse()
+
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := gowren.RegisterMapFunc(img, "wc/map", countWords); err != nil {
+		log.Fatal(err)
+	}
+	if err := gowren.RegisterReduceFunc(img, "wc/reduce", mergeCounts); err != nil {
+		log.Fatal(err)
+	}
+	if err := gowren.RegisterKVMapFunc(img, "wc/emit", emitWords); err != nil {
+		log.Fatal(err)
+	}
+	if err := gowren.RegisterKVReduceFunc(img, "wc/sum", sumCounts); err != nil {
+		log.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{RealTime: true, Images: []*gowren.Image{img}})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Seed a small corpus.
+	store := cloud.Store()
+	if err := store.CreateBucket("docs"); err != nil {
+		log.Fatal(err)
+	}
+	corpus := map[string]string{
+		"doc-a": strings.Repeat("the quick brown fox jumps over the lazy dog\n", 120),
+		"doc-b": strings.Repeat("to be or not to be that is the question\n", 150),
+		"doc-c": strings.Repeat("a rose is a rose is a rose\n", 200),
+	}
+	for key, body := range corpus {
+		if _, err := store.Put("docs", key, []byte(body)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	cloud.Run(func() {
+		exec, err := cloud.Executor(gowren.WithPollInterval(2 * time.Millisecond))
+		if err != nil {
+			log.Fatal(err)
+		}
+		parts, err := gowren.PlanPartitions(store, gowren.FromBuckets("docs"), chunkSize)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("corpus partitioned into %d chunks of ≤%d bytes\n", len(parts), chunkSize)
+
+		var counts map[string]int
+		if *shuffleReducers > 0 {
+			fmt.Printf("shuffling across %d reduce executors\n", *shuffleReducers)
+			_, err = exec.MapReduceShuffle("wc/emit", gowren.FromBuckets("docs"), "wc/sum",
+				gowren.ShuffleOptions{ChunkBytes: chunkSize, NumReducers: *shuffleReducers})
+			if err != nil {
+				log.Fatal(err)
+			}
+			keyed, err := gowren.ShuffleResults(exec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts = make(map[string]int, len(keyed))
+			for _, kr := range keyed {
+				var n int
+				if err := json.Unmarshal(kr.Value, &n); err != nil {
+					log.Fatal(err)
+				}
+				counts[kr.Key] = n
+			}
+		} else {
+			_, err = exec.MapReduce("wc/map", gowren.FromBuckets("docs"), "wc/reduce",
+				gowren.MapReduceOptions{ChunkBytes: chunkSize})
+			if err != nil {
+				log.Fatal(err)
+			}
+			counts, err = gowren.Result[map[string]int](exec)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		type wc struct {
+			word string
+			n    int
+		}
+		var sorted []wc
+		for w, n := range counts {
+			sorted = append(sorted, wc{w, n})
+		}
+		sort.Slice(sorted, func(i, j int) bool {
+			if sorted[i].n != sorted[j].n {
+				return sorted[i].n > sorted[j].n
+			}
+			return sorted[i].word < sorted[j].word
+		})
+		fmt.Println("top words:")
+		for i, e := range sorted {
+			if i == 10 {
+				break
+			}
+			fmt.Printf("  %-10s %d\n", e.word, e.n)
+		}
+	})
+}
+
+// countWords maps one partition to word counts, handling the partial lines
+// at both partition boundaries.
+func countWords(_ *gowren.Ctx, part *gowren.PartitionReader) (map[string]int, error) {
+	p := part.Partition()
+	body, err := part.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	// A line belongs to the partition where it *starts*. If the byte just
+	// before this partition is not a newline, our first line started in
+	// the previous partition (which completes it via ReadBeyond), so skip
+	// it here.
+	if p.Offset > 0 {
+		prev, err := part.ReadBefore(1)
+		if err != nil {
+			return nil, err
+		}
+		if len(prev) == 1 && prev[0] != '\n' {
+			if i := strings.IndexByte(string(body), '\n'); i >= 0 {
+				body = body[i+1:]
+			} else {
+				body = nil
+			}
+		}
+	}
+	// Finish a trailing partial line by reading ahead past the partition.
+	if len(body) > 0 && body[len(body)-1] != '\n' && p.Offset+part.Size() < p.ObjectSize {
+		const lookahead = 256
+		extra, err := part.ReadBeyond(lookahead)
+		if err != nil {
+			return nil, err
+		}
+		if i := strings.IndexByte(string(extra), '\n'); i >= 0 {
+			body = append(body, extra[:i]...)
+		} else {
+			body = append(body, extra...)
+		}
+	}
+	counts := make(map[string]int)
+	for _, word := range strings.Fields(string(body)) {
+		counts[strings.ToLower(word)]++
+	}
+	return counts, nil
+}
+
+// mergeCounts reduces the per-chunk maps into one.
+func mergeCounts(_ *gowren.Ctx, _ string, partials []map[string]int) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, p := range partials {
+		for w, n := range p {
+			out[w] += n
+		}
+	}
+	return out, nil
+}
+
+// emitWords is countWords reshaped for the shuffle path: it emits one
+// (word, count) pair per distinct word in the partition.
+func emitWords(ctx *gowren.Ctx, part *gowren.PartitionReader) ([]gowren.KV, error) {
+	counts, err := countWords(ctx, part)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]gowren.KV, 0, len(counts))
+	for w, n := range counts {
+		kv, err := gowren.EmitKV(w, n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kv)
+	}
+	return out, nil
+}
+
+// sumCounts is the per-key shuffle reducer.
+func sumCounts(_ *gowren.Ctx, _ string, values []int) (int, error) {
+	sum := 0
+	for _, v := range values {
+		sum += v
+	}
+	return sum, nil
+}

@@ -1,0 +1,3 @@
+module gowren
+
+go 1.24

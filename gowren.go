@@ -1,0 +1,385 @@
+// Package gowren is a Go reproduction of IBM-PyWren, the serverless
+// data-analytics framework of "Serverless Data Analytics in the IBM Cloud"
+// (Sampé, Vernik, Sánchez-Artigas, García-López — Middleware Industry 2018).
+//
+// It provides the paper's programming model — an executor with CallAsync,
+// Map, MapReduce, Wait and GetResult (Table 2) — together with the cloud it
+// needs to run on: a from-scratch simulation of IBM Cloud Object Storage
+// and IBM Cloud Functions (Apache OpenWhisk), including data discovery and
+// partitioning, custom Docker-style runtimes, dynamic function composition,
+// and the massive-function-spawning mechanism of §5.1.
+//
+// The simulated cloud runs either in real time (examples, interactive use)
+// or on a discrete-event virtual clock that lets experiments execute
+// thousands of concurrent multi-minute functions in milliseconds of wall
+// time — which is how the repository regenerates every figure and table of
+// the paper's evaluation (see EXPERIMENTS.md).
+//
+// A minimal program, mirroring the paper's Fig. 1:
+//
+//	img := gowren.NewImage("quickstart:1", 0)
+//	gowren.RegisterFunc(img, "my_function", func(_ *gowren.Ctx, x int) (int, error) {
+//		return x + 7, nil
+//	})
+//	cloud, _ := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}})
+//	cloud.Run(func() {
+//		exec, _ := cloud.Executor(gowren.WithRuntime("quickstart:1"))
+//		exec.Map("my_function", 3, 6, 9)
+//		results, _ := gowren.Results[int](exec)
+//		fmt.Println(results) // [10 13 16]
+//	})
+package gowren
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gowren/internal/core"
+	"gowren/internal/cos"
+	"gowren/internal/netsim"
+	"gowren/internal/runtime"
+	"gowren/internal/trace"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// Re-exported building blocks. The aliases keep one set of concrete types
+// across the public API and the internal engine.
+type (
+	// Ctx is the execution context passed to user functions.
+	Ctx = runtime.Ctx
+	// Image is a runtime image bundling registered user functions.
+	Image = runtime.Image
+	// PartitionReader gives map functions ranged access to their data
+	// partition.
+	PartitionReader = runtime.PartitionReader
+	// Future tracks one asynchronous call.
+	Future = core.Future
+	// DataSource describes map_reduce input data.
+	DataSource = core.DataSource
+	// Clock abstracts simulated or wall-clock time.
+	Clock = vclock.Clock
+	// FuturesRef is a dynamic-composition continuation: return one from a
+	// registered function (via Spawn or Chain) and GetResult follows it.
+	FuturesRef = wire.FuturesRef
+)
+
+// Wait strategies for Executor.Wait (paper §4.2).
+const (
+	WaitAlways       = core.WaitAlways
+	WaitAnyCompleted = core.WaitAnyCompleted
+	WaitAllCompleted = core.WaitAllCompleted
+)
+
+// DefaultRuntime is the stock runtime image name.
+const DefaultRuntime = runtime.DefaultImage
+
+// NewImage creates a runtime image; sizeMB models the Docker image size
+// (zero selects a typical default). Register functions on it, then pass it
+// to NewSimCloud (the analogue of pushing to Docker Hub).
+func NewImage(name string, sizeMB int) *Image { return runtime.NewImage(name, sizeMB) }
+
+// SimConfig configures a simulated cloud.
+type SimConfig struct {
+	// RealTime runs the cloud on the wall clock instead of the virtual
+	// clock. Use it for interactive examples; experiments use virtual
+	// time.
+	RealTime bool
+	// TimeScale accelerates a RealTime cloud: model costs (cold starts,
+	// compute charges) elapse TimeScale× faster than the wall clock while
+	// remaining realistic in reported durations. Zero or one keeps true
+	// wall speed. Ignored in virtual-time mode.
+	TimeScale float64
+	// Images are published to the runtime registry. An image named
+	// DefaultRuntime becomes the stock runtime; otherwise an empty stock
+	// image is created.
+	Images []*Image
+	// Seed drives every random model in the simulation.
+	Seed int64
+	// MaxConcurrent is the platform's concurrent-invocation limit
+	// (default 1000, as in the paper; negative = unlimited).
+	MaxConcurrent int
+	// Jitter enables per-activation platform noise (the paper's Fig. 3
+	// variability). Off by default for deterministic unit use.
+	Jitter bool
+	// JitterSigma overrides the lognormal sigma of the platform noise
+	// (default 0.8 with a 5 s cap). Values above 1 produce the
+	// heavy-tailed straggler distributions that speculative execution
+	// targets; the cap is lifted to 8 minutes — below the 600 s platform
+	// timeout, so a straggler is slow rather than killed.
+	JitterSigma float64
+	// MetaBucket overrides the job-metadata bucket name.
+	MetaBucket string
+	// TraceCapacity, when positive, enables the platform flight recorder
+	// with a ring of that many events (see Cloud.Trace).
+	TraceCapacity int
+}
+
+// Cloud is a wired simulated cloud: object store, FaaS platform and
+// clock. Create executors against it with Executor.
+type Cloud struct {
+	clock    vclock.Clock
+	virtual  *vclock.Virtual // nil in real-time mode
+	registry *runtime.Registry
+	store    *cos.Store
+	platform *core.Platform
+	recorder *trace.Recorder
+	seed     int64
+}
+
+// NewSimCloud builds a simulated cloud from cfg.
+func NewSimCloud(cfg SimConfig) (*Cloud, error) {
+	var (
+		clk     vclock.Clock
+		virtual *vclock.Virtual
+	)
+	if cfg.RealTime {
+		if cfg.TimeScale > 1 {
+			clk = vclock.NewScaled(cfg.TimeScale)
+		} else {
+			clk = vclock.NewReal()
+		}
+	} else {
+		virtual = vclock.NewVirtual()
+		clk = virtual
+	}
+
+	registry := runtime.NewRegistry()
+	haveDefault := false
+	for _, img := range cfg.Images {
+		if img.Name() == DefaultRuntime {
+			haveDefault = true
+		}
+		if err := registry.Publish(img); err != nil {
+			return nil, fmt.Errorf("gowren: publish image %s: %w", img.Name(), err)
+		}
+	}
+	if !haveDefault {
+		if err := registry.Publish(runtime.NewImage(DefaultRuntime, 0)); err != nil {
+			return nil, err
+		}
+	}
+
+	store := cos.NewStore()
+	var recorder *trace.Recorder
+	if cfg.TraceCapacity > 0 {
+		recorder = trace.New(cfg.TraceCapacity)
+	}
+	pcfg := core.PlatformConfig{
+		Clock:         clk,
+		Registry:      registry,
+		Store:         store,
+		Seed:          cfg.Seed,
+		MaxConcurrent: cfg.MaxConcurrent,
+		MetaBucket:    cfg.MetaBucket,
+		Trace:         recorder,
+	}
+	if cfg.Jitter {
+		sigma, cap := 0.8, 5*time.Second
+		if cfg.JitterSigma > 0 {
+			sigma = cfg.JitterSigma
+			if sigma > 1 {
+				cap = 8 * time.Minute
+			}
+		}
+		pcfg.ExecJitter = netsim.LogNormal{Median: 300 * time.Millisecond, Sigma: sigma, Cap: cap}
+	}
+	if cfg.RealTime {
+		// Scale platform costs down so interactive runs stay snappy while
+		// preserving cold/warm ordering.
+		pcfg.AdmitOverhead = 200 * time.Microsecond
+		pcfg.ColdStartBoot = 5 * time.Millisecond
+		pcfg.WarmStart = 500 * time.Microsecond
+		pcfg.CloudLink = netsim.Loopback()
+	}
+	platform, err := core.NewPlatform(pcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Cloud{
+		clock:    clk,
+		virtual:  virtual,
+		registry: registry,
+		store:    store,
+		platform: platform,
+		recorder: recorder,
+		seed:     cfg.Seed,
+	}, nil
+}
+
+// Run executes fn inside the simulation: on a virtual clock it becomes the
+// root task and Run returns when fn and everything it spawned finish; in
+// real-time mode fn just runs. All Cloud/Executor calls must happen inside
+// Run (or inside tasks it spawns via Go).
+func (c *Cloud) Run(fn func()) {
+	if c.virtual != nil {
+		c.virtual.Run(fn)
+		return
+	}
+	fn()
+}
+
+// Go starts fn as a simulation task (usable from inside Run).
+func (c *Cloud) Go(fn func()) {
+	if c.virtual != nil {
+		c.virtual.Go(fn)
+		return
+	}
+	c.clock.Go(fn)
+}
+
+// Clock returns the cloud's clock.
+func (c *Cloud) Clock() Clock { return c.clock }
+
+// Store returns the raw object-store engine, for seeding datasets.
+func (c *Cloud) Store() *cos.Store { return c.store }
+
+// Platform exposes the wired core platform for advanced integrations and
+// the experiment harnesses.
+func (c *Cloud) Platform() *core.Platform { return c.platform }
+
+// Trace returns the platform flight recorder, or nil when SimConfig did not
+// enable one.
+func (c *Cloud) Trace() *trace.Recorder { return c.recorder }
+
+// ClientProfile selects the network position of an executor's client.
+type ClientProfile int
+
+const (
+	// ClientInCloud places the client inside the datacenter (e.g. a
+	// Watson Studio notebook, as in the paper's §6.4 use case).
+	ClientInCloud ClientProfile = iota + 1
+	// ClientWAN places the client in a remote high-latency network — the
+	// paper's laptop client (§6).
+	ClientWAN
+	// ClientLoopback removes network costs entirely (unit tests).
+	ClientLoopback
+)
+
+// ExecutorOption customizes an executor.
+type ExecutorOption func(*executorSettings)
+
+type executorSettings struct {
+	runtime        string
+	profile        ClientProfile
+	massive        bool
+	spawnGroup     int
+	invokeConc     int
+	stageConc      int
+	clientOverhead time.Duration
+	pollInterval   time.Duration
+	retryBackoff   time.Duration
+	maxRetries     int
+	storage        cos.Client
+}
+
+// WithRuntime selects the runtime image, as in
+// pw.ibm_cf_executor(runtime='matplotlib').
+func WithRuntime(name string) ExecutorOption {
+	return func(s *executorSettings) { s.runtime = name }
+}
+
+// WithClientProfile positions the client on the network.
+func WithClientProfile(p ClientProfile) ExecutorOption {
+	return func(s *executorSettings) { s.profile = p }
+}
+
+// WithMassiveSpawning enables the remote-invoker mechanism with the given
+// group size (0 = the paper's 100).
+func WithMassiveSpawning(groupSize int) ExecutorOption {
+	return func(s *executorSettings) {
+		s.massive = true
+		s.spawnGroup = groupSize
+	}
+}
+
+// WithInvokeConcurrency sets the client invocation thread-pool size.
+func WithInvokeConcurrency(n int) ExecutorOption {
+	return func(s *executorSettings) { s.invokeConc = n }
+}
+
+// WithStageConcurrency sets the upload/download pool size.
+func WithStageConcurrency(n int) ExecutorOption {
+	return func(s *executorSettings) { s.stageConc = n }
+}
+
+// WithClientOverhead models serialized per-invocation client work (the
+// Python GIL effect of §5.1).
+func WithClientOverhead(d time.Duration) ExecutorOption {
+	return func(s *executorSettings) { s.clientOverhead = d }
+}
+
+// WithPollInterval sets the status polling granularity.
+func WithPollInterval(d time.Duration) ExecutorOption {
+	return func(s *executorSettings) { s.pollInterval = d }
+}
+
+// WithRetryPolicy sets the invocation retry limit and base backoff.
+func WithRetryPolicy(maxRetries int, backoff time.Duration) ExecutorOption {
+	return func(s *executorSettings) {
+		s.maxRetries = maxRetries
+		s.retryBackoff = backoff
+	}
+}
+
+// WithStorage overrides the executor's object-storage client entirely —
+// e.g. a cos.HTTPClient for a store served over HTTP. The client profile
+// then affects only the invocation-API path.
+func WithStorage(client cos.Client) ExecutorOption {
+	return func(s *executorSettings) { s.storage = client }
+}
+
+// Executor creates an executor against this cloud — the analogue of
+// pw.ibm_cf_executor(). The default client profile is in-cloud with no
+// massive spawning.
+func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
+	s := executorSettings{profile: ClientInCloud}
+	for _, opt := range opts {
+		opt(&s)
+	}
+
+	var controlLink, storageLink *netsim.Link
+	switch s.profile {
+	case ClientWAN:
+		// The Cloud Functions API gateway and the COS endpoints are
+		// distinct paths with distinct costs (netsim.WAN vs
+		// netsim.WANStorage).
+		controlLink = netsim.WAN(c.seed + 1)
+		storageLink = netsim.WANStorage(c.seed + 2)
+	case ClientInCloud:
+		controlLink = c.platform.CloudLink()
+		storageLink = c.platform.CloudLink()
+	case ClientLoopback:
+		controlLink = netsim.Loopback()
+		storageLink = netsim.Loopback()
+	default:
+		return nil, fmt.Errorf("gowren: unknown client profile %d", int(s.profile))
+	}
+
+	storage := s.storage
+	if storage == nil {
+		storage = cos.NewLinked(c.store, c.clock, storageLink)
+	}
+	inner, err := core.NewExecutor(core.Config{
+		Platform:          c.platform,
+		Storage:           storage,
+		ControlLink:       controlLink,
+		RuntimeImage:      s.runtime,
+		InvokeConcurrency: s.invokeConc,
+		StageConcurrency:  s.stageConc,
+		ClientOverhead:    s.clientOverhead,
+		MassiveSpawning:   s.massive,
+		SpawnGroupSize:    s.spawnGroup,
+		MaxRetries:        s.maxRetries,
+		RetryBackoff:      s.retryBackoff,
+		PollInterval:      s.pollInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{inner: inner, clock: c.clock}, nil
+}
+
+// ErrNoResults is returned by typed result helpers when no calls were made.
+var ErrNoResults = errors.New("gowren: no results")

@@ -1,0 +1,360 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/netsim"
+	"gowren/internal/runtime"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// Errors reported by the executor.
+var (
+	ErrNoFutures   = errors.New("core: executor has no tracked futures")
+	ErrWaitTimeout = errors.New("core: wait deadline exceeded")
+	ErrCallFailed  = errors.New("core: function call failed")
+)
+
+// execCounter issues process-unique executor IDs. Uniqueness is all that
+// matters: IDs namespace job keys in the meta bucket.
+var execCounter atomic.Uint64
+
+// Config configures an Executor: which platform it submits to, through
+// which network paths, and how aggressively it stages and invokes.
+type Config struct {
+	// Platform is the simulated cloud to run on. Required.
+	Platform *Platform
+	// Storage is this executor's view of object storage (typically a
+	// cos.Linked over the client's network profile). Required.
+	Storage cos.Client
+	// ControlLink models the network path to the invocation API. Nil
+	// means free (used by unit tests).
+	ControlLink *netsim.Link
+	// RuntimeImage selects the runtime for this executor's functions,
+	// mirroring pw.ibm_cf_executor(runtime='matplotlib'). Empty uses
+	// runtime.DefaultImage.
+	RuntimeImage string
+
+	// InvokeConcurrency is the client thread-pool size for direct
+	// invocation. Zero uses 64.
+	InvokeConcurrency int
+	// StageConcurrency is the pool size for payload uploads and result
+	// downloads. Zero uses 64.
+	StageConcurrency int
+	// ClientOverhead is serialized per-invocation client work (the
+	// Python client's GIL-bound serialize/sign/build cost). Zero means
+	// none; the WAN experiment profiles set it.
+	ClientOverhead time.Duration
+
+	// MassiveSpawning enables the §5.1 mechanism: invocations are fanned
+	// out by remote invoker functions running inside the cloud.
+	MassiveSpawning bool
+	// SpawnGroupSize is the number of invocations per remote invoker.
+	// Zero uses 100, the paper's tuned value.
+	SpawnGroupSize int
+
+	// MaxRetries bounds invocation retries on throttling or network
+	// failure. Zero uses 5.
+	MaxRetries int
+	// RetryBackoff is the base backoff between retries (doubled per
+	// attempt). Zero uses 1s.
+	RetryBackoff time.Duration
+	// PollInterval is the status-polling granularity. Zero uses 50ms.
+	PollInterval time.Duration
+}
+
+func (c *Config) applyDefaults() error {
+	if c.Platform == nil {
+		return errors.New("core: executor config missing platform")
+	}
+	if c.Storage == nil {
+		return errors.New("core: executor config missing storage client")
+	}
+	if c.RuntimeImage == "" {
+		c.RuntimeImage = runtime.DefaultImage
+	}
+	if c.InvokeConcurrency <= 0 {
+		c.InvokeConcurrency = 64
+	}
+	if c.StageConcurrency <= 0 {
+		c.StageConcurrency = 64
+	}
+	if c.SpawnGroupSize <= 0 {
+		c.SpawnGroupSize = 100
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 5
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = time.Second
+	}
+	if c.PollInterval <= 0 {
+		c.PollInterval = 50 * time.Millisecond
+	}
+	return nil
+}
+
+// Executor is the first-class object of the programming model (§4.1): it
+// tracks the calls it issues and exposes the Table 2 API. Create one per
+// logical job; executors are safe for use from a single task at a time.
+type Executor struct {
+	cfg   Config
+	id    string
+	clock vclock.Clock
+	gil   *serial
+
+	mu      sync.Mutex
+	futures []*Future
+	nextID  int
+}
+
+// NewExecutor validates cfg and returns an executor with a fresh ID.
+func NewExecutor(cfg Config) (*Executor, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	clk := cfg.Platform.Clock()
+	// Every storage access gets SDK-style transient-failure retries, so
+	// one lost request cannot fail data discovery or a status sweep.
+	cfg.Storage = cos.NewRetrying(cfg.Storage, clk, 4, 150*time.Millisecond)
+	return &Executor{
+		cfg:   cfg,
+		id:    fmt.Sprintf("exec-%06d", execCounter.Add(1)),
+		clock: clk,
+		gil:   newSerial(clk),
+	}, nil
+}
+
+// ID returns the executor ID used to namespace its jobs in storage.
+func (e *Executor) ID() string { return e.id }
+
+// Futures returns the futures tracked so far, in issue order.
+func (e *Executor) Futures() []*Future {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]*Future, len(e.futures))
+	copy(out, e.futures)
+	return out
+}
+
+// reserveCallIDs allocates n sequential call IDs.
+func (e *Executor) reserveCallIDs(n int) []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%05d", e.nextID)
+		e.nextID++
+	}
+	return ids
+}
+
+func (e *Executor) track(fs []*Future) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.futures = append(e.futures, fs...)
+}
+
+// CallAsync runs one function asynchronously in the cloud (Table 2:
+// call_async). It returns immediately after the invocation is issued.
+func (e *Executor) CallAsync(function string, arg any) (*Future, error) {
+	fs, err := e.Map(function, []any{arg})
+	if err != nil {
+		return nil, err
+	}
+	return fs[0], nil
+}
+
+// Map runs one function invocation per element of args (Table 2: map).
+// It blocks until the invocation phase completes — exactly the phase the
+// paper's Fig. 2 measures — and returns one future per element.
+func (e *Executor) Map(function string, args []any) ([]*Future, error) {
+	if len(args) == 0 {
+		return nil, errors.New("core: map over empty input")
+	}
+	callIDs := e.reserveCallIDs(len(args))
+	payloads := make([]*wire.CallPayload, len(args))
+	for i, arg := range args {
+		raw, err := wire.Marshal(arg)
+		if err != nil {
+			return nil, fmt.Errorf("core: serialize map argument %d: %w", i, err)
+		}
+		payloads[i] = &wire.CallPayload{
+			ExecutorID: e.id,
+			CallID:     callIDs[i],
+			Runtime:    e.cfg.RuntimeImage,
+			Function:   function,
+			Kind:       wire.KindPlain,
+			Arg:        raw,
+			MetaBucket: e.cfg.Platform.MetaBucket(),
+		}
+	}
+	return e.runJob(payloads)
+}
+
+// runJob stages the payloads in object storage and fires their
+// invocations, tracking the resulting futures on the executor.
+func (e *Executor) runJob(payloads []*wire.CallPayload) ([]*Future, error) {
+	return e.launch(payloads, true)
+}
+
+// launch is runJob with control over future tracking: map_reduce launches
+// its map phase untracked so GetResult waits only on the reducers.
+func (e *Executor) launch(payloads []*wire.CallPayload, trackFutures bool) ([]*Future, error) {
+	action, err := e.cfg.Platform.EnsureRuntime(e.cfg.RuntimeImage)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.stagePayloads(payloads); err != nil {
+		return nil, err
+	}
+
+	var actIDs []string
+	if e.cfg.MassiveSpawning {
+		actIDs, err = e.invokeViaSpawners(action, payloads)
+	} else {
+		actIDs, err = e.invokeDirect(action, payloads)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	futures := make([]*Future, len(payloads))
+	for i, p := range payloads {
+		var actID string
+		if actIDs != nil {
+			actID = actIDs[i]
+		}
+		futures[i] = newFuture(e, p.ExecutorID, p.CallID, actID)
+	}
+	if trackFutures {
+		e.track(futures)
+	}
+	return futures, nil
+}
+
+// stagePayloads uploads the serialized calls with the staging pool,
+// retrying transient storage failures.
+func (e *Executor) stagePayloads(payloads []*wire.CallPayload) error {
+	meta := e.cfg.Platform.MetaBucket()
+	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(payloads), func(i int) error {
+		p := payloads[i]
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		body := wire.MustMarshal(p)
+		return e.putWithRetry(meta, payloadKey(p.ExecutorID, p.CallID), body)
+	})
+	if err := firstErr(errs); err != nil {
+		return fmt.Errorf("core: stage payloads: %w", err)
+	}
+	return nil
+}
+
+// putWithRetry retries transient simulated network failures.
+func (e *Executor) putWithRetry(bucket, key string, body []byte) error {
+	var err error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.clock.Sleep(e.backoff(attempt))
+		}
+		if _, err = e.cfg.Storage.Put(bucket, key, body); err == nil {
+			return nil
+		}
+		if !errors.Is(err, cos.ErrRequestFailed) {
+			return err
+		}
+	}
+	return err
+}
+
+// getWithRetry fetches an object, retrying transient simulated network
+// failures.
+func (e *Executor) getWithRetry(bucket, key string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.clock.Sleep(e.backoff(attempt))
+		}
+		data, _, err := e.cfg.Storage.Get(bucket, key)
+		if err == nil {
+			return data, nil
+		}
+		if !errors.Is(err, cos.ErrRequestFailed) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (e *Executor) backoff(attempt int) time.Duration {
+	d := e.cfg.RetryBackoff
+	for i := 1; i < attempt && d < 30*time.Second; i++ {
+		d *= 2
+	}
+	return d
+}
+
+// Wait strategies (Table 2: wait). The names mirror the paper's §4.2.
+type WaitStrategy int
+
+const (
+	// WaitAlways checks availability once and returns immediately.
+	WaitAlways WaitStrategy = iota + 1
+	// WaitAnyCompleted returns as soon as at least one call finished.
+	WaitAnyCompleted
+	// WaitAllCompleted returns when every call finished.
+	WaitAllCompleted
+)
+
+// Wait applies strategy to the executor's tracked futures and returns the
+// (done, pending) partition. deadline zero means no deadline; reaching a
+// deadline returns ErrWaitTimeout alongside the partition observed last.
+func (e *Executor) Wait(strategy WaitStrategy, deadline time.Time) (done, pending []*Future, err error) {
+	futures := e.Futures()
+	if len(futures) == 0 {
+		return nil, nil, ErrNoFutures
+	}
+	return waitFutures(e, futures, strategy, deadline)
+}
+
+// GetResultOptions tune GetResult (Table 2: get_result).
+type GetResultOptions struct {
+	// Timeout bounds the whole wait+collect; zero means none.
+	Timeout time.Duration
+	// Progress, when set, receives (done, total) after every poll sweep,
+	// backing the paper's progress bar.
+	Progress func(done, total int)
+}
+
+// GetResult waits for every tracked future, downloads the results, and
+// transparently follows composition continuations (§4.2, §4.4). It returns
+// the raw JSON results in call order. Calls that failed surface as a joined
+// error wrapping ErrCallFailed.
+func (e *Executor) GetResult(opts GetResultOptions) ([]json.RawMessage, error) {
+	futures := e.Futures()
+	if len(futures) == 0 {
+		return nil, ErrNoFutures
+	}
+	return collectResults(e, futures, opts)
+}
+
+// pollInterval is the executor's status polling granularity.
+func (e *Executor) pollInterval() time.Duration { return e.cfg.PollInterval }
+
+// deadlineFrom converts a timeout into an absolute deadline on the
+// executor's clock.
+func (e *Executor) deadlineFrom(timeout time.Duration) time.Time {
+	if timeout <= 0 {
+		return time.Time{}
+	}
+	return e.clock.Now().Add(timeout)
+}

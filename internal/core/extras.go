@@ -1,0 +1,198 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"gowren/internal/cos"
+)
+
+// This file holds the quality-of-life operations around the Table 2 API:
+// job cleanup (PyWren's clean()), fractional wait thresholds, and respawn
+// of platform-failed calls — the operational features a user of the real
+// system reaches for once jobs grow to thousands of functions.
+
+// Clean deletes every object this executor staged or produced in the meta
+// bucket (payloads, statuses, results). Call it after GetResult; futures
+// become unusable afterwards.
+func (e *Executor) Clean() error {
+	meta := e.cfg.Platform.MetaBucket()
+	for _, prefix := range []string{payloadPrefix, statusPrefix, resultPrefix, shufflePrefix} {
+		listed, err := cos.ListAll(e.cfg.Storage, meta, fmt.Sprintf("jobs/%s/%s/", e.id, prefix))
+		if err != nil {
+			return fmt.Errorf("core: clean %s: %w", e.id, err)
+		}
+		errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(listed), func(i int) error {
+			return e.cfg.Storage.Delete(meta, listed[i].Key)
+		})
+		if err := firstErr(errs); err != nil {
+			return fmt.Errorf("core: clean %s: %w", e.id, err)
+		}
+	}
+	return nil
+}
+
+// WaitThreshold blocks until at least frac (0 < frac <= 1) of the tracked
+// futures have completed, generalizing AnyCompleted/AllCompleted the way
+// later PyWren versions generalize return_when. It returns the (done,
+// pending) partition observed when the threshold was met.
+func (e *Executor) WaitThreshold(frac float64, deadline time.Time) (done, pending []*Future, err error) {
+	if frac <= 0 || frac > 1 {
+		return nil, nil, fmt.Errorf("core: wait threshold %v out of (0,1]", frac)
+	}
+	futures := e.Futures()
+	if len(futures) == 0 {
+		return nil, nil, ErrNoFutures
+	}
+	need := int(frac * float64(len(futures)))
+	if need < 1 {
+		need = 1
+	}
+	partition := func() (d, p []*Future) {
+		for _, f := range futures {
+			if f.knownDone() {
+				d = append(d, f)
+			} else {
+				p = append(p, f)
+			}
+		}
+		return d, p
+	}
+	ok := pollClock(e, func() bool {
+		if err := sweepStatuses(e, futures); err != nil {
+			return false
+		}
+		d, _ := partition()
+		return len(d) >= need
+	}, deadline)
+	done, pending = partition()
+	if !ok {
+		return done, pending, fmt.Errorf("core: threshold %d/%d not reached: %w", need, len(futures), ErrWaitTimeout)
+	}
+	return done, pending, nil
+}
+
+// FailedFutures returns the tracked futures known to have failed — either
+// with a failure status committed by the runner or a dead activation.
+// It sweeps first so the answer reflects current platform state.
+func (e *Executor) FailedFutures() ([]*Future, error) {
+	futures := e.Futures()
+	if err := sweepStatuses(e, futures); err != nil {
+		return nil, err
+	}
+	var failed []*Future
+	for _, f := range futures {
+		if f.failure() != nil {
+			failed = append(failed, f)
+			continue
+		}
+		if !f.knownDone() {
+			continue
+		}
+		rec, err := f.Status()
+		if err != nil || !rec.OK {
+			failed = append(failed, f)
+		}
+	}
+	return failed, nil
+}
+
+// Respawn re-invokes the given (typically failed) calls using their staged
+// payloads, which remain in storage. The futures are reset and re-tracked
+// in place; useful after transient platform failures (container crashes)
+// — deterministic user-code errors will simply fail again.
+func (e *Executor) Respawn(futures []*Future) error {
+	if len(futures) == 0 {
+		return nil
+	}
+	meta := e.cfg.Platform.MetaBucket()
+	action, err := e.cfg.Platform.EnsureRuntime(e.cfg.RuntimeImage)
+	if err != nil {
+		return err
+	}
+	for _, f := range futures {
+		if f.exec != e {
+			return errors.New("core: respawn of a future from another executor")
+		}
+	}
+	// Remove stale statuses so completion polling does not observe the
+	// failed run's record.
+	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(futures), func(i int) error {
+		f := futures[i]
+		return e.cfg.Storage.Delete(meta, statusKey(f.executorID, f.callID))
+	})
+	if err := firstErr(errs); err != nil {
+		return fmt.Errorf("core: respawn reset: %w", err)
+	}
+	errs = parallelFor(e.clock, e.cfg.InvokeConcurrency, len(futures), func(i int) error {
+		f := futures[i]
+		actID, err := e.invokeOne(action, payloadRef(meta, f.executorID, f.callID))
+		if err != nil {
+			return fmt.Errorf("respawn %s/%s: %w", f.executorID, f.callID, err)
+		}
+		f.reset(actID)
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		return fmt.Errorf("core: respawn: %w", err)
+	}
+	return nil
+}
+
+// JobStats summarizes the executor's storage footprint (for tests,
+// tooling, and Clean verification).
+type JobStats struct {
+	Payloads int
+	Statuses int
+	Results  int
+	Shuffle  int
+}
+
+// Stats counts the executor's objects in the meta bucket.
+func (e *Executor) Stats() (JobStats, error) {
+	var out JobStats
+	meta := e.cfg.Platform.MetaBucket()
+	for _, x := range []struct {
+		prefix string
+		dst    *int
+	}{
+		{payloadPrefix, &out.Payloads},
+		{statusPrefix, &out.Statuses},
+		{resultPrefix, &out.Results},
+		{shufflePrefix, &out.Shuffle},
+	} {
+		listed, err := cos.ListAll(e.cfg.Storage, meta, fmt.Sprintf("jobs/%s/%s/", e.id, x.prefix))
+		if err != nil {
+			return JobStats{}, fmt.Errorf("core: stats %s: %w", e.id, err)
+		}
+		*x.dst = len(listed)
+	}
+	return out, nil
+}
+
+// pollClock is Poll with the executor's interval.
+func pollClock(e *Executor, pred func() bool, deadline time.Time) bool {
+	if pred() {
+		return true
+	}
+	for {
+		if !deadline.IsZero() && !e.clock.Now().Before(deadline) {
+			return false
+		}
+		e.clock.Sleep(e.pollInterval())
+		if pred() {
+			return true
+		}
+	}
+}
+
+// reset rearms a future for a respawned invocation.
+func (f *Future) reset(activationID string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done = false
+	f.failed = nil
+	f.status = nil
+	f.activationID = activationID
+}

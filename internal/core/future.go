@@ -1,0 +1,398 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// maxCompositionDepth bounds continuation chains so a buggy self-invoking
+// composition cannot hang GetResult forever.
+const maxCompositionDepth = 32
+
+// Future tracks one remote call, in the spirit of the Python futures
+// interface the paper mimics (§4.2, footnote 2). Futures are created by the
+// executor; user code observes them through Wait/GetResult or the
+// per-future accessors.
+type Future struct {
+	exec         *Executor
+	executorID   string
+	callID       string
+	activationID string // empty under massive spawning
+
+	mu     sync.Mutex
+	done   bool
+	status *wire.StatusRecord
+	failed error
+}
+
+func newFuture(e *Executor, executorID, callID, activationID string) *Future {
+	return &Future{exec: e, executorID: executorID, callID: callID, activationID: activationID}
+}
+
+// CallID returns the future's call identifier.
+func (f *Future) CallID() string { return f.callID }
+
+// ExecutorID returns the executor namespace of the call.
+func (f *Future) ExecutorID() string { return f.executorID }
+
+// ActivationID returns the platform activation ID when known (direct
+// invocation); it is empty under massive spawning.
+func (f *Future) ActivationID() string { return f.activationID }
+
+// markDone records a completed status sighting.
+func (f *Future) markDone() {
+	f.mu.Lock()
+	f.done = true
+	f.mu.Unlock()
+}
+
+// markFailed records a platform-level failure (activation died without
+// writing a status object).
+func (f *Future) markFailed(err error) {
+	f.mu.Lock()
+	f.done = true
+	f.failed = err
+	f.mu.Unlock()
+}
+
+// knownDone reports the cached completion state without any storage round
+// trip.
+func (f *Future) knownDone() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.done
+}
+
+func (f *Future) failure() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failed
+}
+
+// Done checks (against storage, via one status sweep of the owning
+// executor) whether the call has finished.
+func (f *Future) Done() (bool, error) {
+	if f.knownDone() {
+		return true, nil
+	}
+	if err := sweepStatuses(f.exec, []*Future{f}); err != nil {
+		return false, err
+	}
+	return f.knownDone(), nil
+}
+
+// Status fetches the call's status record; it requires the call to be done.
+func (f *Future) Status() (wire.StatusRecord, error) {
+	if err := f.failure(); err != nil {
+		return wire.StatusRecord{}, err
+	}
+	f.mu.Lock()
+	cached := f.status
+	f.mu.Unlock()
+	if cached != nil {
+		return *cached, nil
+	}
+	meta := f.exec.cfg.Platform.MetaBucket()
+	data, err := f.exec.getWithRetry(meta, statusKey(f.executorID, f.callID))
+	if err != nil {
+		return wire.StatusRecord{}, fmt.Errorf("core: fetch status %s/%s: %w", f.executorID, f.callID, err)
+	}
+	var rec wire.StatusRecord
+	if err := wire.Unmarshal(data, &rec); err != nil {
+		return wire.StatusRecord{}, err
+	}
+	f.mu.Lock()
+	f.status = &rec
+	f.done = true
+	f.mu.Unlock()
+	return rec, nil
+}
+
+// sweepStatuses performs one LIST over the executor's status prefix
+// (grouped by executor namespace) and marks the matching futures done. It
+// also consults platform activation records to surface calls that died
+// without committing a status (crash, platform timeout).
+func sweepStatuses(e *Executor, futures []*Future) error {
+	byExec := make(map[string][]*Future)
+	for _, f := range futures {
+		if !f.knownDone() {
+			byExec[f.executorID] = append(byExec[f.executorID], f)
+		}
+	}
+	meta := e.cfg.Platform.MetaBucket()
+	for execID, fs := range byExec {
+		listed, err := cos.ListAll(e.cfg.Storage, meta, statusListPrefix(execID))
+		if err != nil {
+			if errors.Is(err, cos.ErrRequestFailed) {
+				continue // transient; next poll retries
+			}
+			return fmt.Errorf("core: status sweep: %w", err)
+		}
+		doneIDs := make(map[string]bool, len(listed))
+		for _, obj := range listed {
+			if id, ok := callIDFromStatusKey(obj.Key); ok {
+				doneIDs[id] = true
+			}
+		}
+		for _, f := range fs {
+			switch {
+			case doneIDs[f.callID]:
+				f.markDone()
+			case f.activationID != "":
+				rec, err := e.cfg.Platform.Controller().Activation(f.activationID)
+				if err == nil && rec.Done() && !rec.OK {
+					f.markFailed(fmt.Errorf("core: call %s/%s activation %s: %s: %w",
+						f.executorID, f.callID, f.activationID, rec.Error, ErrCallFailed))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// waitFutures implements the three §4.2 strategies over an explicit future
+// set.
+func waitFutures(e *Executor, futures []*Future, strategy WaitStrategy, deadline time.Time) (done, pending []*Future, err error) {
+	partition := func() (d, p []*Future) {
+		for _, f := range futures {
+			if f.knownDone() {
+				d = append(d, f)
+			} else {
+				p = append(p, f)
+			}
+		}
+		return d, p
+	}
+
+	satisfied := func() bool {
+		d, p := partition()
+		switch strategy {
+		case WaitAnyCompleted:
+			return len(d) > 0
+		case WaitAllCompleted:
+			return len(p) == 0
+		default:
+			return true
+		}
+	}
+
+	if err := sweepStatuses(e, futures); err != nil {
+		return nil, nil, err
+	}
+	if strategy == WaitAlways {
+		done, pending = partition()
+		return done, pending, nil
+	}
+	ok := vclock.Poll(e.clock, func() bool {
+		if satisfied() {
+			return true
+		}
+		if err := sweepStatuses(e, futures); err != nil {
+			return false
+		}
+		return satisfied()
+	}, e.pollInterval(), deadline)
+	done, pending = partition()
+	if !ok {
+		return done, pending, fmt.Errorf("core: %d of %d calls still pending: %w", len(pending), len(futures), ErrWaitTimeout)
+	}
+	return done, pending, nil
+}
+
+// collectResults waits for all futures, downloads their results with the
+// staging pool, and resolves composition continuations.
+func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]json.RawMessage, error) {
+	deadline := e.deadlineFrom(opts.Timeout)
+
+	if opts.Progress != nil {
+		// Drive the progress callback from a wait loop that reports after
+		// every sweep.
+		total := len(futures)
+		last := -1
+		report := func() {
+			done := 0
+			for _, f := range futures {
+				if f.knownDone() {
+					done++
+				}
+			}
+			if done != last {
+				last = done
+				opts.Progress(done, total)
+			}
+		}
+		report()
+		ok := vclock.Poll(e.clock, func() bool {
+			if err := sweepStatuses(e, futures); err != nil {
+				return false
+			}
+			report()
+			for _, f := range futures {
+				if !f.knownDone() {
+					return false
+				}
+			}
+			return true
+		}, e.pollInterval(), deadline)
+		if !ok {
+			return nil, fmt.Errorf("core: get_result: %w", ErrWaitTimeout)
+		}
+	} else {
+		if _, _, err := waitFutures(e, futures, WaitAllCompleted, deadline); err != nil {
+			return nil, fmt.Errorf("core: get_result: %w", err)
+		}
+	}
+
+	r := &resolver{exec: e, deadline: deadline}
+	out := make([]json.RawMessage, len(futures))
+	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(futures), func(i int) error {
+		val, err := r.resolveFuture(futures[i], 0)
+		if err != nil {
+			return err
+		}
+		out[i] = val
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// resolver follows composition chains: a result envelope of kind "futures"
+// points at further calls whose results must be awaited and combined
+// (paper §4.4 — get_result "transparently waits for an on-going function
+// composition to complete").
+type resolver struct {
+	exec     *Executor
+	deadline time.Time
+}
+
+// resolveFuture returns the final JSON value of a completed future.
+func (r *resolver) resolveFuture(f *Future, depth int) (json.RawMessage, error) {
+	if err := f.failure(); err != nil {
+		return nil, err
+	}
+	rec, err := f.Status()
+	if err != nil {
+		return nil, err
+	}
+	if !rec.OK {
+		return nil, fmt.Errorf("core: call %s/%s: %s: %w", f.executorID, f.callID, rec.Error, ErrCallFailed)
+	}
+	return r.resolveResultObject(rec.ResultRef, depth)
+}
+
+func (r *resolver) resolveResultObject(ref wire.ObjectRef, depth int) (json.RawMessage, error) {
+	data, err := r.exec.getWithRetry(ref.Bucket, ref.Key)
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch result %s/%s: %w", ref.Bucket, ref.Key, err)
+	}
+	var env wire.ResultEnvelope
+	if err := wire.Unmarshal(data, &env); err != nil {
+		return nil, err
+	}
+	return r.resolveEnvelope(&env, depth)
+}
+
+func (r *resolver) resolveEnvelope(env *wire.ResultEnvelope, depth int) (json.RawMessage, error) {
+	switch env.Kind {
+	case wire.ResultValue:
+		return env.Value, nil
+	case wire.ResultFutures:
+		if depth >= maxCompositionDepth {
+			return nil, fmt.Errorf("core: composition deeper than %d levels", maxCompositionDepth)
+		}
+		if env.Futures == nil {
+			return nil, errors.New("core: futures envelope without reference")
+		}
+		return r.resolveFuturesRef(env.Futures, depth+1)
+	default:
+		return nil, fmt.Errorf("core: unknown result envelope kind %q", env.Kind)
+	}
+}
+
+// resolveFuturesRef waits for the referenced calls and combines their
+// resolved values.
+func (r *resolver) resolveFuturesRef(ref *wire.FuturesRef, depth int) (json.RawMessage, error) {
+	if len(ref.CallIDs) == 0 {
+		return nil, errors.New("core: empty futures reference")
+	}
+	if err := r.awaitCalls(ref); err != nil {
+		return nil, err
+	}
+	values := make([]json.RawMessage, len(ref.CallIDs))
+	for i, callID := range ref.CallIDs {
+		val, err := r.resolveCall(ref.MetaBucket, ref.ExecutorID, callID, depth)
+		if err != nil {
+			return nil, err
+		}
+		values[i] = val
+	}
+	switch ref.Combine {
+	case wire.CombineSingle:
+		if len(values) != 1 {
+			return nil, fmt.Errorf("core: single combine over %d calls", len(values))
+		}
+		return values[0], nil
+	default: // wire.CombineList
+		return wire.Marshal(values)
+	}
+}
+
+// awaitCalls polls the child executor's status prefix until every call ID
+// in ref is present.
+func (r *resolver) awaitCalls(ref *wire.FuturesRef) error {
+	want := make(map[string]bool, len(ref.CallIDs))
+	for _, id := range ref.CallIDs {
+		want[id] = true
+	}
+	var sweepErr error
+	ok := vclock.Poll(r.exec.clock, func() bool {
+		listed, err := cos.ListAll(r.exec.cfg.Storage, ref.MetaBucket, statusListPrefix(ref.ExecutorID))
+		if err != nil {
+			if errors.Is(err, cos.ErrRequestFailed) {
+				return false
+			}
+			sweepErr = err
+			return true
+		}
+		seen := 0
+		for _, obj := range listed {
+			if id, idOK := callIDFromStatusKey(obj.Key); idOK && want[id] {
+				seen++
+			}
+		}
+		return seen == len(want)
+	}, r.exec.pollInterval(), r.deadline)
+	if sweepErr != nil {
+		return fmt.Errorf("core: await composition: %w", sweepErr)
+	}
+	if !ok {
+		return fmt.Errorf("core: await composition %s: %w", ref.ExecutorID, ErrWaitTimeout)
+	}
+	return nil
+}
+
+// resolveCall fetches a child call's status and resolves its result.
+func (r *resolver) resolveCall(metaBucket, execID, callID string, depth int) (json.RawMessage, error) {
+	data, err := r.exec.getWithRetry(metaBucket, statusKey(execID, callID))
+	if err != nil {
+		return nil, fmt.Errorf("core: fetch composed status %s/%s: %w", execID, callID, err)
+	}
+	var rec wire.StatusRecord
+	if err := wire.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	if !rec.OK {
+		return nil, fmt.Errorf("core: composed call %s/%s: %s: %w", execID, callID, rec.Error, ErrCallFailed)
+	}
+	return r.resolveResultObject(rec.ResultRef, depth)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gowren/internal/cos"
+	"gowren/internal/faas"
+	"gowren/internal/wire"
+)
+
+// approxInvokeBytes is the request-body size charged per invocation call:
+// the runner only receives an object reference, not the payload itself.
+const approxInvokeBytes = 256
+
+// invokeDirect fires one invocation per payload from this executor's
+// location, using the client thread pool — PyWren's original strategy and
+// the "local invocation" arm of Fig. 2. It returns the activation IDs in
+// payload order.
+func (e *Executor) invokeDirect(action string, payloads []*wire.CallPayload) ([]string, error) {
+	actIDs := make([]string, len(payloads))
+	errs := parallelFor(e.clock, e.cfg.InvokeConcurrency, len(payloads), func(i int) error {
+		p := payloads[i]
+		ref := payloadRef(p.MetaBucket, p.ExecutorID, p.CallID)
+		id, err := e.invokeOne(action, ref)
+		if err != nil {
+			return fmt.Errorf("invoke call %s/%s: %w", p.ExecutorID, p.CallID, err)
+		}
+		actIDs[i] = id
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, fmt.Errorf("core: direct invocation: %w", err)
+	}
+	return actIDs, nil
+}
+
+// invokeOne performs a single invocation with retries on throttling and
+// simulated network failures. Each attempt pays the serialized client
+// overhead and one control-link round trip.
+func (e *Executor) invokeOne(action string, ref wire.ObjectRef) (string, error) {
+	params := wire.MustMarshal(ref)
+	var lastErr error
+	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			e.clock.Sleep(e.backoff(attempt))
+		}
+		e.gil.Acquire(e.cfg.ClientOverhead)
+		if e.cfg.ControlLink != nil {
+			d, failed := e.cfg.ControlLink.RequestCost(approxInvokeBytes)
+			e.clock.Sleep(d)
+			if failed {
+				lastErr = fmt.Errorf("core: invocation request lost: %w", cos.ErrRequestFailed)
+				continue
+			}
+		}
+		id, err := e.cfg.Platform.Controller().Invoke(action, params)
+		if err == nil {
+			return id, nil
+		}
+		if !errors.Is(err, faas.ErrThrottled) {
+			return "", err
+		}
+		lastErr = err
+	}
+	return "", fmt.Errorf("core: invocation failed after %d retries: %w", e.cfg.MaxRetries, lastErr)
+}
+
+// invokeViaSpawners implements massive function spawning (§5.1): payload
+// references are grouped (100 per group by default) and each group is
+// handed to a remote invoker function that fires the invocations from
+// inside the cloud at datacenter latency. The client pays only
+// ceil(n/group) WAN invocations. Activation IDs of the target calls are not
+// known client-side in this mode.
+func (e *Executor) invokeViaSpawners(action string, payloads []*wire.CallPayload) ([]string, error) {
+	group := e.cfg.SpawnGroupSize
+	meta := e.cfg.Platform.MetaBucket()
+	invokerAction := invokerActionName(e.cfg.RuntimeImage)
+
+	var groups [][]wire.SpawnTarget
+	for start := 0; start < len(payloads); start += group {
+		end := start + group
+		if end > len(payloads) {
+			end = len(payloads)
+		}
+		targets := make([]wire.SpawnTarget, 0, end-start)
+		for _, p := range payloads[start:end] {
+			targets = append(targets, wire.SpawnTarget{
+				Action:  action,
+				Payload: payloadRef(p.MetaBucket, p.ExecutorID, p.CallID),
+			})
+		}
+		groups = append(groups, targets)
+	}
+
+	// Stage one invoker payload per group under this executor's namespace.
+	invCallIDs := e.reserveCallIDs(len(groups))
+	invPayloads := make([]*wire.CallPayload, len(groups))
+	for g, targets := range groups {
+		invPayloads[g] = &wire.CallPayload{
+			ExecutorID: e.id,
+			CallID:     invCallIDs[g],
+			Runtime:    e.cfg.RuntimeImage,
+			Function:   "gowren/spawn", // resolved by the invoker handler, not an image function
+			Kind:       wire.KindInvoker,
+			Invoker:    &wire.InvokerSpec{Targets: targets},
+			MetaBucket: meta,
+		}
+	}
+	if err := e.stagePayloads(invPayloads); err != nil {
+		return nil, fmt.Errorf("core: stage invoker groups: %w", err)
+	}
+
+	errs := parallelFor(e.clock, e.cfg.InvokeConcurrency, len(invPayloads), func(g int) error {
+		p := invPayloads[g]
+		if _, err := e.invokeOne(invokerAction, payloadRef(meta, p.ExecutorID, p.CallID)); err != nil {
+			return fmt.Errorf("invoke spawner group %d: %w", g, err)
+		}
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, fmt.Errorf("core: massive spawning: %w", err)
+	}
+	return nil, nil
+}

@@ -1,0 +1,67 @@
+// Package core implements the executor engine of GoWren — the Go
+// counterpart of the IBM-PyWren client library plus the generic "runner"
+// function it executes inside IBM Cloud Functions. It provides:
+//
+//   - the Executor with the paper's Table 2 API (call_async, map,
+//     map_reduce, wait, get_result);
+//   - payload staging in object storage and asynchronous invocation, both
+//     directly from the client and through the massive-function-spawning
+//     mechanism of §5.1 (remote invoker functions firing groups of
+//     invocations from inside the cloud);
+//   - automatic data discovery and partitioning for map_reduce (§4.3),
+//     including the reducer-one-per-object mode;
+//   - dynamic function composition (§4.4): functions spawn further
+//     functions through a Spawner, and GetResult transparently follows the
+//     resulting continuation chains;
+//   - futures with Always / AnyCompleted / AllCompleted wait semantics.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"gowren/internal/wire"
+)
+
+// Storage layout inside the meta bucket. Statuses share a per-executor
+// prefix so one paginated LIST discovers every finished call — the same
+// trick IBM-PyWren uses so client polling does not need a round trip per
+// future.
+const (
+	payloadPrefix = "payload"
+	statusPrefix  = "status"
+	resultPrefix  = "result"
+	shufflePrefix = "shuffle"
+)
+
+func jobKey(kind, execID, callID string) string {
+	return fmt.Sprintf("jobs/%s/%s/%s", execID, kind, callID)
+}
+
+// payloadKey is where a call's serialized CallPayload is staged.
+func payloadKey(execID, callID string) string { return jobKey(payloadPrefix, execID, callID) }
+
+// statusKey is the commit point of a call: its existence means finished.
+func statusKey(execID, callID string) string { return jobKey(statusPrefix, execID, callID) }
+
+// resultKey holds the call's ResultEnvelope.
+func resultKey(execID, callID string) string { return jobKey(resultPrefix, execID, callID) }
+
+// statusListPrefix lists every finished call of an executor.
+func statusListPrefix(execID string) string {
+	return fmt.Sprintf("jobs/%s/%s/", execID, statusPrefix)
+}
+
+// callIDFromStatusKey recovers the call ID from a listed status key.
+func callIDFromStatusKey(key string) (string, bool) {
+	i := strings.LastIndex(key, "/")
+	if i < 0 || i == len(key)-1 {
+		return "", false
+	}
+	return key[i+1:], true
+}
+
+// payloadRef builds the ObjectRef for a staged payload.
+func payloadRef(metaBucket, execID, callID string) wire.ObjectRef {
+	return wire.ObjectRef{Bucket: metaBucket, Key: payloadKey(execID, callID)}
+}

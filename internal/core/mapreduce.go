@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"gowren/internal/wire"
+)
+
+// MapReduceOptions tune map_reduce (§4.3).
+type MapReduceOptions struct {
+	// ChunkBytes is the partition size for storage-backed sources. Zero
+	// or negative selects per-object granularity (one map executor per
+	// dataset object).
+	ChunkBytes int64
+	// ReducerOnePerObject runs one reducer per source object key instead
+	// of a single global reducer — the paper's reduceByKey-like mode
+	// (reducer_one_per_object=True).
+	ReducerOnePerObject bool
+}
+
+// MapReduce executes a full MapReduce flow (Table 2: map_reduce): a map
+// phase over the partitioned dataset and one or more reduce executors that
+// wait in-cloud for their partials. It returns the reducer futures; map
+// calls run untracked so GetResult yields the reduced results.
+func (e *Executor) MapReduce(mapFn string, src DataSource, reduceFn string, opts MapReduceOptions) ([]*Future, error) {
+	meta := e.cfg.Platform.MetaBucket()
+
+	var (
+		mapPayloads []*wire.CallPayload
+		groups      []reduceGroup
+	)
+	switch s := src.(type) {
+	case InlineValues:
+		if len(s) == 0 {
+			return nil, errors.New("core: map_reduce over empty input")
+		}
+		if opts.ReducerOnePerObject {
+			return nil, errors.New("core: reducer-per-object requires a storage-backed source")
+		}
+		callIDs := e.reserveCallIDs(len(s))
+		mapPayloads = make([]*wire.CallPayload, len(s))
+		for i, v := range s {
+			raw, err := wire.Marshal(v)
+			if err != nil {
+				return nil, fmt.Errorf("core: serialize map_reduce argument %d: %w", i, err)
+			}
+			mapPayloads[i] = &wire.CallPayload{
+				ExecutorID: e.id,
+				CallID:     callIDs[i],
+				Runtime:    e.cfg.RuntimeImage,
+				Function:   mapFn,
+				Kind:       wire.KindPlain,
+				Arg:        raw,
+				MetaBucket: meta,
+			}
+		}
+		groups = []reduceGroup{{key: "", callIDs: callIDs}}
+	default:
+		parts, err := PlanPartitions(e.cfg.Storage, src, opts.ChunkBytes)
+		if err != nil {
+			return nil, err
+		}
+		if len(parts) == 0 {
+			return nil, errors.New("core: partitioner produced no work")
+		}
+		callIDs := e.reserveCallIDs(len(parts))
+		mapPayloads = make([]*wire.CallPayload, len(parts))
+		for i := range parts {
+			part := parts[i]
+			mapPayloads[i] = &wire.CallPayload{
+				ExecutorID: e.id,
+				CallID:     callIDs[i],
+				Runtime:    e.cfg.RuntimeImage,
+				Function:   mapFn,
+				Kind:       wire.KindMapPartition,
+				Partition:  &part,
+				MetaBucket: meta,
+			}
+		}
+		groups = groupForReduce(parts, callIDs, opts.ReducerOnePerObject)
+	}
+
+	// Launch the map phase untracked; reducers observe it through COS.
+	if _, err := e.launch(mapPayloads, false); err != nil {
+		return nil, fmt.Errorf("core: map phase: %w", err)
+	}
+
+	reduceIDs := e.reserveCallIDs(len(groups))
+	reducePayloads := make([]*wire.CallPayload, len(groups))
+	for g, grp := range groups {
+		reducePayloads[g] = &wire.CallPayload{
+			ExecutorID: e.id,
+			CallID:     reduceIDs[g],
+			Runtime:    e.cfg.RuntimeImage,
+			Function:   reduceFn,
+			Kind:       wire.KindReduce,
+			Reduce: &wire.ReduceSpec{
+				MetaBucket: meta,
+				ExecutorID: e.id,
+				MapCallIDs: grp.callIDs,
+				GroupKey:   grp.key,
+			},
+			MetaBucket: meta,
+		}
+	}
+	futures, err := e.runJob(reducePayloads)
+	if err != nil {
+		return nil, fmt.Errorf("core: reduce phase: %w", err)
+	}
+	return futures, nil
+}
+
+type reduceGroup struct {
+	key     string
+	callIDs []string
+}
+
+// groupForReduce assigns map calls to reducers: all-to-one by default, or
+// one group per source object key in reducer-per-object mode. Partition
+// order (and therefore call order within each group) is preserved.
+func groupForReduce(parts []wire.Partition, callIDs []string, perObject bool) []reduceGroup {
+	if !perObject {
+		return []reduceGroup{{key: "", callIDs: callIDs}}
+	}
+	index := make(map[string]int)
+	var groups []reduceGroup
+	for i, part := range parts {
+		key := part.Bucket + "/" + part.Key
+		gi, ok := index[key]
+		if !ok {
+			gi = len(groups)
+			index[key] = gi
+			groups = append(groups, reduceGroup{key: key})
+		}
+		groups[gi].callIDs = append(groups[gi].callIDs, callIDs[i])
+	}
+	return groups
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"gowren/internal/vclock"
+)
+
+// parallelFor runs fn(0..n-1) on a pool of worker tasks registered with the
+// clock and blocks (in simulated time) until every call finishes. Errors are
+// collected per index; the returned slice is nil when all calls succeed.
+// fn must follow the virtual-clock rules: block only via clock primitives.
+func parallelFor(clk vclock.Clock, workers, n int, fn func(i int) error) []error {
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+
+	var (
+		mu      sync.Mutex
+		next    int
+		done    int
+		errs    []error
+		errsSet bool
+	)
+	for w := 0; w < workers; w++ {
+		clk.Go(func() {
+			for {
+				mu.Lock()
+				if next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+
+				err := fn(i)
+
+				mu.Lock()
+				if err != nil {
+					if !errsSet {
+						errs = make([]error, n)
+						errsSet = true
+					}
+					errs[i] = err
+				}
+				done++
+				mu.Unlock()
+			}
+		})
+	}
+	vclock.Poll(clk, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return done == n
+	}, time.Millisecond, time.Time{})
+
+	mu.Lock()
+	defer mu.Unlock()
+	return errs
+}
+
+// firstErr returns the first non-nil error in errs, or nil.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// serial models a resource that admits one holder at a time — the analogue
+// of the Python client's GIL-bound serialization work, which is what keeps
+// WAN invocation rates far below what the thread count suggests (§5.1).
+// Acquire reserves the next slot and sleeps until the hold completes.
+type serial struct {
+	clk vclock.Clock
+
+	mu   sync.Mutex
+	next time.Time
+}
+
+func newSerial(clk vclock.Clock) *serial {
+	return &serial{clk: clk}
+}
+
+// Acquire reserves hold time on the resource and blocks until it has been
+// consumed. A non-positive hold returns immediately.
+func (s *serial) Acquire(hold time.Duration) {
+	if hold <= 0 {
+		return
+	}
+	s.mu.Lock()
+	now := s.clk.Now()
+	start := s.next
+	if start.Before(now) {
+		start = now
+	}
+	end := start.Add(hold)
+	s.next = end
+	s.mu.Unlock()
+	s.clk.Sleep(end.Sub(now))
+}

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"gowren/internal/cos"
+	"gowren/internal/wire"
+)
+
+// DataSource describes the input of a map_reduce job (§4.3). Three forms
+// are supported, mirroring the paper: inline values, explicit object keys,
+// and whole buckets (which trigger automatic data discovery).
+type DataSource interface {
+	isDataSource()
+}
+
+// InlineValues maps one function invocation per value, as in plain map().
+type InlineValues []any
+
+func (InlineValues) isDataSource() {}
+
+// ObjectKeys names the dataset objects explicitly.
+type ObjectKeys struct {
+	Bucket string
+	Keys   []string
+}
+
+func (ObjectKeys) isDataSource() {}
+
+// Buckets triggers data discovery: every object in each bucket becomes part
+// of the dataset (paper: "it is possible to specify the name of the IBM COS
+// bucket(s) ... the framework is responsible for discovering all the
+// objects in the bucket(s), and partition them").
+type Buckets []string
+
+func (Buckets) isDataSource() {}
+
+// locatedObject is a discovered dataset object.
+type locatedObject struct {
+	Bucket string
+	Key    string
+	Size   int64
+}
+
+// discoverObjects resolves a storage-backed DataSource into its objects.
+// For ObjectKeys it issues one HEAD per key; for Buckets it lists each
+// bucket (the discovery HEAD/LIST requests of §4.3).
+func discoverObjects(storage cos.Client, src DataSource) ([]locatedObject, error) {
+	switch s := src.(type) {
+	case ObjectKeys:
+		if s.Bucket == "" || len(s.Keys) == 0 {
+			return nil, errors.New("core: object-keys source requires a bucket and at least one key")
+		}
+		out := make([]locatedObject, 0, len(s.Keys))
+		for _, key := range s.Keys {
+			meta, err := storage.Head(s.Bucket, key)
+			if err != nil {
+				return nil, fmt.Errorf("core: discover %s/%s: %w", s.Bucket, key, err)
+			}
+			out = append(out, locatedObject{Bucket: s.Bucket, Key: key, Size: meta.Size})
+		}
+		return out, nil
+	case Buckets:
+		if len(s) == 0 {
+			return nil, errors.New("core: bucket source requires at least one bucket")
+		}
+		var out []locatedObject
+		for _, bucket := range s {
+			metas, err := cos.ListAll(storage, bucket, "")
+			if err != nil {
+				return nil, fmt.Errorf("core: discover bucket %s: %w", bucket, err)
+			}
+			for _, meta := range metas {
+				out = append(out, locatedObject{Bucket: bucket, Key: meta.Key, Size: meta.Size})
+			}
+		}
+		if len(out) == 0 {
+			return nil, errors.New("core: data discovery found no objects")
+		}
+		// Deterministic job layout regardless of listing interleave.
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Bucket != out[j].Bucket {
+				return out[i].Bucket < out[j].Bucket
+			}
+			return out[i].Key < out[j].Key
+		})
+		return out, nil
+	case InlineValues:
+		return nil, errors.New("core: inline values carry no storage objects")
+	default:
+		return nil, fmt.Errorf("core: unknown data source %T", src)
+	}
+}
+
+// partitionObjects slices each object into chunkBytes-sized partitions.
+// chunkBytes <= 0 selects per-object granularity: exactly one partition per
+// object. Partition indexes are global and dense, matching call order.
+func partitionObjects(objs []locatedObject, chunkBytes int64) []wire.Partition {
+	var parts []wire.Partition
+	for _, obj := range objs {
+		if chunkBytes <= 0 || obj.Size <= chunkBytes {
+			parts = append(parts, wire.Partition{
+				Bucket:     obj.Bucket,
+				Key:        obj.Key,
+				Offset:     0,
+				Length:     obj.Size,
+				Index:      len(parts),
+				ObjectSize: obj.Size,
+			})
+			continue
+		}
+		for off := int64(0); off < obj.Size; off += chunkBytes {
+			length := chunkBytes
+			if off+length > obj.Size {
+				length = obj.Size - off
+			}
+			parts = append(parts, wire.Partition{
+				Bucket:     obj.Bucket,
+				Key:        obj.Key,
+				Offset:     off,
+				Length:     length,
+				Index:      len(parts),
+				ObjectSize: obj.Size,
+			})
+		}
+	}
+	return parts
+}
+
+// PlanPartitions exposes discovery + partitioning for harnesses that need
+// the plan without running a job (e.g. to report executor counts per chunk
+// size, as Table 3 does).
+func PlanPartitions(storage cos.Client, src DataSource, chunkBytes int64) ([]wire.Partition, error) {
+	objs, err := discoverObjects(storage, src)
+	if err != nil {
+		return nil, err
+	}
+	return partitionObjects(objs, chunkBytes), nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/faas"
+	"gowren/internal/netsim"
+	"gowren/internal/runtime"
+	"gowren/internal/trace"
+	"gowren/internal/vclock"
+)
+
+// DefaultMetaBucket holds job payloads, statuses and results unless the
+// platform is configured otherwise.
+const DefaultMetaBucket = "gowren-meta"
+
+// PlatformConfig assembles a simulated cloud: object store, FaaS controller
+// and the in-cloud network path connecting them.
+type PlatformConfig struct {
+	Clock    vclock.Clock
+	Registry *runtime.Registry
+	// Store is the object-store engine. Functions and remote invokers see
+	// it through CloudLink; executors attach their own views.
+	Store *cos.Store
+	// CloudLink is the in-datacenter network path (functions ↔ COS,
+	// invoker ↔ controller). Nil uses netsim.InCloud with Seed.
+	CloudLink *netsim.Link
+	// MetaBucket overrides DefaultMetaBucket.
+	MetaBucket string
+	// Seed feeds default link models and the controller PRNG.
+	Seed int64
+	// Trace, when non-nil, records platform events for inspection.
+	Trace *trace.Recorder
+
+	// FaaS platform knobs, forwarded to faas.Config.
+	MaxConcurrent int
+	AdmitOverhead time.Duration
+	ExecJitter    netsim.LatencyModel
+	CrashProb     float64
+	ColdStartBoot time.Duration
+	WarmStart     time.Duration
+	KeepAlive     time.Duration
+}
+
+// Platform is the wired simulated cloud. One Platform hosts any number of
+// executors (remote clients and in-cloud sub-executors alike).
+type Platform struct {
+	clock        vclock.Clock
+	registry     *runtime.Registry
+	store        *cos.Store
+	controller   *faas.Controller
+	cloudStorage cos.Client
+	cloudLink    *netsim.Link
+	metaBucket   string
+
+	mu       sync.Mutex
+	deployed map[string]string // image name → runner action name
+}
+
+// NewPlatform wires a Platform from cfg, creating the meta bucket and the
+// remote invoker action, and installing the composability hook that gives
+// every function a spawner backed by an in-cloud executor.
+func NewPlatform(cfg PlatformConfig) (*Platform, error) {
+	if cfg.Clock == nil || cfg.Registry == nil || cfg.Store == nil {
+		return nil, errors.New("core: platform requires clock, registry and store")
+	}
+	if cfg.MetaBucket == "" {
+		cfg.MetaBucket = DefaultMetaBucket
+	}
+	cloudLink := cfg.CloudLink
+	if cloudLink == nil {
+		cloudLink = netsim.InCloud(cfg.Seed)
+	}
+	// Functions see storage through the in-cloud link with SDK-style
+	// retries on transient request failures.
+	cloudStorage := cos.Client(cos.NewRetrying(cos.NewLinked(cfg.Store, cfg.Clock, cloudLink), cfg.Clock, 0, 0))
+
+	ctrl, err := faas.New(faas.Config{
+		Clock:         cfg.Clock,
+		Registry:      cfg.Registry,
+		Storage:       cloudStorage,
+		Trace:         cfg.Trace,
+		MaxConcurrent: cfg.MaxConcurrent,
+		AdmitOverhead: cfg.AdmitOverhead,
+		ExecJitter:    cfg.ExecJitter,
+		CrashProb:     cfg.CrashProb,
+		ColdStartBoot: cfg.ColdStartBoot,
+		WarmStart:     cfg.WarmStart,
+		KeepAlive:     cfg.KeepAlive,
+		Seed:          cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: build controller: %w", err)
+	}
+
+	p := &Platform{
+		clock:        cfg.Clock,
+		registry:     cfg.Registry,
+		store:        cfg.Store,
+		controller:   ctrl,
+		cloudStorage: cloudStorage,
+		cloudLink:    cloudLink,
+		metaBucket:   cfg.MetaBucket,
+		deployed:     make(map[string]string),
+	}
+
+	if err := cfg.Store.CreateBucket(cfg.MetaBucket); err != nil && !errors.Is(err, cos.ErrBucketExists) {
+		return nil, fmt.Errorf("core: create meta bucket: %w", err)
+	}
+
+	ctrl.SetSpawnerFactory(func(ctx *runtime.Ctx) runtime.Spawner {
+		image := ""
+		if img := ctx.Image(); img != nil {
+			image = img.Name()
+		}
+		return &spawner{platform: p, image: image, deadline: ctx.Deadline()}
+	})
+	return p, nil
+}
+
+// Clock returns the simulation clock.
+func (p *Platform) Clock() vclock.Clock { return p.clock }
+
+// Controller returns the FaaS controller.
+func (p *Platform) Controller() *faas.Controller { return p.controller }
+
+// Store returns the raw object-store engine (no link charging).
+func (p *Platform) Store() *cos.Store { return p.store }
+
+// CloudStorage returns the in-cloud view of the store.
+func (p *Platform) CloudStorage() cos.Client { return p.cloudStorage }
+
+// CloudLink returns the in-datacenter link profile.
+func (p *Platform) CloudLink() *netsim.Link { return p.cloudLink }
+
+// MetaBucket returns the job-metadata bucket name.
+func (p *Platform) MetaBucket() string { return p.metaBucket }
+
+// runnerActionName is the platform action executing staged calls for image.
+func runnerActionName(image string) string { return "gowren-runner--" + image }
+
+// invokerActionName is the massive-spawning helper action for image.
+func invokerActionName(image string) string { return "gowren-invoker--" + image }
+
+// EnsureRuntime deploys the runner and invoker actions for image if not yet
+// present, returning the runner action name. It corresponds to IBM Cloud
+// Functions pulling a runtime image the first time a function uses it.
+func (p *Platform) EnsureRuntime(image string) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if name, ok := p.deployed[image]; ok {
+		return name, nil
+	}
+	if _, err := p.registry.Pull(image); err != nil {
+		return "", fmt.Errorf("core: deploy runtime: %w", err)
+	}
+	runner := runnerActionName(image)
+	if err := p.controller.CreateAction(faas.ActionSpec{
+		Name:    runner,
+		Image:   image,
+		Handler: p.runnerHandler(),
+	}); err != nil {
+		return "", fmt.Errorf("core: deploy runner for %s: %w", image, err)
+	}
+	if err := p.controller.CreateAction(faas.ActionSpec{
+		Name:    invokerActionName(image),
+		Image:   image,
+		Handler: p.invokerHandler(),
+	}); err != nil {
+		return "", fmt.Errorf("core: deploy invoker for %s: %w", image, err)
+	}
+	p.deployed[image] = runner
+	return runner, nil
+}
+
+// InCloudExecutor returns an executor that runs inside the datacenter: it
+// talks to storage and the controller over the cloud link. It backs both
+// the remote invoker and the composability spawner.
+func (p *Platform) InCloudExecutor(image string) (*Executor, error) {
+	return NewExecutor(Config{
+		Platform:     p,
+		Storage:      p.cloudStorage,
+		ControlLink:  p.cloudLink,
+		RuntimeImage: image,
+	})
+}

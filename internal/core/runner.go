@@ -1,0 +1,367 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/faas"
+	"gowren/internal/runtime"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// runnerRetries bounds storage retries inside functions; the in-cloud link
+// is reliable so a handful suffices.
+const runnerRetries = 5
+
+// runnerHandler returns the generic action handler that executes staged
+// calls: the server side of the paper's Fig. 1. It loads the CallPayload
+// from COS, dispatches to the user function registered in the runtime
+// image, and commits result + status objects back to COS. The status write
+// is the commit point clients poll for.
+func (p *Platform) runnerHandler() faas.Handler {
+	return func(ctx *runtime.Ctx, params []byte) ([]byte, error) {
+		var ref wire.ObjectRef
+		if err := wire.Unmarshal(params, &ref); err != nil {
+			return nil, fmt.Errorf("core: runner params: %w", err)
+		}
+		body, err := getRetry(ctx, ref.Bucket, ref.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: runner load payload: %w", err)
+		}
+		var payload wire.CallPayload
+		if err := wire.Unmarshal(body, &payload); err != nil {
+			return nil, err
+		}
+		if err := payload.Validate(); err != nil {
+			return nil, err
+		}
+
+		started := ctx.Clock().Now()
+		value, runErr := p.dispatch(ctx, &payload)
+		ended := ctx.Clock().Now()
+
+		rec := wire.StatusRecord{
+			ExecutorID:   payload.ExecutorID,
+			CallID:       payload.CallID,
+			ActivationID: ctx.ActivationID(),
+			ColdStart:    ctx.ColdStart(),
+			SubmitUnixNs: started.UnixNano(),
+			StartUnixNs:  started.UnixNano(),
+			EndUnixNs:    ended.UnixNano(),
+		}
+		if runErr != nil {
+			rec.OK = false
+			rec.Error = runErr.Error()
+		} else {
+			env := envelopeFor(value)
+			envBody, err := wire.Marshal(env)
+			if err != nil {
+				rec.OK = false
+				rec.Error = fmt.Sprintf("serialize result: %v", err)
+			} else {
+				resRef := wire.ObjectRef{
+					Bucket: payload.MetaBucket,
+					Key:    resultKey(payload.ExecutorID, payload.CallID),
+				}
+				if err := putRetry(ctx, resRef.Bucket, resRef.Key, envBody); err != nil {
+					return nil, fmt.Errorf("core: runner store result: %w", err)
+				}
+				rec.OK = true
+				rec.ResultRef = resRef
+			}
+		}
+		statusBody := wire.MustMarshal(&rec)
+		if err := putRetry(ctx, payload.MetaBucket, statusKey(payload.ExecutorID, payload.CallID), statusBody); err != nil {
+			// Without a status the client can never observe completion;
+			// surface the failure at the platform level instead.
+			return nil, fmt.Errorf("core: runner commit status: %w", err)
+		}
+		return statusBody, nil
+	}
+}
+
+// envelopeFor wraps a user function's return value. Returning a
+// *wire.FuturesRef turns the result into a composition continuation.
+func envelopeFor(value any) *wire.ResultEnvelope {
+	if ref, ok := value.(*wire.FuturesRef); ok && ref != nil {
+		return &wire.ResultEnvelope{Kind: wire.ResultFutures, Futures: ref}
+	}
+	raw, err := wire.Marshal(value)
+	if err != nil {
+		// Caller checked serializability; nil value fallback keeps the
+		// invariant that envelopeFor always produces an envelope.
+		raw = json.RawMessage("null")
+	}
+	return &wire.ResultEnvelope{Kind: wire.ResultValue, Value: raw}
+}
+
+// dispatch runs the user (or helper) function named by the payload.
+func (p *Platform) dispatch(ctx *runtime.Ctx, payload *wire.CallPayload) (any, error) {
+	switch payload.Kind {
+	case wire.KindPlain:
+		fn, err := ctx.Image().Plain(payload.Function)
+		if err != nil {
+			return nil, err
+		}
+		return fn(ctx, payload.Arg)
+	case wire.KindMapPartition:
+		fn, err := ctx.Image().MapPartition(payload.Function)
+		if err != nil {
+			return nil, err
+		}
+		reader := runtime.NewPartitionReader(ctx.Storage(), *payload.Partition)
+		return fn(ctx, reader)
+	case wire.KindReduce:
+		fn, err := ctx.Image().Reduce(payload.Function)
+		if err != nil {
+			return nil, err
+		}
+		partials, err := p.awaitMapPartials(ctx, payload.Reduce)
+		if err != nil {
+			return nil, err
+		}
+		return fn(ctx, payload.Reduce.GroupKey, partials)
+	case wire.KindShuffleMap:
+		return p.runShuffleMap(ctx, payload)
+	case wire.KindShuffleReduce:
+		return p.runShuffleReduce(ctx, payload)
+	default:
+		return nil, fmt.Errorf("core: runner cannot dispatch kind %s", payload.Kind)
+	}
+}
+
+// awaitMapPartials blocks (within the function's deadline) until every map
+// call feeding this reducer has committed a status, then fetches their
+// values. This is the paper's §4.3 semantics: "The reduce function will
+// wait for all the partial results before processing them."
+func (p *Platform) awaitMapPartials(ctx *runtime.Ctx, spec *wire.ReduceSpec) ([]json.RawMessage, error) {
+	want := make(map[string]bool, len(spec.MapCallIDs))
+	for _, id := range spec.MapCallIDs {
+		want[id] = true
+	}
+	ok := vclock.Poll(ctx.Clock(), func() bool {
+		listed, err := cos.ListAll(ctx.Storage(), spec.MetaBucket, statusListPrefix(spec.ExecutorID))
+		if err != nil {
+			return false
+		}
+		seen := 0
+		for _, obj := range listed {
+			if id, idOK := callIDFromStatusKey(obj.Key); idOK && want[id] {
+				seen++
+			}
+		}
+		return seen == len(want)
+	}, 100*time.Millisecond, ctx.Deadline())
+	if !ok {
+		return nil, fmt.Errorf("core: reduce waiting for %d map results: %w", len(want), runtime.ErrDeadlineExceeded)
+	}
+
+	partials := make([]json.RawMessage, len(spec.MapCallIDs))
+	for i, callID := range spec.MapCallIDs {
+		statusBody, err := getRetry(ctx, spec.MetaBucket, statusKey(spec.ExecutorID, callID))
+		if err != nil {
+			return nil, fmt.Errorf("core: reduce fetch map status %s: %w", callID, err)
+		}
+		var rec wire.StatusRecord
+		if err := wire.Unmarshal(statusBody, &rec); err != nil {
+			return nil, err
+		}
+		if !rec.OK {
+			return nil, fmt.Errorf("core: map call %s failed: %s: %w", callID, rec.Error, ErrCallFailed)
+		}
+		resBody, err := getRetry(ctx, rec.ResultRef.Bucket, rec.ResultRef.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: reduce fetch map result %s: %w", callID, err)
+		}
+		var env wire.ResultEnvelope
+		if err := wire.Unmarshal(resBody, &env); err != nil {
+			return nil, err
+		}
+		if env.Kind != wire.ResultValue {
+			return nil, fmt.Errorf("core: map call %s returned a %s envelope; reducers consume plain values", callID, env.Kind)
+		}
+		partials[i] = env.Value
+	}
+	return partials, nil
+}
+
+// invokerHandler returns the remote-invoker action handler: the in-cloud
+// half of massive function spawning. It fires each target invocation
+// against the controller from datacenter latency, retrying throttled calls.
+func (p *Platform) invokerHandler() faas.Handler {
+	return func(ctx *runtime.Ctx, params []byte) ([]byte, error) {
+		var ref wire.ObjectRef
+		if err := wire.Unmarshal(params, &ref); err != nil {
+			return nil, fmt.Errorf("core: invoker params: %w", err)
+		}
+		body, err := getRetry(ctx, ref.Bucket, ref.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: invoker load payload: %w", err)
+		}
+		var payload wire.CallPayload
+		if err := wire.Unmarshal(body, &payload); err != nil {
+			return nil, err
+		}
+		if payload.Kind != wire.KindInvoker || payload.Invoker == nil {
+			return nil, errors.New("core: invoker payload of wrong kind")
+		}
+
+		fired := 0
+		for _, target := range payload.Invoker.Targets {
+			if err := p.invokeFromCloud(ctx, target); err != nil {
+				return nil, fmt.Errorf("core: invoker target %s/%s: %w", target.Payload.Bucket, target.Payload.Key, err)
+			}
+			fired++
+		}
+		// The invoker's own status record lets failures surface in
+		// activation logs; clients do not wait on it.
+		rec := wire.StatusRecord{
+			ExecutorID:   payload.ExecutorID,
+			CallID:       payload.CallID,
+			ActivationID: ctx.ActivationID(),
+			OK:           true,
+			EndUnixNs:    ctx.Clock().Now().UnixNano(),
+			ResultRef:    wire.ObjectRef{},
+		}
+		_ = putRetry(ctx, payload.MetaBucket, statusKey(payload.ExecutorID, payload.CallID), wire.MustMarshal(&rec))
+		return wire.Marshal(map[string]int{"fired": fired})
+	}
+}
+
+// invokeFromCloud fires one invocation over the in-cloud link with
+// throttle/failure retries.
+func (p *Platform) invokeFromCloud(ctx *runtime.Ctx, target wire.SpawnTarget) error {
+	params := wire.MustMarshal(target.Payload)
+	var lastErr error
+	for attempt := 0; attempt <= runnerRetries; attempt++ {
+		if attempt > 0 {
+			backoff := 250 * time.Millisecond << uint(attempt-1)
+			if backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			ctx.Clock().Sleep(backoff)
+		}
+		d, failed := p.cloudLink.RequestCost(approxInvokeBytes)
+		ctx.Clock().Sleep(d)
+		if failed {
+			lastErr = cos.ErrRequestFailed
+			continue
+		}
+		if _, err := p.controller.Invoke(target.Action, params); err != nil {
+			if errors.Is(err, faas.ErrThrottled) {
+				lastErr = err
+				continue
+			}
+			return err
+		}
+		return nil
+	}
+	return fmt.Errorf("core: in-cloud invocation failed after retries: %w", lastErr)
+}
+
+// getRetry reads an object through the function's storage view with
+// transient-failure retries.
+func getRetry(ctx *runtime.Ctx, bucket, key string) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= runnerRetries; attempt++ {
+		if attempt > 0 {
+			ctx.Clock().Sleep(100 * time.Millisecond)
+		}
+		data, _, err := ctx.Storage().Get(bucket, key)
+		if err == nil {
+			return data, nil
+		}
+		if !errors.Is(err, cos.ErrRequestFailed) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// putRetry writes an object through the function's storage view with
+// transient-failure retries.
+func putRetry(ctx *runtime.Ctx, bucket, key string, body []byte) error {
+	var lastErr error
+	for attempt := 0; attempt <= runnerRetries; attempt++ {
+		if attempt > 0 {
+			ctx.Clock().Sleep(100 * time.Millisecond)
+		}
+		if _, err := ctx.Storage().Put(bucket, key, body); err == nil {
+			return nil
+		} else if !errors.Is(err, cos.ErrRequestFailed) {
+			return err
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
+// spawner implements runtime.Spawner over an in-cloud executor, enabling
+// dynamic composition from inside functions (§4.4).
+type spawner struct {
+	platform *Platform
+	image    string
+	deadline time.Time
+}
+
+var _ runtime.Spawner = (*spawner)(nil)
+
+// Spawn stages and fires one invocation per argument and returns a
+// reference combining them as a list. Callers building sequences can set
+// ref.Combine = wire.CombineSingle before returning the ref.
+func (s *spawner) Spawn(function string, args []any) (*wire.FuturesRef, error) {
+	image := s.image
+	if image == "" {
+		image = runtime.DefaultImage
+	}
+	sub, err := s.platform.InCloudExecutor(image)
+	if err != nil {
+		return nil, err
+	}
+	futures, err := sub.Map(function, args)
+	if err != nil {
+		return nil, err
+	}
+	callIDs := make([]string, len(futures))
+	for i, f := range futures {
+		callIDs[i] = f.CallID()
+	}
+	return &wire.FuturesRef{
+		MetaBucket: s.platform.MetaBucket(),
+		ExecutorID: sub.ID(),
+		CallIDs:    callIDs,
+		Combine:    wire.CombineList,
+	}, nil
+}
+
+// Await blocks until every call in ref committed a status and returns their
+// resolved values in order.
+func (s *spawner) Await(ref *wire.FuturesRef) ([]json.RawMessage, error) {
+	image := s.image
+	if image == "" {
+		image = runtime.DefaultImage
+	}
+	sub, err := s.platform.InCloudExecutor(image)
+	if err != nil {
+		return nil, err
+	}
+	r := &resolver{exec: sub, deadline: s.deadline}
+	if err := r.awaitCalls(ref); err != nil {
+		return nil, err
+	}
+	values := make([]json.RawMessage, len(ref.CallIDs))
+	for i, callID := range ref.CallIDs {
+		val, err := r.resolveCall(ref.MetaBucket, ref.ExecutorID, callID, 0)
+		if err != nil {
+			return nil, err
+		}
+		values[i] = val
+	}
+	return values, nil
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/runtime"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// Keyed-shuffle MapReduce. The paper's related-work section singles out
+// data shuffling as "one of the biggest challenges in running MapReduce
+// jobs over serverless architectures" and lists object storage among the
+// proposed shuffle media; this file implements exactly that: map executors
+// hash-partition their emitted key–value pairs into per-reducer objects in
+// COS, and R reduce executors each merge their partition of every map
+// output, grouping by key. It generalizes the paper's reducer-per-object
+// mode to arbitrary keys.
+
+// ShuffleOptions tune MapReduceShuffle.
+type ShuffleOptions struct {
+	// ChunkBytes is the map-side partition size (zero = per object).
+	ChunkBytes int64
+	// NumReducers is the reduce-side parallelism R (default 1).
+	NumReducers int
+}
+
+// MapReduceShuffle runs a keyed MapReduce: mapFn (a KV map function) over
+// the partitioned source, an object-storage shuffle, and reduceFn (a
+// per-key reduce function) across NumReducers reduce executors. It returns
+// the reducer futures; each resolves to a []wire.KeyResult sorted by key.
+func (e *Executor) MapReduceShuffle(mapFn string, src DataSource, reduceFn string, opts ShuffleOptions) ([]*Future, error) {
+	r := opts.NumReducers
+	if r <= 0 {
+		r = 1
+	}
+	meta := e.cfg.Platform.MetaBucket()
+
+	parts, err := PlanPartitions(e.cfg.Storage, src, opts.ChunkBytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) == 0 {
+		return nil, errors.New("core: shuffle partitioner produced no work")
+	}
+
+	mapIDs := e.reserveCallIDs(len(parts))
+	mapPayloads := make([]*wire.CallPayload, len(parts))
+	for i := range parts {
+		part := parts[i]
+		mapPayloads[i] = &wire.CallPayload{
+			ExecutorID: e.id,
+			CallID:     mapIDs[i],
+			Runtime:    e.cfg.RuntimeImage,
+			Function:   mapFn,
+			Kind:       wire.KindShuffleMap,
+			Partition:  &part,
+			Shuffle:    &wire.ShuffleSpec{NumReducers: r},
+			MetaBucket: meta,
+		}
+	}
+	if _, err := e.launch(mapPayloads, false); err != nil {
+		return nil, fmt.Errorf("core: shuffle map phase: %w", err)
+	}
+
+	reduceIDs := e.reserveCallIDs(r)
+	reducePayloads := make([]*wire.CallPayload, r)
+	for i := 0; i < r; i++ {
+		reducePayloads[i] = &wire.CallPayload{
+			ExecutorID: e.id,
+			CallID:     reduceIDs[i],
+			Runtime:    e.cfg.RuntimeImage,
+			Function:   reduceFn,
+			Kind:       wire.KindShuffleReduce,
+			Shuffle: &wire.ShuffleSpec{
+				NumReducers: r,
+				Reducer:     i,
+				MapCallIDs:  mapIDs,
+			},
+			MetaBucket: meta,
+		}
+	}
+	futures, err := e.runJob(reducePayloads)
+	if err != nil {
+		return nil, fmt.Errorf("core: shuffle reduce phase: %w", err)
+	}
+	return futures, nil
+}
+
+// reducerForKey assigns a key to a reducer partition by FNV-1a hash.
+func reducerForKey(key string, numReducers int) int {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum32() % uint32(numReducers))
+}
+
+// runShuffleMap executes the map side: run the KV function, hash-partition
+// its output, and write one shuffle object per reducer (always, even when
+// empty, so reducers need no existence probes).
+func (p *Platform) runShuffleMap(ctx *runtime.Ctx, payload *wire.CallPayload) (any, error) {
+	fn, err := ctx.Image().KVMap(payload.Function)
+	if err != nil {
+		return nil, err
+	}
+	reader := runtime.NewPartitionReader(ctx.Storage(), *payload.Partition)
+	kvs, err := fn(ctx, reader)
+	if err != nil {
+		return nil, err
+	}
+	r := payload.Shuffle.NumReducers
+	buckets := make([][]wire.KV, r)
+	for _, kv := range kvs {
+		i := reducerForKey(kv.Key, r)
+		buckets[i] = append(buckets[i], kv)
+	}
+	counts := make([]int, r)
+	for i, bucket := range buckets {
+		body, err := wire.Marshal(bucket)
+		if err != nil {
+			return nil, fmt.Errorf("core: shuffle map serialize partition %d: %w", i, err)
+		}
+		key := wire.ShuffleKey(payload.ExecutorID, payload.CallID, i)
+		if err := putRetry(ctx, payload.MetaBucket, key, body); err != nil {
+			return nil, fmt.Errorf("core: shuffle map write partition %d: %w", i, err)
+		}
+		counts[i] = len(bucket)
+	}
+	return map[string]any{"emitted": len(kvs), "perReducer": counts}, nil
+}
+
+// runShuffleReduce executes the reduce side: wait for every map call,
+// fetch this reducer's shuffle partition from each, group by key, and call
+// the per-key reduce function over sorted keys.
+func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload) (any, error) {
+	fn, err := ctx.Image().KVReduce(payload.Function)
+	if err != nil {
+		return nil, err
+	}
+	spec := payload.Shuffle
+
+	// The shuffle files are committed before the map status, so awaiting
+	// statuses (same mechanism as plain reducers) is sufficient.
+	want := make(map[string]bool, len(spec.MapCallIDs))
+	for _, id := range spec.MapCallIDs {
+		want[id] = true
+	}
+	ok := vclock.Poll(ctx.Clock(), func() bool {
+		listed, err := cos.ListAll(ctx.Storage(), payload.MetaBucket, statusListPrefix(payload.ExecutorID))
+		if err != nil {
+			return false
+		}
+		seen := 0
+		for _, obj := range listed {
+			if id, idOK := callIDFromStatusKey(obj.Key); idOK && want[id] {
+				seen++
+			}
+		}
+		return seen == len(want)
+	}, 100*time.Millisecond, ctx.Deadline())
+	if !ok {
+		return nil, fmt.Errorf("core: shuffle reduce waiting for %d map calls: %w", len(want), runtime.ErrDeadlineExceeded)
+	}
+
+	groups := make(map[string][]json.RawMessage)
+	for _, mapID := range spec.MapCallIDs {
+		key := wire.ShuffleKey(payload.ExecutorID, mapID, spec.Reducer)
+		body, err := getRetry(ctx, payload.MetaBucket, key)
+		if err != nil {
+			return nil, fmt.Errorf("core: shuffle reduce fetch %s: %w", key, err)
+		}
+		var kvs []wire.KV
+		if err := wire.Unmarshal(body, &kvs); err != nil {
+			return nil, err
+		}
+		for _, kv := range kvs {
+			groups[kv.Key] = append(groups[kv.Key], kv.Value)
+		}
+	}
+
+	keys := make([]string, 0, len(groups))
+	for k := range groups {
+		// Defensive: a hash mismatch would silently double-count keys.
+		if reducerForKey(k, spec.NumReducers) != spec.Reducer {
+			return nil, fmt.Errorf("core: key %q shuffled to wrong reducer %d", k, spec.Reducer)
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	out := make([]wire.KeyResult, 0, len(keys))
+	for _, k := range keys {
+		value, err := fn(ctx, k, groups[k])
+		if err != nil {
+			return nil, fmt.Errorf("core: reduce key %q: %w", k, err)
+		}
+		raw, err := wire.Marshal(value)
+		if err != nil {
+			return nil, fmt.Errorf("core: serialize reduced key %q: %w", k, err)
+		}
+		out = append(out, wire.KeyResult{Key: k, Value: raw})
+	}
+	return out, nil
+}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gowren/internal/runtime"
+	"gowren/internal/wire"
+)
+
+// registerShuffleFunctions adds a word-count style KV pipeline to the test
+// image: the map function emits one KV per word in its partition, the
+// reducer sums counts per word.
+func registerShuffleFunctions(t *testing.T, img *runtime.Image) {
+	t.Helper()
+	err := img.RegisterKVMap("kv/words", func(_ *runtime.Ctx, part *runtime.PartitionReader) ([]wire.KV, error) {
+		data, err := part.ReadAll()
+		if err != nil {
+			return nil, err
+		}
+		var out []wire.KV
+		for _, w := range strings.Fields(string(data)) {
+			out = append(out, wire.KV{Key: w, Value: json.RawMessage("1")})
+		}
+		return out, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = img.RegisterKVReduce("kv/sum", func(_ *runtime.Ctx, key string, values []json.RawMessage) (any, error) {
+		total := 0
+		for _, v := range values {
+			var n int
+			if err := wire.Unmarshal(v, &n); err != nil {
+				return nil, err
+			}
+			total += n
+		}
+		return total, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// newShuffleEnv builds an env whose default image also has the KV pipeline
+// and a word corpus in storage.
+func newShuffleEnv(t *testing.T) (*env, map[string]int) {
+	t.Helper()
+	clkEnvBuilt := false
+	var e *env
+	// newEnv publishes the image before we can add functions; rebuild the
+	// registration inside the image constructor instead.
+	e = newEnvWith(t, func(img *runtime.Image) {
+		registerShuffleFunctions(t, img)
+		clkEnvBuilt = true
+	})
+	if !clkEnvBuilt {
+		t.Fatal("image mutation hook not invoked")
+	}
+	if err := e.store.CreateBucket("corpus"); err != nil {
+		t.Fatal(err)
+	}
+	docs := map[string]string{
+		"doc-a": "apple banana apple cherry\napple banana\n",
+		"doc-b": "banana cherry cherry date\n",
+		"doc-c": "egg apple date banana egg\n",
+	}
+	want := map[string]int{}
+	for key, body := range docs {
+		if _, err := e.store.Put("corpus", key, []byte(body)); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range strings.Fields(body) {
+			want[w]++
+		}
+	}
+	return e, want
+}
+
+func TestMapReduceShuffleWordCount(t *testing.T) {
+	for _, reducers := range []int{1, 2, 4, 7} {
+		e, want := newShuffleEnv(t)
+		exec := e.executor(t, nil)
+		var results []json.RawMessage
+		e.clk.Run(func() {
+			fs, err := exec.MapReduceShuffle("kv/words", Buckets{"corpus"}, "kv/sum", ShuffleOptions{
+				NumReducers: reducers,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(fs) != reducers {
+				t.Errorf("reducer futures = %d, want %d", len(fs), reducers)
+				return
+			}
+			results, err = exec.GetResult(GetResultOptions{})
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		got := map[string]int{}
+		for _, raw := range results {
+			var krs []wire.KeyResult
+			if err := wire.Unmarshal(raw, &krs); err != nil {
+				t.Fatal(err)
+			}
+			for i, kr := range krs {
+				var n int
+				if err := wire.Unmarshal(kr.Value, &n); err != nil {
+					t.Fatal(err)
+				}
+				if _, dup := got[kr.Key]; dup {
+					t.Fatalf("R=%d: key %q reduced twice", reducers, kr.Key)
+				}
+				got[kr.Key] = n
+				if i > 0 && krs[i-1].Key >= kr.Key {
+					t.Fatalf("R=%d: reducer output not key-sorted", reducers)
+				}
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("R=%d: keys = %d, want %d (%v)", reducers, len(got), len(want), got)
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("R=%d: count[%q] = %d, want %d", reducers, k, got[k], n)
+			}
+		}
+	}
+}
+
+func TestShuffleWithChunkedPartitions(t *testing.T) {
+	e, want := newShuffleEnv(t)
+	exec := e.executor(t, nil)
+	// Per-object granularity over several objects: word counts must be
+	// conserved end to end across the shuffle.
+	var results []json.RawMessage
+	e.clk.Run(func() {
+		_, err := exec.MapReduceShuffle("kv/words", Buckets{"corpus"}, "kv/sum", ShuffleOptions{
+			ChunkBytes:  0, // per object
+			NumReducers: 3,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		results, err = exec.GetResult(GetResultOptions{})
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	total := 0
+	for _, raw := range results {
+		var krs []wire.KeyResult
+		if err := wire.Unmarshal(raw, &krs); err != nil {
+			t.Fatal(err)
+		}
+		for _, kr := range krs {
+			var n int
+			if err := wire.Unmarshal(kr.Value, &n); err != nil {
+				t.Fatal(err)
+			}
+			total += n
+		}
+	}
+	wantTotal := 0
+	for _, n := range want {
+		wantTotal += n
+	}
+	if total != wantTotal {
+		t.Fatalf("total words = %d, want %d", total, wantTotal)
+	}
+}
+
+func TestShuffleCleanRemovesShuffleFiles(t *testing.T) {
+	e, _ := newShuffleEnv(t)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		if _, err := exec.MapReduceShuffle("kv/words", Buckets{"corpus"}, "kv/sum", ShuffleOptions{NumReducers: 2}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.GetResult(GetResultOptions{}); err != nil {
+			t.Error(err)
+			return
+		}
+		stats, err := exec.Stats()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if stats.Shuffle != 3*2 { // 3 map calls × 2 reducers
+			t.Errorf("shuffle objects = %d, want 6", stats.Shuffle)
+		}
+		if err := exec.Clean(); err != nil {
+			t.Error(err)
+			return
+		}
+		stats, err = exec.Stats()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if stats.Shuffle != 0 {
+			t.Errorf("shuffle objects after clean = %d", stats.Shuffle)
+		}
+	})
+}
+
+func TestShuffleValidation(t *testing.T) {
+	e, _ := newShuffleEnv(t)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		// Unknown source bucket surfaces at planning time.
+		if _, err := exec.MapReduceShuffle("kv/words", Buckets{"ghost"}, "kv/sum", ShuffleOptions{}); err == nil {
+			t.Error("unknown bucket accepted")
+		}
+		// Unknown functions surface as failed calls.
+		if _, err := exec.MapReduceShuffle("kv/nope", Buckets{"corpus"}, "kv/sum", ShuffleOptions{}); err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.GetResult(GetResultOptions{Timeout: time.Hour}); err == nil {
+			t.Error("unknown map function should fail the job")
+		}
+	})
+}
+
+func TestReducerForKeyProperty(t *testing.T) {
+	f := func(key string, rRaw uint8) bool {
+		r := int(rRaw%16) + 1
+		i := reducerForKey(key, r)
+		j := reducerForKey(key, r)
+		return i == j && i >= 0 && i < r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReducerKeySpreadAcrossPartitions(t *testing.T) {
+	// With many keys and 4 reducers, no reducer should be empty — the
+	// hash must actually spread.
+	const r = 4
+	counts := make([]int, r)
+	for i := 0; i < 1000; i++ {
+		counts[reducerForKey(fmt.Sprintf("key-%d", i), r)]++
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("reducer %d received no keys: %v", i, counts)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Speculative execution. The paper's Fig. 3 observes that "some functions
+// ran fast while others slow ... due to the internal operation of IBM Cloud
+// Functions"; with thousands of executors the slowest activation sets the
+// job time. Speculation — re-invoking calls that remain pending long after
+// the bulk of the job finished, racing the original against a fresh
+// container — is the classic MapReduce countermeasure, implemented here on
+// top of the staged-payload respawn machinery. Functions must be idempotent
+// (both attempts may run to completion; they write identical result keys),
+// which GoWren jobs are by construction: results are pure functions of the
+// staged payload.
+
+// SpeculationOptions tune straggler re-execution.
+type SpeculationOptions struct {
+	// Threshold is the completed fraction at which speculation arms
+	// (default 0.75): once this share of calls finished, the remaining
+	// ones are straggler candidates.
+	Threshold float64
+	// Factor multiplies the arm time to produce the straggler deadline
+	// (default 2): a call still pending at Factor × (time the job needed
+	// to reach Threshold) is re-invoked once.
+	Factor float64
+}
+
+func (o *SpeculationOptions) applyDefaults() {
+	if o.Threshold <= 0 || o.Threshold >= 1 {
+		o.Threshold = 0.75
+	}
+	if o.Factor <= 1 {
+		o.Factor = 2
+	}
+}
+
+// GetResultSpeculative is GetResult with straggler re-execution: when the
+// job is mostly finished but a tail of calls lingers, the pending calls are
+// respawned once and the first completion wins.
+func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationOptions) ([]json.RawMessage, error) {
+	spec.applyDefaults()
+	futures := e.Futures()
+	if len(futures) == 0 {
+		return nil, ErrNoFutures
+	}
+	deadline := e.deadlineFrom(opts.Timeout)
+	jobStart := e.clock.Now()
+	need := int(spec.Threshold * float64(len(futures)))
+	if need < 1 {
+		need = 1
+	}
+
+	var (
+		armAt      time.Time // when the threshold was reached
+		speculated bool
+	)
+	countDone := func() int {
+		done := 0
+		for _, f := range futures {
+			if f.knownDone() {
+				done++
+			}
+		}
+		return done
+	}
+	ok := pollClock(e, func() bool {
+		if err := sweepStatuses(e, futures); err != nil {
+			return false
+		}
+		done := countDone()
+		if opts.Progress != nil {
+			opts.Progress(done, len(futures))
+		}
+		if done == len(futures) {
+			return true
+		}
+		if armAt.IsZero() && done >= need {
+			armAt = e.clock.Now()
+		}
+		if !armAt.IsZero() && !speculated {
+			stragglerDeadline := jobStart.Add(time.Duration(float64(armAt.Sub(jobStart)) * spec.Factor))
+			if !e.clock.Now().Before(stragglerDeadline) {
+				var pending []*Future
+				for _, f := range futures {
+					if !f.knownDone() {
+						pending = append(pending, f)
+					}
+				}
+				// A failed respawn leaves the original attempt racing on;
+				// the wait continues either way.
+				if err := e.Respawn(pending); err == nil {
+					speculated = true
+				}
+			}
+		}
+		return false
+	}, deadline)
+	if !ok {
+		return nil, fmt.Errorf("core: speculative get_result: %w", ErrWaitTimeout)
+	}
+
+	r := &resolver{exec: e, deadline: deadline}
+	out := make([]json.RawMessage, len(futures))
+	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(futures), func(i int) error {
+		val, err := r.resolveFuture(futures[i], 0)
+		if err != nil {
+			return err
+		}
+		out[i] = val
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

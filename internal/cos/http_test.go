@@ -1,0 +1,246 @@
+package cos
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// newHTTPPair serves a fresh Store over httptest and returns a client for it.
+func newHTTPPair(t *testing.T) (*Store, Client) {
+	t.Helper()
+	store := NewStore()
+	srv := httptest.NewServer(Handler(store))
+	t.Cleanup(srv.Close)
+	return store, NewHTTPClient(srv.URL, srv.Client())
+}
+
+func TestHTTPBucketLifecycle(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateBucket("b"); !errors.Is(err, ErrBucketExists) {
+		t.Fatalf("duplicate create err = %v, want ErrBucketExists", err)
+	}
+	ok, err := c.BucketExists("b")
+	if err != nil || !ok {
+		t.Fatalf("exists = %v, %v", ok, err)
+	}
+	ok, err = c.BucketExists("missing")
+	if err != nil || ok {
+		t.Fatalf("exists(missing) = %v, %v", ok, err)
+	}
+	if err := c.DeleteBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DeleteBucket("b"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("err = %v, want ErrNoSuchBucket", err)
+	}
+}
+
+func TestHTTPObjectRoundTrip(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("the quick brown fox")
+	putMeta, err := c.Put("b", "dir/sub/key.txt", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if putMeta.Size != int64(len(body)) || putMeta.ETag == "" {
+		t.Fatalf("put meta = %+v", putMeta)
+	}
+	got, meta, err := c.Get("b", "dir/sub/key.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, body) {
+		t.Fatalf("body = %q", got)
+	}
+	if meta.ETag != putMeta.ETag || meta.Size != putMeta.Size {
+		t.Fatalf("meta mismatch: %+v vs %+v", meta, putMeta)
+	}
+	hm, err := c.Head("b", "dir/sub/key.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hm.Size != int64(len(body)) || hm.ETag != putMeta.ETag {
+		t.Fatalf("head meta = %+v", hm)
+	}
+	if hm.LastModified.IsZero() {
+		t.Fatal("last-modified did not survive the wire")
+	}
+}
+
+func TestHTTPRangeReads(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("0123456789")
+	if _, err := c.Put("b", "d", body); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		off, length int64
+		want        string
+	}{
+		{0, -1, "0123456789"},
+		{2, 3, "234"},
+		{5, -1, "56789"},
+		{8, 100, "89"},
+		{0, 0, ""},
+		{3, 0, ""},
+	}
+	for _, tt := range tests {
+		got, _, err := c.GetRange("b", "d", tt.off, tt.length)
+		if err != nil {
+			t.Fatalf("GetRange(%d,%d): %v", tt.off, tt.length, err)
+		}
+		if string(got) != tt.want {
+			t.Fatalf("GetRange(%d,%d) = %q, want %q", tt.off, tt.length, got, tt.want)
+		}
+	}
+	if _, _, err := c.GetRange("b", "d", 10, 1); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("offset-at-size err = %v, want ErrInvalidRange", err)
+	}
+	if _, _, err := c.GetRange("b", "d", 10, 0); !errors.Is(err, ErrInvalidRange) {
+		t.Fatalf("empty-range-at-size err = %v, want ErrInvalidRange", err)
+	}
+}
+
+func TestHTTPErrorsCrossTheWire(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("b", "missing"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("get err = %v, want ErrNoSuchKey", err)
+	}
+	if _, _, err := c.Get("nobucket", "k"); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("get err = %v, want ErrNoSuchBucket", err)
+	}
+	if _, err := c.Head("b", "missing"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("head err = %v, want ErrNoSuchKey", err)
+	}
+	if _, err := c.List("nobucket", "", "", 0); !errors.Is(err, ErrNoSuchBucket) {
+		t.Fatalf("list err = %v, want ErrNoSuchBucket", err)
+	}
+}
+
+func TestHTTPListPagination(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := c.Put("b", fmt.Sprintf("k/%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	page1, err := c.List("b", "k/", "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page1.Objects) != 5 || !page1.IsTruncated {
+		t.Fatalf("page1 = %d objects truncated=%v", len(page1.Objects), page1.IsTruncated)
+	}
+	all, err := ListAll(c, "b", "k/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 12 {
+		t.Fatalf("ListAll over HTTP = %d, want 12", len(all))
+	}
+}
+
+func TestHTTPDelete(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Put("b", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("b", "k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Get("b", "k"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("get after delete err = %v", err)
+	}
+	if err := c.Delete("b", "k"); err != nil {
+		t.Fatalf("idempotent delete err = %v", err)
+	}
+}
+
+func TestHTTPKeyEscaping(t *testing.T) {
+	_, c := newHTTPPair(t)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	weird := "jobs/exec 1/call#7/status?.json"
+	if _, err := c.Put("b", weird, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Get("b", weird)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "v" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestParseRange(t *testing.T) {
+	tests := []struct {
+		in          string
+		off, length int64
+		have        bool
+		wantErr     bool
+	}{
+		{"", 0, 0, false, false},
+		{"bytes=0-9", 0, 10, true, false},
+		{"bytes=5-", 5, -1, true, false},
+		{"bytes=7-7", 7, 1, true, false},
+		{"bytes=9-5", 0, 0, false, true},
+		{"items=0-5", 0, 0, false, true},
+		{"bytes=a-b", 0, 0, false, true},
+		{"bytes=5", 0, 0, false, true},
+	}
+	for _, tt := range tests {
+		off, length, have, err := parseRange(tt.in)
+		if tt.wantErr {
+			if err == nil {
+				t.Errorf("parseRange(%q): want error", tt.in)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseRange(%q): %v", tt.in, err)
+			continue
+		}
+		if off != tt.off || length != tt.length || have != tt.have {
+			t.Errorf("parseRange(%q) = (%d,%d,%v), want (%d,%d,%v)", tt.in, off, length, have, tt.off, tt.length, tt.have)
+		}
+	}
+}
+
+func TestHTTPListBuckets(t *testing.T) {
+	_, c := newHTTPPair(t)
+	for _, b := range []string{"b2", "b1"} {
+		if err := c.CreateBucket(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := c.ListBuckets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "b1" {
+		t.Fatalf("buckets over HTTP = %v", names)
+	}
+}

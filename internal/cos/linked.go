@@ -1,0 +1,126 @@
+package cos
+
+import (
+	"gowren/internal/netsim"
+	"gowren/internal/vclock"
+)
+
+// Linked wraps a Client and charges every operation on a network link: RTT
+// per request plus transfer time for the bytes moved, with optional injected
+// failures. The same underlying Store can be viewed through different links
+// — the executor's WAN path and the functions' in-cloud path — which is how
+// GoWren reproduces the client-location effects of the paper's §5.1.
+type Linked struct {
+	inner Client
+	clk   vclock.Clock
+	link  *netsim.Link
+}
+
+var _ Client = (*Linked)(nil)
+
+// NewLinked returns a view of inner charged on link using clk.
+func NewLinked(inner Client, clk vclock.Clock, link *netsim.Link) *Linked {
+	return &Linked{inner: inner, clk: clk, link: link}
+}
+
+func (l *Linked) charge(bytes int64) error {
+	l.clk.Sleep(l.link.Latency() + l.link.Transfer(bytes))
+	if l.link.Fail() {
+		return ErrRequestFailed
+	}
+	return nil
+}
+
+// CreateBucket implements Client.
+func (l *Linked) CreateBucket(bucket string) error {
+	if err := l.charge(0); err != nil {
+		return err
+	}
+	return l.inner.CreateBucket(bucket)
+}
+
+// DeleteBucket implements Client.
+func (l *Linked) DeleteBucket(bucket string) error {
+	if err := l.charge(0); err != nil {
+		return err
+	}
+	return l.inner.DeleteBucket(bucket)
+}
+
+// BucketExists implements Client.
+func (l *Linked) BucketExists(bucket string) (bool, error) {
+	if err := l.charge(0); err != nil {
+		return false, err
+	}
+	return l.inner.BucketExists(bucket)
+}
+
+// Put implements Client; the payload is charged as upload.
+func (l *Linked) Put(bucket, key string, data []byte) (ObjectMeta, error) {
+	if err := l.charge(int64(len(data))); err != nil {
+		return ObjectMeta{}, err
+	}
+	return l.inner.Put(bucket, key, data)
+}
+
+// Get implements Client; the body is charged as download.
+func (l *Linked) Get(bucket, key string) ([]byte, ObjectMeta, error) {
+	data, meta, err := l.inner.Get(bucket, key)
+	if err != nil {
+		if cerr := l.charge(0); cerr != nil {
+			return nil, ObjectMeta{}, cerr
+		}
+		return nil, ObjectMeta{}, err
+	}
+	if cerr := l.charge(int64(len(data))); cerr != nil {
+		return nil, ObjectMeta{}, cerr
+	}
+	return data, meta, nil
+}
+
+// GetRange implements Client; the body is charged as download.
+func (l *Linked) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+	data, meta, err := l.inner.GetRange(bucket, key, offset, length)
+	if err != nil {
+		if cerr := l.charge(0); cerr != nil {
+			return nil, ObjectMeta{}, cerr
+		}
+		return nil, ObjectMeta{}, err
+	}
+	if cerr := l.charge(int64(len(data))); cerr != nil {
+		return nil, ObjectMeta{}, cerr
+	}
+	return data, meta, nil
+}
+
+// Head implements Client.
+func (l *Linked) Head(bucket, key string) (ObjectMeta, error) {
+	if err := l.charge(0); err != nil {
+		return ObjectMeta{}, err
+	}
+	return l.inner.Head(bucket, key)
+}
+
+// List implements Client.
+func (l *Linked) List(bucket, prefix, marker string, maxKeys int) (ListResult, error) {
+	if err := l.charge(0); err != nil {
+		return ListResult{}, err
+	}
+	return l.inner.List(bucket, prefix, marker, maxKeys)
+}
+
+// ListBuckets implements Client.
+func (l *Linked) ListBuckets() ([]string, error) {
+	if err := l.charge(0); err != nil {
+		return nil, err
+	}
+	return l.inner.ListBuckets()
+}
+
+// Delete implements Client.
+func (l *Linked) Delete(bucket, key string) error {
+	if err := l.charge(0); err != nil {
+		return err
+	}
+	return l.inner.Delete(bucket, key)
+}

@@ -1,0 +1,133 @@
+package cos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gowren/internal/netsim"
+	"gowren/internal/vclock"
+)
+
+func TestLinkedChargesPerView(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	slow := NewLinked(store, clk, netsim.NewLink(netsim.LinkConfig{
+		RTT: netsim.Constant{D: 100 * time.Millisecond},
+	}))
+	fast := NewLinked(store, clk, netsim.NewLink(netsim.LinkConfig{
+		RTT: netsim.Constant{D: time.Millisecond},
+	}))
+
+	measure := func(c Client) time.Duration {
+		start := clk.Now()
+		clk.Run(func() {
+			if _, err := c.Put("b", "k", []byte("v")); err != nil {
+				t.Error(err)
+			}
+			if _, _, err := c.Get("b", "k"); err != nil {
+				t.Error(err)
+			}
+		})
+		return clk.Now().Sub(start)
+	}
+	slowD := measure(slow)
+	fastD := measure(fast)
+	if slowD != 200*time.Millisecond {
+		t.Fatalf("slow view elapsed = %v, want 200ms", slowD)
+	}
+	if fastD != 2*time.Millisecond {
+		t.Fatalf("fast view elapsed = %v, want 2ms", fastD)
+	}
+}
+
+func TestLinkedTransferCharged(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewLinked(store, clk, netsim.NewLink(netsim.LinkConfig{
+		BandwidthBps: 1 << 20, // 1 MiB/s
+	}))
+	start := clk.Now()
+	clk.Run(func() {
+		if _, err := c.Put("b", "big", make([]byte, 1<<20)); err != nil {
+			t.Error(err)
+		}
+	})
+	if got := clk.Now().Sub(start); got != time.Second {
+		t.Fatalf("upload time = %v, want 1s", got)
+	}
+}
+
+func TestLinkedFailureInjection(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	c := NewLinked(store, clk, netsim.NewLink(netsim.LinkConfig{FailureProb: 1}))
+	clk.Run(func() {
+		if _, err := c.Put("b", "k", []byte("v")); !errors.Is(err, ErrRequestFailed) {
+			t.Errorf("err = %v, want ErrRequestFailed", err)
+		}
+	})
+	// The failed request must not have reached the inner store.
+	if _, _, err := store.Get("b", "k"); !errors.Is(err, ErrNoSuchKey) {
+		t.Fatalf("inner store has the object despite link failure: err=%v", err)
+	}
+}
+
+func TestLinkedErrorsPassThrough(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	c := NewLinked(store, clk, netsim.Loopback())
+	clk.Run(func() {
+		if _, _, err := c.Get("nobucket", "k"); !errors.Is(err, ErrNoSuchBucket) {
+			t.Errorf("err = %v, want ErrNoSuchBucket", err)
+		}
+		if err := c.CreateBucket("b"); err != nil {
+			t.Error(err)
+		}
+		if _, err := c.Head("b", "missing"); !errors.Is(err, ErrNoSuchKey) {
+			t.Errorf("err = %v, want ErrNoSuchKey", err)
+		}
+		if _, err := c.List("b", "", "", 0); err != nil {
+			t.Error(err)
+		}
+		ok, err := c.BucketExists("b")
+		if err != nil || !ok {
+			t.Errorf("exists = %v, %v", ok, err)
+		}
+		if err := c.Delete("b", "missing"); err != nil {
+			t.Error(err)
+		}
+		if err := c.DeleteBucket("b"); err != nil {
+			t.Error(err)
+		}
+	})
+}
+
+func TestLinkedAndRetryingListBuckets(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	if err := store.CreateBucket("x"); err != nil {
+		t.Fatal(err)
+	}
+	linked := NewLinked(store, clk, netsim.Loopback())
+	retrying := NewRetrying(linked, clk, 2, time.Millisecond)
+	clk.Run(func() {
+		names, err := linked.ListBuckets()
+		if err != nil || len(names) != 1 {
+			t.Errorf("linked buckets = %v, %v", names, err)
+		}
+		names, err = retrying.ListBuckets()
+		if err != nil || len(names) != 1 {
+			t.Errorf("retrying buckets = %v, %v", names, err)
+		}
+	})
+}

@@ -1,0 +1,125 @@
+package cos
+
+import (
+	"errors"
+	"time"
+
+	"gowren/internal/vclock"
+)
+
+// Retrying wraps a Client and retries operations that fail with the
+// simulated transient error ErrRequestFailed, as real storage SDKs do.
+// Non-transient errors pass through untouched. The platform wraps the
+// in-cloud storage view with it so every function sees SDK-like semantics.
+type Retrying struct {
+	inner    Client
+	clk      vclock.Clock
+	attempts int
+	backoff  time.Duration
+}
+
+var _ Client = (*Retrying)(nil)
+
+// NewRetrying wraps inner with up to attempts tries separated by backoff.
+// Zero values select 4 attempts and 100 ms.
+func NewRetrying(inner Client, clk vclock.Clock, attempts int, backoff time.Duration) *Retrying {
+	if attempts <= 0 {
+		attempts = 4
+	}
+	if backoff <= 0 {
+		backoff = 100 * time.Millisecond
+	}
+	return &Retrying{inner: inner, clk: clk, attempts: attempts, backoff: backoff}
+}
+
+// do retries op while it reports a transient failure.
+func (r *Retrying) do(op func() error) error {
+	var err error
+	for attempt := 0; attempt < r.attempts; attempt++ {
+		if attempt > 0 {
+			r.clk.Sleep(r.backoff)
+		}
+		if err = op(); err == nil || !errors.Is(err, ErrRequestFailed) {
+			return err
+		}
+	}
+	return err
+}
+
+// CreateBucket implements Client.
+func (r *Retrying) CreateBucket(bucket string) error {
+	return r.do(func() error { return r.inner.CreateBucket(bucket) })
+}
+
+// DeleteBucket implements Client.
+func (r *Retrying) DeleteBucket(bucket string) error {
+	return r.do(func() error { return r.inner.DeleteBucket(bucket) })
+}
+
+// BucketExists implements Client.
+func (r *Retrying) BucketExists(bucket string) (ok bool, err error) {
+	err = r.do(func() error {
+		ok, err = r.inner.BucketExists(bucket)
+		return err
+	})
+	return ok, err
+}
+
+// Put implements Client.
+func (r *Retrying) Put(bucket, key string, data []byte) (meta ObjectMeta, err error) {
+	err = r.do(func() error {
+		meta, err = r.inner.Put(bucket, key, data)
+		return err
+	})
+	return meta, err
+}
+
+// Get implements Client.
+func (r *Retrying) Get(bucket, key string) (data []byte, meta ObjectMeta, err error) {
+	err = r.do(func() error {
+		data, meta, err = r.inner.Get(bucket, key)
+		return err
+	})
+	return data, meta, err
+}
+
+// GetRange implements Client.
+func (r *Retrying) GetRange(bucket, key string, offset, length int64) (data []byte, meta ObjectMeta, err error) {
+	err = r.do(func() error {
+		data, meta, err = r.inner.GetRange(bucket, key, offset, length)
+		return err
+	})
+	return data, meta, err
+}
+
+// Head implements Client.
+func (r *Retrying) Head(bucket, key string) (meta ObjectMeta, err error) {
+	err = r.do(func() error {
+		meta, err = r.inner.Head(bucket, key)
+		return err
+	})
+	return meta, err
+}
+
+// List implements Client.
+func (r *Retrying) List(bucket, prefix, marker string, maxKeys int) (res ListResult, err error) {
+	err = r.do(func() error {
+		res, err = r.inner.List(bucket, prefix, marker, maxKeys)
+		return err
+	})
+	return res, err
+}
+
+// ListBuckets implements Client.
+func (r *Retrying) ListBuckets() (names []string, err error) {
+	err = r.do(func() error {
+		names, err = r.inner.ListBuckets()
+		return err
+	})
+	return names, err
+}
+
+// Delete implements Client.
+func (r *Retrying) Delete(bucket, key string) error {
+	return r.do(func() error { return r.inner.Delete(bucket, key) })
+}

@@ -1,0 +1,120 @@
+package cos
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gowren/internal/vclock"
+)
+
+// flaky is a Client stub failing the first failuresLeft calls of each op.
+type flaky struct {
+	Client
+	failuresLeft atomic.Int64
+	calls        atomic.Int64
+}
+
+func (f *flaky) Get(bucket, key string) ([]byte, ObjectMeta, error) {
+	f.calls.Add(1)
+	if f.failuresLeft.Add(-1) >= 0 {
+		return nil, ObjectMeta{}, ErrRequestFailed
+	}
+	return f.Client.Get(bucket, key)
+}
+
+func (f *flaky) Put(bucket, key string, data []byte) (ObjectMeta, error) {
+	f.calls.Add(1)
+	if f.failuresLeft.Add(-1) >= 0 {
+		return ObjectMeta{}, ErrRequestFailed
+	}
+	return f.Client.Put(bucket, key, data)
+}
+
+func TestRetryingRecoversTransientFailures(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	fl := &flaky{Client: store}
+	fl.failuresLeft.Store(2)
+	r := NewRetrying(fl, clk, 4, 50*time.Millisecond)
+	start := clk.Now()
+	clk.Run(func() {
+		if _, err := r.Put("b", "k", []byte("v")); err != nil {
+			t.Errorf("put after retries: %v", err)
+		}
+	})
+	// Two failures → two backoffs of 50ms each.
+	if got := clk.Now().Sub(start); got != 100*time.Millisecond {
+		t.Fatalf("backoff time = %v, want 100ms", got)
+	}
+}
+
+func TestRetryingGivesUpEventually(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	fl := &flaky{Client: store}
+	fl.failuresLeft.Store(1000)
+	r := NewRetrying(fl, clk, 3, 10*time.Millisecond)
+	clk.Run(func() {
+		if _, _, err := r.Get("b", "k"); !errors.Is(err, ErrRequestFailed) {
+			t.Errorf("err = %v, want ErrRequestFailed after exhausting retries", err)
+		}
+	})
+	if got := fl.calls.Load(); got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+func TestRetryingPassesThroughPermanentErrors(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	fl := &flaky{Client: store} // no failures armed
+	r := NewRetrying(fl, clk, 5, time.Millisecond)
+	clk.Run(func() {
+		if _, _, err := r.Get("b", "missing"); !errors.Is(err, ErrNoSuchKey) {
+			t.Errorf("err = %v, want ErrNoSuchKey without retries", err)
+		}
+	})
+	if got := fl.calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (no retry on permanent error)", got)
+	}
+}
+
+func TestRetryingCoversAllOps(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	r := NewRetrying(store, clk, 2, time.Millisecond)
+	clk.Run(func() {
+		if err := r.CreateBucket("b"); err != nil {
+			t.Error(err)
+		}
+		if ok, err := r.BucketExists("b"); err != nil || !ok {
+			t.Errorf("exists = %v, %v", ok, err)
+		}
+		if _, err := r.Put("b", "k", []byte("v")); err != nil {
+			t.Error(err)
+		}
+		if _, _, err := r.GetRange("b", "k", 0, 1); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.Head("b", "k"); err != nil {
+			t.Error(err)
+		}
+		if _, err := r.List("b", "", "", 0); err != nil {
+			t.Error(err)
+		}
+		if err := r.Delete("b", "k"); err != nil {
+			t.Error(err)
+		}
+		if err := r.DeleteBucket("b"); err != nil {
+			t.Error(err)
+		}
+	})
+}

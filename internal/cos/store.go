@@ -1,0 +1,356 @@
+package cos
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gowren/internal/netsim"
+	"gowren/internal/vclock"
+)
+
+// Store is the in-memory object-store engine. It is safe for concurrent use.
+// When configured with a network link, every operation charges simulated
+// latency (and transfer time proportional to the bytes moved) on the
+// simulation clock before touching state, which is how the experiments see
+// realistic COS round-trip costs.
+type Store struct {
+	clock vclock.Clock
+	link  *netsim.Link // nil disables network modeling
+
+	mu      sync.RWMutex
+	buckets map[string]*bucket
+
+	stats Stats
+}
+
+var _ Client = (*Store)(nil)
+
+// Stats counts operations and bytes through the store. Counters are
+// cumulative and safe to read concurrently.
+type Stats struct {
+	PutOps    atomic.Int64
+	GetOps    atomic.Int64
+	HeadOps   atomic.Int64
+	ListOps   atomic.Int64
+	DeleteOps atomic.Int64
+	BytesIn   atomic.Int64
+	BytesOut  atomic.Int64
+}
+
+// StatsSnapshot is a point-in-time copy of the store counters.
+type StatsSnapshot struct {
+	PutOps, GetOps, HeadOps, ListOps, DeleteOps int64
+	BytesIn, BytesOut                           int64
+}
+
+type bucket struct {
+	objects map[string]*object
+}
+
+type object struct {
+	meta ObjectMeta
+	data []byte    // nil when gen != nil
+	gen  Generator // synthetic content
+}
+
+// StoreOption configures a Store.
+type StoreOption func(*Store)
+
+// WithLink attaches a network cost model: every operation sleeps the link's
+// latency on clk, and payload bytes are charged at the link's bandwidth.
+func WithLink(clk vclock.Clock, link *netsim.Link) StoreOption {
+	return func(s *Store) {
+		s.clock = clk
+		s.link = link
+	}
+}
+
+// NewStore returns an empty Store. Without options it is a zero-latency
+// in-process store, suitable for unit tests.
+func NewStore(opts ...StoreOption) *Store {
+	s := &Store{buckets: make(map[string]*bucket)}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Stats returns a snapshot of the operation counters.
+func (s *Store) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		PutOps:    s.stats.PutOps.Load(),
+		GetOps:    s.stats.GetOps.Load(),
+		HeadOps:   s.stats.HeadOps.Load(),
+		ListOps:   s.stats.ListOps.Load(),
+		DeleteOps: s.stats.DeleteOps.Load(),
+		BytesIn:   s.stats.BytesIn.Load(),
+		BytesOut:  s.stats.BytesOut.Load(),
+	}
+}
+
+// charge sleeps the link's per-request latency plus the transfer time for
+// payloadBytes, and reports a simulated failure if the link injects one.
+// It must be called without s.mu held.
+func (s *Store) charge(payloadBytes int64) error {
+	if s.link == nil {
+		return nil
+	}
+	d := s.link.Latency() + s.link.Transfer(payloadBytes)
+	s.clock.Sleep(d)
+	if s.link.Fail() {
+		return ErrRequestFailed
+	}
+	return nil
+}
+
+// CreateBucket implements Client.
+func (s *Store) CreateBucket(name string) error {
+	if err := s.charge(0); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.buckets[name]; ok {
+		return fmt.Errorf("create bucket %q: %w", name, ErrBucketExists)
+	}
+	s.buckets[name] = &bucket{objects: make(map[string]*object)}
+	return nil
+}
+
+// DeleteBucket implements Client.
+func (s *Store) DeleteBucket(name string) error {
+	if err := s.charge(0); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[name]
+	if !ok {
+		return fmt.Errorf("delete bucket %q: %w", name, ErrNoSuchBucket)
+	}
+	if len(b.objects) > 0 {
+		return fmt.Errorf("delete bucket %q: %w", name, ErrBucketNotEmpty)
+	}
+	delete(s.buckets, name)
+	return nil
+}
+
+// BucketExists implements Client.
+func (s *Store) BucketExists(name string) (bool, error) {
+	if err := s.charge(0); err != nil {
+		return false, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.buckets[name]
+	return ok, nil
+}
+
+// Put implements Client. The stored object owns a copy of data.
+func (s *Store) Put(bucketName, key string, data []byte) (ObjectMeta, error) {
+	s.stats.PutOps.Add(1)
+	s.stats.BytesIn.Add(int64(len(data)))
+	if err := s.charge(int64(len(data))); err != nil {
+		return ObjectMeta{}, err
+	}
+	body := make([]byte, len(data))
+	copy(body, data)
+	sum := md5.Sum(body)
+	meta := ObjectMeta{
+		Key:          key,
+		Size:         int64(len(body)),
+		ETag:         hex.EncodeToString(sum[:]),
+		LastModified: s.now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ObjectMeta{}, fmt.Errorf("put %s/%s: %w", bucketName, key, ErrNoSuchBucket)
+	}
+	b.objects[key] = &object{meta: meta, data: body}
+	return meta, nil
+}
+
+// PutGenerated stores a synthetic object of the given size whose content is
+// produced on demand by gen. It is a simulator-only entry point (not part of
+// Client) used by experiment harnesses to host multi-gigabyte datasets
+// without materializing them.
+func (s *Store) PutGenerated(bucketName, key string, size int64, gen Generator) (ObjectMeta, error) {
+	if size < 0 {
+		return ObjectMeta{}, fmt.Errorf("put generated %s/%s: negative size %d", bucketName, key, size)
+	}
+	if gen == nil {
+		return ObjectMeta{}, fmt.Errorf("put generated %s/%s: nil generator", bucketName, key)
+	}
+	meta := ObjectMeta{
+		Key:          key,
+		Size:         size,
+		ETag:         syntheticETag(bucketName, key, size),
+		LastModified: s.now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ObjectMeta{}, fmt.Errorf("put generated %s/%s: %w", bucketName, key, ErrNoSuchBucket)
+	}
+	b.objects[key] = &object{meta: meta, gen: gen}
+	return meta, nil
+}
+
+// Get implements Client.
+func (s *Store) Get(bucketName, key string) ([]byte, ObjectMeta, error) {
+	return s.GetRange(bucketName, key, 0, -1)
+}
+
+// GetRange implements Client.
+func (s *Store) GetRange(bucketName, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+	s.stats.GetOps.Add(1)
+	s.mu.RLock()
+	obj, err := s.lookupLocked(bucketName, key)
+	if err != nil {
+		s.mu.RUnlock()
+		// Even a miss costs a round trip.
+		if cerr := s.charge(0); cerr != nil {
+			return nil, ObjectMeta{}, cerr
+		}
+		return nil, ObjectMeta{}, fmt.Errorf("get %s/%s: %w", bucketName, key, err)
+	}
+	size := obj.meta.Size
+	if offset < 0 || (offset > 0 && offset >= size) {
+		s.mu.RUnlock()
+		return nil, ObjectMeta{}, fmt.Errorf("get %s/%s offset=%d size=%d: %w", bucketName, key, offset, size, ErrInvalidRange)
+	}
+	if length < 0 || offset+length > size {
+		length = size - offset
+	}
+	out := make([]byte, length)
+	if obj.gen != nil {
+		obj.gen.FillAt(offset, out)
+	} else {
+		copy(out, obj.data[offset:offset+length])
+	}
+	meta := obj.meta
+	s.mu.RUnlock()
+
+	s.stats.BytesOut.Add(length)
+	if err := s.charge(length); err != nil {
+		return nil, ObjectMeta{}, err
+	}
+	return out, meta, nil
+}
+
+// Head implements Client.
+func (s *Store) Head(bucketName, key string) (ObjectMeta, error) {
+	s.stats.HeadOps.Add(1)
+	if err := s.charge(0); err != nil {
+		return ObjectMeta{}, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	obj, err := s.lookupLocked(bucketName, key)
+	if err != nil {
+		return ObjectMeta{}, fmt.Errorf("head %s/%s: %w", bucketName, key, err)
+	}
+	return obj.meta, nil
+}
+
+// List implements Client.
+func (s *Store) List(bucketName, prefix, marker string, maxKeys int) (ListResult, error) {
+	s.stats.ListOps.Add(1)
+	if err := s.charge(0); err != nil {
+		return ListResult{}, err
+	}
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ListResult{}, fmt.Errorf("list %s: %w", bucketName, ErrNoSuchBucket)
+	}
+	keys := make([]string, 0, len(b.objects))
+	for k := range b.objects {
+		if len(prefix) > 0 && (len(k) < len(prefix) || k[:len(prefix)] != prefix) {
+			continue
+		}
+		if marker != "" && k <= marker {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var res ListResult
+	for i, k := range keys {
+		if i == maxKeys {
+			res.IsTruncated = true
+			res.NextMarker = res.Objects[len(res.Objects)-1].Key
+			break
+		}
+		res.Objects = append(res.Objects, b.objects[k].meta)
+	}
+	return res, nil
+}
+
+// ListBuckets implements Client.
+func (s *Store) ListBuckets() ([]string, error) {
+	if err := s.charge(0); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.buckets))
+	for name := range s.buckets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Client.
+func (s *Store) Delete(bucketName, key string) error {
+	s.stats.DeleteOps.Add(1)
+	if err := s.charge(0); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return fmt.Errorf("delete %s/%s: %w", bucketName, key, ErrNoSuchBucket)
+	}
+	delete(b.objects, key)
+	return nil
+}
+
+// lookupLocked finds an object; callers hold s.mu (read or write).
+func (s *Store) lookupLocked(bucketName, key string) (*object, error) {
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return nil, ErrNoSuchBucket
+	}
+	obj, ok := b.objects[key]
+	if !ok {
+		return nil, ErrNoSuchKey
+	}
+	return obj, nil
+}
+
+func (s *Store) now() time.Time {
+	if s.clock != nil {
+		return s.clock.Now()
+	}
+	return time.Now()
+}
+
+func syntheticETag(bucket, key string, size int64) string {
+	sum := md5.Sum([]byte(fmt.Sprintf("synthetic:%s/%s:%d", bucket, key, size)))
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,133 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation (§6). Each harness builds a fresh simulated cloud on a
+// virtual clock, runs the experiment at the paper's scale, and reports the
+// measured quantities next to the paper's values (EXPERIMENTS.md records
+// both). The harnesses are shared by cmd/experiments and the benchmarks in
+// bench_test.go.
+package experiments
+
+import (
+	"time"
+
+	"gowren"
+	"gowren/internal/faas"
+	"gowren/internal/metrics"
+)
+
+// Calibration constants. Every model parameter that was tuned against a
+// number reported in the paper lives here, with the paper's target beside
+// it. Changing one of these shifts a measured curve; the defaults land the
+// reproduction within a few percent of each target (see EXPERIMENTS.md).
+const (
+	// WANClientThreads is the client invocation thread pool on the
+	// paper's laptop client. With ~200 ms WAN round trips this alone
+	// would allow ~80 invocations/s...
+	WANClientThreads = 13
+	// WANClientOverhead is the serialized per-invocation client work
+	// (Python's GIL-bound serialize/sign/build). ~7 ms/invocation keeps
+	// an in-cloud client near the paper's 8 s for 1,000 invocations,
+	// while the WAN arm is dominated by round trips and retries.
+	WANClientOverhead = 7 * time.Millisecond
+	// WANStageConcurrency is the payload upload/download pool.
+	WANStageConcurrency = 192
+	// ExperimentPollInterval is the status polling granularity used by
+	// experiment clients; coarser than the library default to keep the
+	// simulated COS request volume realistic at thousand-call scale.
+	ExperimentPollInterval = 500 * time.Millisecond
+
+	// Fig2Functions and Fig2TaskSeconds mirror §6.1: "two tests that
+	// realized 1,000 function invocations. Each function performed an
+	// arbitrary compute-bound task of 50-seconds duration."
+	Fig2Functions   = 1000
+	Fig2TaskSeconds = 50.0
+
+	// Fig3TaskSeconds mirrors §6.2: "a function that runs a compute-bound
+	// task for around 60 seconds."
+	Fig3TaskSeconds = 60.0
+
+	// Table3DatasetBytes is the §6.4 dataset size (1.9 GB, 33 cities).
+	Table3DatasetBytes = int64(1_900_000_000)
+)
+
+// Fig3Workloads are the §6.2 workload sizes: 500 up to 2,000 concurrent
+// function executors.
+var Fig3Workloads = []int{500, 1000, 1500, 2000}
+
+// Fig4Sizes are the §6.3 array lengths (500 K to 25 M integers).
+var Fig4Sizes = []int64{500_000, 1_000_000, 5_000_000, 10_000_000, 25_000_000}
+
+// Fig4Depths are the §6.3 spawn-tree depths d = 0…4.
+var Fig4Depths = []int{0, 1, 2, 3, 4}
+
+// Table3ChunksMiB are the §6.4 chunk sizes.
+var Table3ChunksMiB = []int{64, 32, 16, 8, 4, 2}
+
+// PaperTable3 is the paper's reported Table 3, for side-by-side output.
+// Index order matches Table3ChunksMiB; Sequential is the baseline row.
+var PaperTable3 = struct {
+	SequentialSeconds float64
+	Concurrency       []int
+	ExecSeconds       []float64
+	Speedup           []float64
+}{
+	SequentialSeconds: 5160,
+	Concurrency:       []int{47, 72, 129, 242, 471, 923},
+	ExecSeconds:       []float64{471, 297, 181, 112, 63, 38},
+	Speedup:           []float64{10.95, 17.37, 28.51, 46.07, 81.90, 135.79},
+}
+
+// Paper-reported Fig. 2 milestones.
+const (
+	PaperFig2LocalInvokeSeconds   = 38.0
+	PaperFig2LocalTotalSeconds    = 88.0
+	PaperFig2MassiveInvokeSeconds = 8.0
+	PaperFig2MassiveTotalSeconds  = 58.0
+)
+
+// spansOf converts platform activations for one action prefix into metric
+// spans, skipping unfinished and helper activations.
+func spansOf(acts []faas.Activation, actionPrefix string) []metrics.Span {
+	var spans []metrics.Span
+	for _, a := range acts {
+		if !a.Done() {
+			continue
+		}
+		if actionPrefix != "" && !hasPrefix(a.Action, actionPrefix) {
+			continue
+		}
+		spans = append(spans, metrics.MakeSpan(a.StartAt, a.EndAt))
+	}
+	return spans
+}
+
+func hasPrefix(s, prefix string) bool {
+	return len(s) >= len(prefix) && s[:len(prefix)] == prefix
+}
+
+// wanExecutor builds the paper's remote-laptop client against cloud.
+func wanExecutor(cloud *gowren.Cloud, massive bool, extra ...gowren.ExecutorOption) (*gowren.Executor, error) {
+	opts := []gowren.ExecutorOption{
+		gowren.WithClientProfile(gowren.ClientWAN),
+		gowren.WithInvokeConcurrency(WANClientThreads),
+		gowren.WithStageConcurrency(WANStageConcurrency),
+		gowren.WithClientOverhead(WANClientOverhead),
+		gowren.WithPollInterval(ExperimentPollInterval),
+	}
+	if massive {
+		opts = append(opts, gowren.WithMassiveSpawning(0))
+	}
+	opts = append(opts, extra...)
+	return cloud.Executor(opts...)
+}
+
+// spansSince filters spans to those starting at or after origin (dropping
+// warm-up activations).
+func spansSince(spans []metrics.Span, origin time.Time) []metrics.Span {
+	out := spans[:0:0]
+	for _, sp := range spans {
+		if !sp.Start.Before(origin) {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"fmt"
+
+	"gowren"
+	"gowren/internal/workloads"
+)
+
+// newWorkloadCloud builds a virtual-time cloud with the workload functions
+// installed and the platform concurrency limit raised to maxConcurrent
+// (the paper notes the 1,000 default "can be increased if needed"; §6.2
+// runs up to 2,000 concurrent executors).
+func newWorkloadCloud(seed int64, maxConcurrent int) (*gowren.Cloud, error) {
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := workloads.Register(img); err != nil {
+		return nil, fmt.Errorf("experiments: register workloads: %w", err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images:        []*gowren.Image{img},
+		Seed:          seed,
+		MaxConcurrent: maxConcurrent,
+		Jitter:        true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: build cloud: %w", err)
+	}
+	return cloud, nil
+}
+
+// warmPlatform performs one throwaway invocation so the runtime image is
+// pulled and cached before measurement begins, as it would be on a platform
+// that has executed the runtime before (§3.1: "the Docker container is
+// cached in an internal registry"). Call it from inside cloud.Run.
+func warmPlatform(cloud *gowren.Cloud) error {
+	exec, err := cloud.Executor()
+	if err != nil {
+		return err
+	}
+	if _, err := exec.CallAsync(workloads.FuncComputeBound, 0.0); err != nil {
+		return err
+	}
+	_, err = gowren.Results[float64](exec)
+	return err
+}

@@ -1,0 +1,507 @@
+// Package faas simulates the FaaS platform under IBM-PyWren: IBM Cloud
+// Functions, which is Apache OpenWhisk (paper §3). The Controller exposes
+// the pieces of the platform the paper's results depend on:
+//
+//   - asynchronous action invocation through a serialized admission
+//     pipeline (the gateway bottleneck that caps in-cloud invocation rates
+//     and makes 1,000 invocations take ~8 s even from inside the
+//     datacenter — paper §5.1);
+//   - a concurrent-invocation limit with 429-style throttling (default
+//     1,000, raisable, as §3 describes);
+//   - per-invocation memory (512 MB) and execution-time (600 s) limits;
+//   - a container pool with Docker-image cold starts: the first activation
+//     of an image pays a registry pull, later cold starts pay only the boot
+//     cost because the image is cached internally (§3.1), and recently used
+//     containers are kept warm;
+//   - execution-time jitter modeling the variable resource availability
+//     visible as ragged gray lines in the paper's Fig. 3;
+//   - activation records with submit/start/end timestamps, from which the
+//     experiment harnesses derive concurrency time series.
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/netsim"
+	"gowren/internal/runtime"
+	"gowren/internal/trace"
+	"gowren/internal/vclock"
+)
+
+// Errors returned by the controller.
+var (
+	ErrNoSuchAction = errors.New("faas: no such action")
+	ErrActionExists = errors.New("faas: action already exists")
+	ErrThrottled    = errors.New("faas: too many concurrent invocations (429)")
+	ErrMemoryLimit  = errors.New("faas: requested memory exceeds platform limit")
+	ErrCrashed      = errors.New("faas: container crashed")
+	ErrNoActivation = errors.New("faas: no such activation")
+)
+
+// Platform limits mirroring the paper's §3 defaults for IBM Cloud Functions
+// at the time of writing.
+const (
+	DefaultMaxConcurrent = 1000
+	DefaultMemoryMB      = 512
+	MaxMemoryMB          = 2048
+	DefaultTimeout       = 600 * time.Second
+)
+
+// Handler is the code bound to an action. GoWren registers one generic
+// runner handler per runtime image (internal/exec); params are opaque bytes.
+type Handler func(ctx *runtime.Ctx, params []byte) ([]byte, error)
+
+// Config configures a Controller.
+type Config struct {
+	Clock    vclock.Clock
+	Registry *runtime.Registry
+	// Storage is the object-storage client functions see. In-process
+	// simulations pass the Store directly so container traffic is charged
+	// on the in-cloud link.
+	Storage cos.Client
+
+	// MaxConcurrent caps in-flight activations; exceeding it throttles
+	// (429). Zero uses DefaultMaxConcurrent; negative means unlimited.
+	MaxConcurrent int
+
+	// AdmitOverhead is the serialized gateway service time per invocation:
+	// the admission pipeline sustains 1/AdmitOverhead invocations/second
+	// regardless of caller parallelism. Zero uses a calibrated default.
+	AdmitOverhead time.Duration
+
+	// ColdStartBoot is the container boot cost on a cold start, excluding
+	// the image pull. Zero uses a sub-second default (paper §5: containers
+	// "fast to boot up ... within a sub-second range").
+	ColdStartBoot time.Duration
+	// PullBandwidthMBps is the registry pull rate for the first cold start
+	// of an image. Zero uses a default.
+	PullBandwidthMBps float64
+	// WarmStart is the reuse cost of a warm container.
+	WarmStart time.Duration
+	// KeepAlive is how long an idle container stays warm.
+	KeepAlive time.Duration
+
+	// ExecJitter adds platform noise to each activation's runtime
+	// (scheduling delays, noisy neighbours). Nil means none.
+	ExecJitter netsim.LatencyModel
+	// CrashProb is the probability an activation dies with ErrCrashed
+	// after starting; used by failure-injection tests. Zero disables.
+	CrashProb float64
+
+	// Seed feeds the controller's PRNG (jitter, crashes).
+	Seed int64
+
+	// Trace, when non-nil, records platform events (invocations,
+	// throttles, container lifecycle) for post-run inspection.
+	Trace *trace.Recorder
+}
+
+func (c *Config) applyDefaults() {
+	if c.MaxConcurrent == 0 {
+		c.MaxConcurrent = DefaultMaxConcurrent
+	}
+	if c.AdmitOverhead == 0 {
+		c.AdmitOverhead = 5 * time.Millisecond
+	}
+	if c.ColdStartBoot == 0 {
+		c.ColdStartBoot = 450 * time.Millisecond
+	}
+	if c.PullBandwidthMBps == 0 {
+		c.PullBandwidthMBps = 120
+	}
+	if c.WarmStart == 0 {
+		c.WarmStart = 8 * time.Millisecond
+	}
+	if c.KeepAlive == 0 {
+		c.KeepAlive = 10 * time.Minute
+	}
+}
+
+// ActionSpec declares an action: a name bound to a handler executing inside
+// a runtime image.
+type ActionSpec struct {
+	Name     string
+	Image    string // runtime image name, resolved through the registry
+	Handler  Handler
+	MemoryMB int           // zero uses DefaultMemoryMB
+	Timeout  time.Duration // zero uses DefaultTimeout; clamped to it
+}
+
+// Activation is the record of one function invocation.
+type Activation struct {
+	ID     string
+	Action string
+
+	SubmitAt time.Time // accepted by the gateway
+	StartAt  time.Time // handler entered (container ready)
+	EndAt    time.Time // handler returned
+
+	ColdStart bool
+	OK        bool
+	Error     string
+	Result    []byte
+
+	// MemoryMB is the container memory limit, for GB-second billing.
+	MemoryMB int
+}
+
+// Done reports whether the activation has finished.
+func (a Activation) Done() bool { return !a.EndAt.IsZero() }
+
+type action struct {
+	spec ActionSpec
+	img  *runtime.Image
+}
+
+// Controller is the simulated FaaS platform.
+type Controller struct {
+	cfg Config
+
+	mu          sync.Mutex
+	actions     map[string]*action
+	activations map[string]*Activation
+	order       []string // activation IDs in submit order
+	inflight    int
+	nextActID   uint64
+	gatewayFree time.Time       // next free slot of the serialized admission pipeline
+	pulled      map[string]bool // images already cached in the internal registry
+	warm        map[string][]warmContainer
+	rng         *rand.Rand
+
+	spawnerFor func(ctx *runtime.Ctx) runtime.Spawner
+}
+
+type warmContainer struct {
+	idleSince time.Time
+}
+
+// New returns a Controller with cfg. Clock, Registry and Storage are
+// required.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("faas: config missing clock")
+	}
+	if cfg.Registry == nil {
+		return nil, errors.New("faas: config missing runtime registry")
+	}
+	if cfg.Storage == nil {
+		return nil, errors.New("faas: config missing storage client")
+	}
+	cfg.applyDefaults()
+	return &Controller{
+		cfg:         cfg,
+		actions:     make(map[string]*action),
+		activations: make(map[string]*Activation),
+		pulled:      make(map[string]bool),
+		warm:        make(map[string][]warmContainer),
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// SetSpawnerFactory installs the hook that equips function contexts with a
+// dynamic-composition spawner. The executor layer calls this once at wiring
+// time; fn receives the partially built ctx and returns the spawner to
+// expose to user code.
+func (c *Controller) SetSpawnerFactory(fn func(ctx *runtime.Ctx) runtime.Spawner) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spawnerFor = fn
+}
+
+// CreateAction registers spec with the platform, validating limits and the
+// runtime image.
+func (c *Controller) CreateAction(spec ActionSpec) error {
+	if spec.Name == "" {
+		return errors.New("faas: action name required")
+	}
+	if spec.Handler == nil {
+		return fmt.Errorf("faas: action %q has no handler", spec.Name)
+	}
+	if spec.MemoryMB == 0 {
+		spec.MemoryMB = DefaultMemoryMB
+	}
+	if spec.MemoryMB > MaxMemoryMB {
+		return fmt.Errorf("faas: action %q requests %d MB: %w", spec.Name, spec.MemoryMB, ErrMemoryLimit)
+	}
+	if spec.Timeout <= 0 || spec.Timeout > DefaultTimeout {
+		spec.Timeout = DefaultTimeout
+	}
+	img, err := c.cfg.Registry.Pull(spec.Image)
+	if err != nil {
+		return fmt.Errorf("faas: action %q: %w", spec.Name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.actions[spec.Name]; ok {
+		return fmt.Errorf("faas: action %q: %w", spec.Name, ErrActionExists)
+	}
+	c.actions[spec.Name] = &action{spec: spec, img: img}
+	return nil
+}
+
+// UpdateAction replaces an existing action's spec (new handler, image,
+// limits), keeping its name — OpenWhisk's action update. Warm containers of
+// the old version are discarded so the next invocation cold-starts the new
+// code.
+func (c *Controller) UpdateAction(spec ActionSpec) error {
+	if spec.Name == "" {
+		return errors.New("faas: action name required")
+	}
+	if spec.Handler == nil {
+		return fmt.Errorf("faas: action %q has no handler", spec.Name)
+	}
+	if spec.MemoryMB == 0 {
+		spec.MemoryMB = DefaultMemoryMB
+	}
+	if spec.MemoryMB > MaxMemoryMB {
+		return fmt.Errorf("faas: action %q requests %d MB: %w", spec.Name, spec.MemoryMB, ErrMemoryLimit)
+	}
+	if spec.Timeout <= 0 || spec.Timeout > DefaultTimeout {
+		spec.Timeout = DefaultTimeout
+	}
+	img, err := c.cfg.Registry.Pull(spec.Image)
+	if err != nil {
+		return fmt.Errorf("faas: action %q: %w", spec.Name, err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.actions[spec.Name]; !ok {
+		return fmt.Errorf("faas: update action %q: %w", spec.Name, ErrNoSuchAction)
+	}
+	c.actions[spec.Name] = &action{spec: spec, img: img}
+	delete(c.warm, spec.Name)
+	return nil
+}
+
+// DeleteAction unregisters an action. In-flight activations finish;
+// subsequent invocations fail with ErrNoSuchAction.
+func (c *Controller) DeleteAction(name string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.actions[name]; !ok {
+		return fmt.Errorf("faas: delete action %q: %w", name, ErrNoSuchAction)
+	}
+	delete(c.actions, name)
+	delete(c.warm, name)
+	return nil
+}
+
+// Invoke submits an asynchronous invocation of the named action. The call
+// blocks the caller through the gateway admission pipeline (so caller
+// parallelism matters, as it does against the real platform), then returns
+// the activation ID while the function runs in the background. It returns
+// ErrThrottled when the concurrent-invocation limit is reached.
+func (c *Controller) Invoke(actionName string, params []byte) (string, error) {
+	c.mu.Lock()
+	act, ok := c.actions[actionName]
+	if !ok {
+		c.mu.Unlock()
+		return "", fmt.Errorf("faas: invoke %q: %w", actionName, ErrNoSuchAction)
+	}
+	// Reserve a slot in the serialized admission pipeline.
+	now := c.cfg.Clock.Now()
+	slot := c.gatewayFree
+	if slot.Before(now) {
+		slot = now
+	}
+	done := slot.Add(c.cfg.AdmitOverhead)
+	c.gatewayFree = done
+	c.mu.Unlock()
+
+	// Wait out our turn in the pipeline on the caller's task.
+	c.cfg.Clock.Sleep(done.Sub(now))
+
+	c.mu.Lock()
+	if c.cfg.MaxConcurrent >= 0 && c.inflight >= c.cfg.MaxConcurrent {
+		c.mu.Unlock()
+		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindThrottle, actionName, "inflight at limit %d", c.cfg.MaxConcurrent)
+		return "", fmt.Errorf("faas: invoke %q: %w", actionName, ErrThrottled)
+	}
+	c.inflight++
+	c.nextActID++
+	id := "act-" + strconv.FormatUint(c.nextActID, 10)
+	rec := &Activation{ID: id, Action: actionName, SubmitAt: c.cfg.Clock.Now(), MemoryMB: act.spec.MemoryMB}
+	c.activations[id] = rec
+	c.order = append(c.order, id)
+	c.mu.Unlock()
+
+	c.cfg.Trace.Emit(rec.SubmitAt, trace.KindInvoke, id, actionName)
+	c.cfg.Clock.Go(func() { c.execute(act, rec, params) })
+	return id, nil
+}
+
+// execute provisions a container and runs the handler, recording the
+// activation outcome.
+func (c *Controller) execute(act *action, rec *Activation, params []byte) {
+	cold, setup := c.provision(act)
+	if cold {
+		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindColdStart, rec.ID, "setup %v", setup)
+	} else {
+		c.cfg.Trace.Emit(c.cfg.Clock.Now(), trace.KindWarmStart, rec.ID, act.spec.Name)
+	}
+	c.cfg.Clock.Sleep(setup)
+
+	start := c.cfg.Clock.Now()
+	c.mu.Lock()
+	rec.StartAt = start
+	rec.ColdStart = cold
+	crash := c.cfg.CrashProb > 0 && c.rng.Float64() < c.cfg.CrashProb
+	var jitter time.Duration
+	if c.cfg.ExecJitter != nil {
+		jitter = c.cfg.ExecJitter.Sample(c.rng)
+	}
+	c.mu.Unlock()
+
+	c.cfg.Trace.Emit(start, trace.KindActStart, rec.ID, act.spec.Name)
+	ctx := runtime.NewCtx(c.buildCtxConfig(act, rec, cold, start))
+
+	var (
+		result []byte
+		err    error
+	)
+	if crash {
+		// A crash manifests partway through execution.
+		c.cfg.Clock.Sleep(act.spec.Timeout / 10)
+		err = ErrCrashed
+	} else {
+		// Platform noise (scheduling delays, noisy neighbours) lands
+		// before user code so it delays everything the function produces
+		// — including the status object clients poll for. This is what
+		// makes stragglers visible end to end (paper Fig. 3).
+		c.cfg.Clock.Sleep(jitter)
+		result, err = act.spec.Handler(ctx, params)
+	}
+
+	end := c.cfg.Clock.Now()
+	if crash {
+		c.cfg.Trace.Emit(end, trace.KindCrash, rec.ID, act.spec.Name)
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error: " + err.Error()
+	}
+	c.cfg.Trace.Emitf(end, trace.KindActEnd, rec.ID, "%s %s after %v", act.spec.Name, outcome, end.Sub(start))
+	c.mu.Lock()
+	rec.EndAt = end
+	if err != nil {
+		rec.OK = false
+		rec.Error = err.Error()
+	} else {
+		rec.OK = true
+		rec.Result = result
+	}
+	c.inflight--
+	if !crash {
+		c.warm[act.spec.Name] = append(c.warm[act.spec.Name], warmContainer{idleSince: end})
+	}
+	c.mu.Unlock()
+}
+
+func (c *Controller) buildCtxConfig(act *action, rec *Activation, cold bool, start time.Time) runtime.CtxConfig {
+	cfg := runtime.CtxConfig{
+		Clock:        c.cfg.Clock,
+		Storage:      c.cfg.Storage,
+		Image:        act.img,
+		ActivationID: rec.ID,
+		Deadline:     start.Add(act.spec.Timeout),
+		ColdStart:    cold,
+		MemoryMB:     act.spec.MemoryMB,
+	}
+	c.mu.Lock()
+	factory := c.spawnerFor
+	c.mu.Unlock()
+	if factory != nil {
+		ctx := runtime.NewCtx(cfg)
+		cfg.Spawner = factory(ctx)
+	}
+	return cfg
+}
+
+// provision finds a warm container for the action or models a cold start.
+// It returns whether the start was cold and the setup duration to charge.
+func (c *Controller) provision(act *action) (cold bool, setup time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Clock.Now()
+
+	// Evict expired warm containers lazily.
+	pool := c.warm[act.spec.Name]
+	live := pool[:0]
+	for _, w := range pool {
+		if now.Sub(w.idleSince) <= c.cfg.KeepAlive {
+			live = append(live, w)
+		}
+	}
+	if len(live) > 0 {
+		c.warm[act.spec.Name] = live[:len(live)-1]
+		return false, c.cfg.WarmStart
+	}
+	c.warm[act.spec.Name] = live
+
+	setup = c.cfg.ColdStartBoot
+	if !c.pulled[act.img.Name()] {
+		c.pulled[act.img.Name()] = true
+		pull := time.Duration(float64(act.img.SizeMB()) / c.cfg.PullBandwidthMBps * float64(time.Second))
+		setup += pull
+		c.cfg.Trace.Emitf(now, trace.KindImagePull, act.img.Name(), "%d MB in %v", act.img.SizeMB(), pull)
+	}
+	// Cold starts are noisy; add up to 20% deterministic-seeded jitter.
+	setup += time.Duration(c.rng.Int63n(int64(setup)/5 + 1))
+	return true, setup
+}
+
+// Activation returns a snapshot of the activation record for id.
+func (c *Controller) Activation(id string) (Activation, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.activations[id]
+	if !ok {
+		return Activation{}, fmt.Errorf("faas: activation %q: %w", id, ErrNoActivation)
+	}
+	return *rec, nil
+}
+
+// Activations returns snapshots of all activations in submit order.
+func (c *Controller) Activations() []Activation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Activation, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, *c.activations[id])
+	}
+	return out
+}
+
+// InFlight returns the number of currently running activations.
+func (c *Controller) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inflight
+}
+
+// Actions lists registered action names, sorted.
+func (c *Controller) Actions() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	names := make([]string, 0, len(c.actions))
+	for n := range c.actions {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WarmContainers reports the current number of idle warm containers for an
+// action (for tests and ablation benchmarks).
+func (c *Controller) WarmContainers(actionName string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.warm[actionName])
+}

@@ -1,0 +1,39 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Real is a Clock backed by the time package. Its zero value is ready to use.
+type Real struct {
+	wg sync.WaitGroup
+}
+
+var _ Clock = (*Real)(nil)
+
+// NewReal returns a wall-clock Clock.
+func NewReal() *Real { return &Real{} }
+
+// Now returns the current wall-clock time.
+func (r *Real) Now() time.Time { return time.Now() }
+
+// Sleep pauses the calling goroutine for d.
+func (r *Real) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	time.Sleep(d)
+}
+
+// Go runs fn in a new goroutine tracked by Wait.
+func (r *Real) Go(fn func()) {
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		fn()
+	}()
+}
+
+// Wait blocks until all goroutines started with Go have returned.
+func (r *Real) Wait() { r.wg.Wait() }

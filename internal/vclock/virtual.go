@@ -1,0 +1,155 @@
+package vclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Virtual is a cooperative discrete-event clock. Tasks are registered with
+// Go; simulated time advances to the earliest pending wake-up whenever every
+// registered task is blocked in Sleep. CPU work performed by tasks between
+// clock calls consumes no simulated time.
+//
+// Rules for correctness (enforced by convention across GoWren's internals):
+//
+//   - every goroutine that participates in the simulation is started via Go
+//     (directly or transitively from a task);
+//   - tasks block only via Sleep / Poll, never on bare channels or mutexes
+//     held across simulated time.
+//
+// Shared state protected by mutexes is fine as long as critical sections do
+// not block on the clock.
+type Virtual struct {
+	mu       sync.Mutex
+	now      time.Time
+	active   int    // registered tasks currently runnable
+	tasks    int    // registered tasks alive (runnable, sleeping, or blocked)
+	events   uint64 // scheduler progress counter (sleeps, wakes, spawns, exits)
+	sleepers sleepQueue
+	seq      uint64
+	wg       sync.WaitGroup
+}
+
+var _ Clock = (*Virtual)(nil)
+
+// NewVirtual returns a Virtual clock starting at epoch. A fixed, non-zero
+// epoch keeps timestamps deterministic across runs.
+func NewVirtual() *Virtual {
+	return NewVirtualAt(time.Date(2018, time.December, 10, 0, 0, 0, 0, time.UTC))
+}
+
+// NewVirtualAt returns a Virtual clock starting at epoch.
+func NewVirtualAt(epoch time.Time) *Virtual {
+	return &Virtual{now: epoch}
+}
+
+// Now returns the current simulated time.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// Sleep blocks the calling task for d of simulated time. It must be called
+// from a task started with Go (or Run); calling it from an unregistered
+// goroutine corrupts the runnable-task accounting.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	v.mu.Lock()
+	s := &sleeper{wake: v.now.Add(d), seq: v.seq, ch: make(chan struct{})}
+	v.seq++
+	v.events++
+	heap.Push(&v.sleepers, s)
+	v.active--
+	v.maybeAdvanceLocked()
+	v.mu.Unlock()
+	<-s.ch
+}
+
+// Go starts fn as a registered simulation task.
+func (v *Virtual) Go(fn func()) {
+	v.mu.Lock()
+	v.active++
+	v.tasks++
+	v.events++
+	v.mu.Unlock()
+	v.wg.Add(1)
+	go func() {
+		defer func() {
+			v.mu.Lock()
+			v.active--
+			v.tasks--
+			v.events++
+			v.maybeAdvanceLocked()
+			v.mu.Unlock()
+			v.wg.Done()
+		}()
+		fn()
+	}()
+}
+
+// Wait blocks the caller in real time until every task has returned.
+func (v *Virtual) Wait() { v.wg.Wait() }
+
+// Run starts fn as the root task and blocks until fn and every task it
+// spawned (transitively) have returned. It is the usual entry point for a
+// simulation:
+//
+//	clk := vclock.NewVirtual()
+//	clk.Run(func() { ... })
+func (v *Virtual) Run(fn func()) {
+	v.Go(fn)
+	v.Wait()
+}
+
+// maybeAdvanceLocked advances simulated time to the earliest wake-up and
+// releases the sleepers due at that instant, but only once no task is
+// runnable. Callers must hold v.mu.
+func (v *Virtual) maybeAdvanceLocked() {
+	if v.active != 0 || v.sleepers.Len() == 0 {
+		return
+	}
+	next := v.sleepers[0].wake
+	if next.After(v.now) {
+		v.now = next
+	}
+	for v.sleepers.Len() > 0 && !v.sleepers[0].wake.After(v.now) {
+		s := heap.Pop(&v.sleepers).(*sleeper)
+		v.active++
+		v.events++
+		close(s.ch)
+	}
+}
+
+type sleeper struct {
+	wake time.Time
+	seq  uint64 // FIFO tiebreak for equal wake times
+	ch   chan struct{}
+}
+
+type sleepQueue []*sleeper
+
+func (q sleepQueue) Len() int { return len(q) }
+
+func (q sleepQueue) Less(i, j int) bool {
+	if !q[i].wake.Equal(q[j].wake) {
+		return q[i].wake.Before(q[j].wake)
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q sleepQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *sleepQueue) Push(x any) { *q = append(*q, x.(*sleeper)) }
+
+func (q *sleepQueue) Pop() any {
+	old := *q
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return s
+}

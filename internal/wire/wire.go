@@ -1,0 +1,274 @@
+// Package wire defines the serialized envelopes GoWren stages in object
+// storage: call payloads (the analogue of IBM-PyWren pickling user code and
+// data into IBM COS), status records, and result envelopes. Everything is
+// JSON: self-describing, diffable in tests, and sufficient because user
+// functions are addressed by registered name rather than by shipped
+// bytecode (see internal/runtime for the substitution rationale).
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CallKind discriminates the runner behaviour for a staged call.
+type CallKind int
+
+// Call kinds. Plain calls carry an inline argument; MapPartition calls carry
+// a storage partition to read; Reduce calls aggregate map partials; Invoker
+// calls are the massive-function-spawning helpers that fan out a group of
+// staged invocations from inside the cloud; ShuffleMap/ShuffleReduce are the
+// two sides of the keyed-shuffle MapReduce extension.
+const (
+	KindPlain CallKind = iota + 1
+	KindMapPartition
+	KindReduce
+	KindInvoker
+	KindShuffleMap
+	KindShuffleReduce
+)
+
+func (k CallKind) String() string {
+	switch k {
+	case KindPlain:
+		return "plain"
+	case KindMapPartition:
+		return "map-partition"
+	case KindReduce:
+		return "reduce"
+	case KindInvoker:
+		return "invoker"
+	case KindShuffleMap:
+		return "shuffle-map"
+	case KindShuffleReduce:
+		return "shuffle-reduce"
+	default:
+		return fmt.Sprintf("CallKind(%d)", int(k))
+	}
+}
+
+// ObjectRef addresses one object in storage.
+type ObjectRef struct {
+	Bucket string `json:"bucket"`
+	Key    string `json:"key"`
+}
+
+// Partition describes a byte range of a stored object assigned to one map
+// executor. Offset/Length of (0, -1) means the whole object.
+type Partition struct {
+	Bucket     string `json:"bucket"`
+	Key        string `json:"key"`
+	Offset     int64  `json:"offset"`
+	Length     int64  `json:"length"`
+	Index      int    `json:"index"`      // ordinal among the job's partitions
+	ObjectSize int64  `json:"objectSize"` // total size of the source object
+}
+
+// Whole reports whether the partition spans its entire source object.
+func (p Partition) Whole() bool { return p.Offset == 0 && (p.Length < 0 || p.Length == p.ObjectSize) }
+
+// ReduceSpec tells a reduce executor which map partials to wait for.
+type ReduceSpec struct {
+	// MetaBucket is the bucket holding job metadata (statuses, results).
+	MetaBucket string `json:"metaBucket"`
+	// ExecutorID identifies the job whose map phase feeds this reducer.
+	ExecutorID string `json:"executorId"`
+	// MapCallIDs are the map calls whose results this reducer consumes.
+	MapCallIDs []string `json:"mapCallIds"`
+	// GroupKey is the source object key when running one reducer per
+	// object (the paper's reducer_one_per_object mode); empty for a
+	// global reducer.
+	GroupKey string `json:"groupKey,omitempty"`
+}
+
+// KV is one key–value pair emitted by a shuffle map function.
+type KV struct {
+	Key   string          `json:"k"`
+	Value json.RawMessage `json:"v"`
+}
+
+// ShuffleSpec configures the shuffle side-channel of a keyed MapReduce
+// job. Map executors hash-partition their emitted KVs into NumReducers
+// shuffle objects under jobs/{executorId}/shuffle/{reducer}/{mapCallId};
+// reducer r reads partition r of every map call.
+type ShuffleSpec struct {
+	// NumReducers is the reduce-side parallelism R.
+	NumReducers int `json:"numReducers"`
+	// Reducer is this call's partition index (reduce side only).
+	Reducer int `json:"reducer"`
+	// MapCallIDs are the map calls feeding the shuffle (reduce side).
+	MapCallIDs []string `json:"mapCallIds,omitempty"`
+}
+
+// ShuffleKey is where a map call writes its partition for one reducer.
+func ShuffleKey(execID, mapCallID string, reducer int) string {
+	return fmt.Sprintf("jobs/%s/shuffle/%05d/%s", execID, reducer, mapCallID)
+}
+
+// KeyResult is one reduced key with its value, the output unit of a
+// shuffle reducer.
+type KeyResult struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// SpawnTarget is one invocation a remote invoker must fire: the platform
+// action to call and the staged payload to hand it.
+type SpawnTarget struct {
+	Action  string    `json:"action"`
+	Payload ObjectRef `json:"payload"`
+}
+
+// InvokerSpec is the argument to a remote invoker function: the staged
+// payloads it must fan out to the FaaS controller from inside the cloud.
+type InvokerSpec struct {
+	Targets []SpawnTarget `json:"targets"`
+}
+
+// CallPayload is the unit staged in storage per invocation: which function
+// to run, in which runtime, on what input. It corresponds to the
+// "Serialize + Put in COS" step of the paper's Fig. 1.
+type CallPayload struct {
+	ExecutorID string          `json:"executorId"`
+	CallID     string          `json:"callId"`
+	Runtime    string          `json:"runtime"`
+	Function   string          `json:"function"`
+	Kind       CallKind        `json:"kind"`
+	Arg        json.RawMessage `json:"arg,omitempty"`
+	Partition  *Partition      `json:"partition,omitempty"`
+	Reduce     *ReduceSpec     `json:"reduce,omitempty"`
+	Invoker    *InvokerSpec    `json:"invoker,omitempty"`
+	Shuffle    *ShuffleSpec    `json:"shuffle,omitempty"`
+	// MetaBucket is where the runner writes result and status objects.
+	MetaBucket string `json:"metaBucket"`
+}
+
+// Validate checks structural invariants of the payload.
+func (p *CallPayload) Validate() error {
+	switch {
+	case p.ExecutorID == "":
+		return fmt.Errorf("wire: payload missing executor id")
+	case p.CallID == "":
+		return fmt.Errorf("wire: payload missing call id")
+	case p.Function == "":
+		return fmt.Errorf("wire: payload missing function name")
+	case p.MetaBucket == "":
+		return fmt.Errorf("wire: payload missing meta bucket")
+	}
+	switch p.Kind {
+	case KindPlain:
+	case KindMapPartition:
+		if p.Partition == nil {
+			return fmt.Errorf("wire: map-partition payload missing partition")
+		}
+	case KindReduce:
+		if p.Reduce == nil {
+			return fmt.Errorf("wire: reduce payload missing reduce spec")
+		}
+	case KindInvoker:
+		if p.Invoker == nil {
+			return fmt.Errorf("wire: invoker payload missing invoker spec")
+		}
+	case KindShuffleMap:
+		if p.Partition == nil {
+			return fmt.Errorf("wire: shuffle-map payload missing partition")
+		}
+		if p.Shuffle == nil || p.Shuffle.NumReducers < 1 {
+			return fmt.Errorf("wire: shuffle-map payload missing shuffle spec")
+		}
+	case KindShuffleReduce:
+		if p.Shuffle == nil || p.Shuffle.NumReducers < 1 || len(p.Shuffle.MapCallIDs) == 0 {
+			return fmt.Errorf("wire: shuffle-reduce payload missing shuffle spec")
+		}
+		if p.Shuffle.Reducer < 0 || p.Shuffle.Reducer >= p.Shuffle.NumReducers {
+			return fmt.Errorf("wire: shuffle-reduce partition %d out of range", p.Shuffle.Reducer)
+		}
+	default:
+		return fmt.Errorf("wire: unknown call kind %d", int(p.Kind))
+	}
+	return nil
+}
+
+// FuturesRef points at calls spawned dynamically by a function; a result
+// envelope carrying one tells GetResult to keep following the composition
+// (paper §4.4).
+type FuturesRef struct {
+	MetaBucket string   `json:"metaBucket"`
+	ExecutorID string   `json:"executorId"`
+	CallIDs    []string `json:"callIds"`
+	// Combine declares how the downstream results collapse into one value:
+	// "list" returns them as a JSON array (nested map), "single" expects
+	// exactly one call and returns its value (sequences).
+	Combine string `json:"combine"`
+}
+
+// Result envelope kinds.
+const (
+	ResultValue   = "value"
+	ResultFutures = "futures"
+)
+
+// Combine modes for FuturesRef.
+const (
+	// CombineList resolves the referenced calls into a JSON array.
+	CombineList = "list"
+	// CombineSingle expects exactly one referenced call and resolves to
+	// its value (sequential compositions).
+	CombineSingle = "single"
+)
+
+// ResultEnvelope wraps a function's return value. Kind "futures" makes the
+// composition visible to the client so GetResult can transparently wait for
+// the continuation.
+type ResultEnvelope struct {
+	Kind    string          `json:"kind"`
+	Value   json.RawMessage `json:"value,omitempty"`
+	Futures *FuturesRef     `json:"futures,omitempty"`
+}
+
+// StatusRecord is the small object the runner writes when an invocation
+// finishes; clients poll these instead of holding connections open, exactly
+// as IBM-PyWren polls COS.
+type StatusRecord struct {
+	ExecutorID string `json:"executorId"`
+	CallID     string `json:"callId"`
+	OK         bool   `json:"ok"`
+	Error      string `json:"error,omitempty"`
+
+	ActivationID string `json:"activationId"`
+	ColdStart    bool   `json:"coldStart"`
+
+	// Timestamps in nanoseconds on the simulation clock.
+	SubmitUnixNs int64 `json:"submitUnixNs"`
+	StartUnixNs  int64 `json:"startUnixNs"`
+	EndUnixNs    int64 `json:"endUnixNs"`
+
+	ResultRef ObjectRef `json:"resultRef"`
+}
+
+// Marshal encodes v as JSON.
+func Marshal(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("wire: marshal %T: %w", v, err)
+	}
+	return data, nil
+}
+
+// Unmarshal decodes JSON data into v.
+func Unmarshal(data []byte, v any) error {
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: unmarshal %T: %w", v, err)
+	}
+	return nil
+}
+
+// MustMarshal is Marshal for values that cannot fail (fixed struct shapes);
+// it panics on error and is reserved for internal envelopes.
+func MustMarshal(v any) []byte {
+	data, err := Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

@@ -1,0 +1,231 @@
+package wire
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCallPayloadRoundTrip(t *testing.T) {
+	in := CallPayload{
+		ExecutorID: "exec-1",
+		CallID:     "00001",
+		Runtime:    "default",
+		Function:   "add7",
+		Kind:       KindPlain,
+		Arg:        json.RawMessage(`3`),
+		MetaBucket: "gowren-meta",
+	}
+	data, err := Marshal(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out CallPayload
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestCallPayloadValidate(t *testing.T) {
+	valid := func() CallPayload {
+		return CallPayload{
+			ExecutorID: "e", CallID: "c", Runtime: "r", Function: "f",
+			Kind: KindPlain, MetaBucket: "m",
+		}
+	}
+	tests := []struct {
+		name    string
+		mutate  func(*CallPayload)
+		wantErr string
+	}{
+		{"valid plain", func(p *CallPayload) {}, ""},
+		{"missing executor", func(p *CallPayload) { p.ExecutorID = "" }, "executor id"},
+		{"missing call", func(p *CallPayload) { p.CallID = "" }, "call id"},
+		{"missing function", func(p *CallPayload) { p.Function = "" }, "function name"},
+		{"missing meta bucket", func(p *CallPayload) { p.MetaBucket = "" }, "meta bucket"},
+		{"unknown kind", func(p *CallPayload) { p.Kind = 0 }, "unknown call kind"},
+		{"map without partition", func(p *CallPayload) { p.Kind = KindMapPartition }, "missing partition"},
+		{"reduce without spec", func(p *CallPayload) { p.Kind = KindReduce }, "missing reduce spec"},
+		{"invoker without spec", func(p *CallPayload) { p.Kind = KindInvoker }, "missing invoker spec"},
+		{"map with partition", func(p *CallPayload) {
+			p.Kind = KindMapPartition
+			p.Partition = &Partition{Bucket: "b", Key: "k", Length: -1}
+		}, ""},
+		{"reduce with spec", func(p *CallPayload) {
+			p.Kind = KindReduce
+			p.Reduce = &ReduceSpec{MetaBucket: "m", ExecutorID: "e"}
+		}, ""},
+		{"invoker with spec", func(p *CallPayload) {
+			p.Kind = KindInvoker
+			p.Invoker = &InvokerSpec{}
+		}, ""},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := valid()
+			tt.mutate(&p)
+			err := p.Validate()
+			if tt.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestPartitionWhole(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Partition
+		want bool
+	}{
+		{"negative length", Partition{Offset: 0, Length: -1, ObjectSize: 100}, true},
+		{"exact length", Partition{Offset: 0, Length: 100, ObjectSize: 100}, true},
+		{"offset nonzero", Partition{Offset: 1, Length: -1, ObjectSize: 100}, false},
+		{"shorter", Partition{Offset: 0, Length: 50, ObjectSize: 100}, false},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Whole(); got != tt.want {
+			t.Errorf("%s: Whole() = %v, want %v", tt.name, got, tt.want)
+		}
+	}
+}
+
+func TestCallKindString(t *testing.T) {
+	if KindPlain.String() != "plain" || KindMapPartition.String() != "map-partition" ||
+		KindReduce.String() != "reduce" || KindInvoker.String() != "invoker" {
+		t.Fatal("kind strings wrong")
+	}
+	if got := CallKind(99).String(); got != "CallKind(99)" {
+		t.Fatalf("unknown kind string = %q", got)
+	}
+}
+
+func TestStatusRecordRoundTripProperty(t *testing.T) {
+	f := func(execID, callID string, ok bool, submit, start, end int64) bool {
+		in := StatusRecord{
+			ExecutorID:   execID,
+			CallID:       callID,
+			OK:           ok,
+			SubmitUnixNs: submit,
+			StartUnixNs:  start,
+			EndUnixNs:    end,
+			ResultRef:    ObjectRef{Bucket: "b", Key: callID},
+		}
+		data, err := Marshal(&in)
+		if err != nil {
+			return false
+		}
+		var out StatusRecord
+		if err := Unmarshal(data, &out); err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultEnvelopeFutures(t *testing.T) {
+	env := ResultEnvelope{
+		Kind: ResultFutures,
+		Futures: &FuturesRef{
+			MetaBucket: "m", ExecutorID: "sub", CallIDs: []string{"a", "b"}, Combine: "list",
+		},
+	}
+	data := MustMarshal(&env)
+	var out ResultEnvelope
+	if err := Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != ResultFutures || out.Futures == nil || len(out.Futures.CallIDs) != 2 {
+		t.Fatalf("round trip lost futures: %+v", out)
+	}
+}
+
+func TestUnmarshalErrorMentionsType(t *testing.T) {
+	var p CallPayload
+	err := Unmarshal([]byte(`{`), &p)
+	if err == nil || !strings.Contains(err.Error(), "CallPayload") {
+		t.Fatalf("error %v should mention target type", err)
+	}
+}
+
+func TestShufflePayloadValidation(t *testing.T) {
+	base := func(kind CallKind) CallPayload {
+		return CallPayload{
+			ExecutorID: "e", CallID: "c", Runtime: "r", Function: "f",
+			Kind: kind, MetaBucket: "m",
+		}
+	}
+	sm := base(KindShuffleMap)
+	if err := sm.Validate(); err == nil {
+		t.Fatal("shuffle-map without partition accepted")
+	}
+	sm.Partition = &Partition{Bucket: "b", Key: "k", Length: -1}
+	if err := sm.Validate(); err == nil {
+		t.Fatal("shuffle-map without shuffle spec accepted")
+	}
+	sm.Shuffle = &ShuffleSpec{NumReducers: 2}
+	if err := sm.Validate(); err != nil {
+		t.Fatalf("valid shuffle-map rejected: %v", err)
+	}
+
+	sr := base(KindShuffleReduce)
+	if err := sr.Validate(); err == nil {
+		t.Fatal("shuffle-reduce without spec accepted")
+	}
+	sr.Shuffle = &ShuffleSpec{NumReducers: 2, Reducer: 2, MapCallIDs: []string{"a"}}
+	if err := sr.Validate(); err == nil {
+		t.Fatal("out-of-range reducer accepted")
+	}
+	sr.Shuffle.Reducer = 1
+	if err := sr.Validate(); err != nil {
+		t.Fatalf("valid shuffle-reduce rejected: %v", err)
+	}
+}
+
+func TestShuffleKeyLayout(t *testing.T) {
+	key := ShuffleKey("exec-7", "00042", 3)
+	if key != "jobs/exec-7/shuffle/00003/00042" {
+		t.Fatalf("shuffle key = %q", key)
+	}
+}
+
+func TestKVAndKeyResultRoundTrip(t *testing.T) {
+	kv := KV{Key: "word", Value: json.RawMessage(`5`)}
+	data := MustMarshal(kv)
+	var back KV
+	if err := Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Key != "word" || string(back.Value) != "5" {
+		t.Fatalf("kv round trip = %+v", back)
+	}
+	kr := KeyResult{Key: "k", Value: json.RawMessage(`{"n":1}`)}
+	data = MustMarshal(kr)
+	var krBack KeyResult
+	if err := Unmarshal(data, &krBack); err != nil {
+		t.Fatal(err)
+	}
+	if krBack.Key != "k" {
+		t.Fatalf("key result round trip = %+v", krBack)
+	}
+}
+
+func TestNewKindStrings(t *testing.T) {
+	if KindShuffleMap.String() != "shuffle-map" || KindShuffleReduce.String() != "shuffle-reduce" {
+		t.Fatal("shuffle kind strings wrong")
+	}
+}

@@ -1,0 +1,322 @@
+package workloads
+
+import (
+	"fmt"
+	"time"
+
+	"gowren"
+)
+
+// Cost model for the §6.4 tone-analysis job, calibrated against Table 3
+// (see EXPERIMENTS.md for the derivation):
+//
+//   - the sequential baseline ran on a 4 vCPU / 16 GB VM and took 5,160 s
+//     for the 1.9 GB dataset → ~2.66 s per MiB end to end;
+//   - the parallel runs imply a per-executor rate of ~7 s per MiB inside
+//     a 512 MB function container (slower core, per-request COS bandwidth),
+//     plus a per-city map-render cost and a per-partial merge cost in the
+//     reducer.
+const (
+	// VMAnalyzePerMiB is the sequential baseline's processing rate.
+	VMAnalyzePerMiB = 2660 * time.Millisecond
+	// ContainerAnalyzePerMiB is the in-function processing rate.
+	ContainerAnalyzePerMiB = 7000 * time.Millisecond
+	// RenderCostPerCity is the reducer's map-rendering cost.
+	RenderCostPerCity = 10 * time.Second
+	// PartialMergeCost is the reducer's per-chunk cost to download and
+	// merge one map partial.
+	PartialMergeCost = 80 * time.Millisecond
+	// SampleBytesPerPartition caps the bytes a map function actually
+	// parses; tone fractions are extrapolated to the partition (records
+	// are i.i.d., so sampling preserves the statistics while keeping the
+	// simulation's real CPU cost bounded).
+	SampleBytesPerPartition = 64 * 1024
+	// MaxPointsPerChunk bounds the map points sampled per partition.
+	MaxPointsPerChunk = 40
+)
+
+// Registered function names.
+const (
+	FuncComputeBound = "compute/busy"
+	FuncToneMap      = "tone/analyze-chunk"
+	FuncToneReduce   = "tone/render-city"
+	FuncMergesort    = "sort/mergesort"
+)
+
+// ChunkTone is the map function's partial result for one partition.
+type ChunkTone struct {
+	City   string     `json:"city"`
+	Bytes  int64      `json:"bytes"`
+	Counts ToneCounts `json:"counts"`
+	Points []Point    `json:"points"`
+}
+
+// CityMap is the reducer's per-city output: aggregate tone plus the points
+// of the rendered map (paper Fig. 5).
+type CityMap struct {
+	City   string     `json:"city"`
+	Bytes  int64      `json:"bytes"`
+	Chunks int        `json:"chunks"`
+	Counts ToneCounts `json:"counts"`
+	Points []Point    `json:"points"`
+}
+
+// Register adds every workload function to img. Call it before publishing
+// the image to a cloud.
+func Register(img *gowren.Image) error {
+	if err := gowren.RegisterFunc(img, FuncComputeBound, computeBound); err != nil {
+		return err
+	}
+	if err := gowren.RegisterMapFunc(img, FuncToneMap, toneMapChunk); err != nil {
+		return err
+	}
+	if err := gowren.RegisterReduceFunc(img, FuncToneReduce, toneRenderCity); err != nil {
+		return err
+	}
+	if err := gowren.RegisterFunc(img, FuncMergesort, mergesortTask); err != nil {
+		return err
+	}
+	if err := gowren.RegisterKVMapFunc(img, FuncKVToneMap, kvToneMap); err != nil {
+		return err
+	}
+	if err := gowren.RegisterKVReduceFunc(img, FuncKVToneReduce, kvToneReduce); err != nil {
+		return err
+	}
+	return nil
+}
+
+// computeBound models the arbitrary compute-bound tasks of §6.1–6.2: it
+// occupies the function for the requested number of seconds.
+func computeBound(ctx *gowren.Ctx, seconds float64) (float64, error) {
+	if err := ctx.ChargeCompute(time.Duration(seconds * float64(time.Second))); err != nil {
+		return 0, err
+	}
+	return seconds, nil
+}
+
+// toneMapChunk analyzes one partition of a city dataset: it parses a
+// sample of real records, extrapolates the tone distribution to the whole
+// partition, and charges the partition's full modeled processing cost.
+func toneMapChunk(ctx *gowren.Ctx, part *gowren.PartitionReader) (ChunkTone, error) {
+	size := part.Size()
+	sample := size
+	if sample > SampleBytesPerPartition {
+		sample = SampleBytesPerPartition
+	}
+	sample -= sample % RecordSize
+	var (
+		counts ToneCounts
+		points []Point
+	)
+	if sample > 0 {
+		data, err := part.ReadAt(0, sample)
+		if err != nil {
+			return ChunkTone{}, err
+		}
+		counts, points = AnalyzeTone(data, MaxPointsPerChunk)
+		// Extrapolate the sampled classification to the partition.
+		totalRecords := size / RecordSize
+		if counts.Records > 0 && totalRecords > counts.Records {
+			scale := float64(totalRecords) / float64(counts.Records)
+			counts.Good = int64(float64(counts.Good) * scale)
+			counts.Neutral = int64(float64(counts.Neutral) * scale)
+			counts.Records = totalRecords
+			counts.Bad = counts.Records - counts.Good - counts.Neutral
+		}
+	}
+	cost := time.Duration(float64(size) / (1 << 20) * float64(ContainerAnalyzePerMiB))
+	if err := ctx.ChargeCompute(cost); err != nil {
+		return ChunkTone{}, err
+	}
+	return ChunkTone{
+		City:   part.Partition().Key,
+		Bytes:  size,
+		Counts: counts,
+		Points: points,
+	}, nil
+}
+
+// toneRenderCity is the per-city reducer (§6.4 runs it with
+// reducer_one_per_object=true): it merges the chunk partials and renders
+// the city map.
+func toneRenderCity(ctx *gowren.Ctx, group string, partials []ChunkTone) (CityMap, error) {
+	out := CityMap{City: group, Chunks: len(partials)}
+	for _, p := range partials {
+		out.Bytes += p.Bytes
+		out.Counts.Add(p.Counts)
+		out.Points = append(out.Points, p.Points...)
+	}
+	if len(out.Points) > 400 {
+		out.Points = out.Points[:400]
+	}
+	if err := ctx.ChargeCompute(RenderCostPerCity + time.Duration(len(partials))*PartialMergeCost); err != nil {
+		return CityMap{}, err
+	}
+	return out, nil
+}
+
+// SequentialToneAnalysis models the paper's baseline: a single notebook VM
+// processing every city one after another (§6.4, "it took 1 hour and 26
+// minutes"). It charges the VM-rate cost on the clock and returns the
+// per-city maps. The bytes parameter allows scaled-down runs.
+func SequentialToneAnalysis(ctx SequentialCtx, cities []City, seed uint64) ([]CityMap, error) {
+	out := make([]CityMap, 0, len(cities))
+	for _, city := range cities {
+		sample := city.SizeBytes
+		if sample > SampleBytesPerPartition {
+			sample = SampleBytesPerPartition
+		}
+		sample -= sample % RecordSize
+		buf := make([]byte, sample)
+		CityGenerator(city, seed).FillAt(0, buf)
+		counts, points := AnalyzeTone(buf, MaxPointsPerChunk)
+		totalRecords := city.Records()
+		if counts.Records > 0 && totalRecords > counts.Records {
+			scale := float64(totalRecords) / float64(counts.Records)
+			counts.Good = int64(float64(counts.Good) * scale)
+			counts.Neutral = int64(float64(counts.Neutral) * scale)
+			counts.Records = totalRecords
+			counts.Bad = counts.Records - counts.Good - counts.Neutral
+		}
+		cost := time.Duration(float64(city.SizeBytes)/(1<<20)*float64(VMAnalyzePerMiB)) + RenderCostPerCity
+		ctx.Clock.Sleep(cost)
+		out = append(out, CityMap{
+			City:   city.Name,
+			Bytes:  city.SizeBytes,
+			Chunks: 1,
+			Counts: counts,
+			Points: points,
+		})
+	}
+	return out, nil
+}
+
+// SequentialCtx carries what the sequential baseline needs — just a clock.
+type SequentialCtx struct {
+	Clock gowren.Clock
+}
+
+// RenderASCIIMap draws the §6.4 city map as text: apartments plotted on a
+// lat/lon grid, marked by dominant tone (+ good, . neutral, x bad) —
+// the terminal stand-in for the paper's Fig. 5.
+func RenderASCIIMap(m CityMap, width, height int) string {
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(m.Points) == 0 {
+		return fmt.Sprintf("%s: no points\n", m.City)
+	}
+	minLat, maxLat := m.Points[0].Lat, m.Points[0].Lat
+	minLon, maxLon := m.Points[0].Lon, m.Points[0].Lon
+	for _, p := range m.Points {
+		if p.Lat < minLat {
+			minLat = p.Lat
+		}
+		if p.Lat > maxLat {
+			maxLat = p.Lat
+		}
+		if p.Lon < minLon {
+			minLon = p.Lon
+		}
+		if p.Lon > maxLon {
+			maxLon = p.Lon
+		}
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = make([]byte, width)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, p := range m.Points {
+		x, y := 0, 0
+		if maxLon > minLon {
+			x = int((p.Lon - minLon) / (maxLon - minLon) * float64(width-1))
+		}
+		if maxLat > minLat {
+			y = int((maxLat - p.Lat) / (maxLat - minLat) * float64(height-1))
+		}
+		mark := byte('.')
+		switch p.Tone {
+		case ToneGood:
+			mark = '+'
+		case ToneBad:
+			mark = 'x'
+		}
+		grid[y][x] = mark
+	}
+	var b []byte
+	b = fmt.Appendf(b, "%s — %d comments (good %d / neutral %d / bad %d)\n",
+		m.City, m.Counts.Records, m.Counts.Good, m.Counts.Neutral, m.Counts.Bad)
+	for _, row := range grid {
+		b = append(b, row...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// Keyed-shuffle workload: tone word counting over review records. The map
+// side emits (tone, count) pairs per chunk; the reduce side merges counts
+// per tone key, charging interpreter-speed per-value costs so the shuffle
+// ablation reflects realistic reduce-phase scaling.
+const (
+	FuncKVToneMap    = "kvtone/emit"
+	FuncKVToneReduce = "kvtone/sum"
+	// KVReducePerValue is the reducer's modeled cost per merged value.
+	KVReducePerValue = 40 * time.Millisecond
+)
+
+func kvToneMap(ctx *gowren.Ctx, part *gowren.PartitionReader) ([]gowren.KV, error) {
+	size := part.Size()
+	sample := size
+	if sample > SampleBytesPerPartition {
+		sample = SampleBytesPerPartition
+	}
+	sample -= sample % RecordSize
+	var counts ToneCounts
+	if sample > 0 {
+		data, err := part.ReadAt(0, sample)
+		if err != nil {
+			return nil, err
+		}
+		counts, _ = AnalyzeTone(data, 0)
+		totalRecords := size / RecordSize
+		if counts.Records > 0 && totalRecords > counts.Records {
+			scale := float64(totalRecords) / float64(counts.Records)
+			counts.Good = int64(float64(counts.Good) * scale)
+			counts.Neutral = int64(float64(counts.Neutral) * scale)
+			counts.Records = totalRecords
+			counts.Bad = counts.Records - counts.Good - counts.Neutral
+		}
+	}
+	if err := ctx.ChargeCompute(time.Duration(float64(size) / (1 << 20) * float64(ContainerAnalyzePerMiB))); err != nil {
+		return nil, err
+	}
+	out := make([]gowren.KV, 0, 3)
+	for _, t := range []struct {
+		tone string
+		n    int64
+	}{{ToneGood, counts.Good}, {ToneNeutral, counts.Neutral}, {ToneBad, counts.Bad}} {
+		kv, err := gowren.EmitKV(t.tone, t.n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kv)
+	}
+	return out, nil
+}
+
+func kvToneReduce(ctx *gowren.Ctx, _ string, values []int64) (int64, error) {
+	if err := ctx.ChargeCompute(time.Duration(len(values)) * KVReducePerValue); err != nil {
+		return 0, err
+	}
+	var sum int64
+	for _, v := range values {
+		sum += v
+	}
+	return sum, nil
+}

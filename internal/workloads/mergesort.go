@@ -1,0 +1,193 @@
+package workloads
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"slices"
+	"time"
+
+	"gowren"
+	"gowren/internal/cos"
+)
+
+// Mergesort cost model, calibrated to a hand-written Python mergesort
+// running inside a function container (the paper's Fig. 4 workload; see
+// EXPERIMENTS.md). Leaf sorts and merge passes both cost linear time per
+// element at Python interpreter speed; the real Go sort/merge below keeps
+// the data path honest while the clock charge models the paper's runtime.
+const (
+	// PySortPerElem is the leaf-sort cost per element.
+	PySortPerElem = 12 * time.Microsecond
+	// PyMergePerElem is the per-element cost of one merge pass.
+	PyMergePerElem = 3 * time.Microsecond
+)
+
+// elemSize is the array element width in storage (int32, little endian).
+const elemSize = 4
+
+// SortTask describes one node of the mergesort spawn tree: sort Count
+// elements of the input array starting at element Offset, spawning children
+// for Depth more levels (paper §4.4 / §6.3 — "to control the number of
+// recursive iterations per parallel function, we made use of the depth d of
+// the resultant function tree").
+type SortTask struct {
+	Bucket    string `json:"bucket"`
+	Key       string `json:"key"`
+	Offset    int64  `json:"offset"` // element index
+	Count     int64  `json:"count"`  // element count
+	Depth     int    `json:"depth"`
+	OutBucket string `json:"outBucket"`
+}
+
+// Segment names a sorted array segment written by a mergesort function.
+type Segment struct {
+	Bucket string `json:"bucket"`
+	Key    string `json:"key"`
+	Count  int64  `json:"count"`
+}
+
+// mergesortTask is the registered mergesort function. At depth 0 it sorts
+// its whole range locally; otherwise it spawns two children one level
+// shallower, awaits them (nested parallelism with an in-function merge) and
+// merges their outputs.
+func mergesortTask(ctx *gowren.Ctx, task SortTask) (Segment, error) {
+	if task.Count <= 0 {
+		return Segment{}, errors.New("workloads: mergesort over empty range")
+	}
+	outKey := fmt.Sprintf("sorted/%s", ctx.ActivationID())
+
+	if task.Depth <= 0 || task.Count < 2 {
+		raw, _, err := ctx.Storage().GetRange(task.Bucket, task.Key, task.Offset*elemSize, task.Count*elemSize)
+		if err != nil {
+			return Segment{}, fmt.Errorf("workloads: mergesort read input: %w", err)
+		}
+		values := decodeInt32s(raw)
+		slices.Sort(values)
+		if err := ctx.ChargeCompute(time.Duration(task.Count) * PySortPerElem); err != nil {
+			return Segment{}, err
+		}
+		if _, err := ctx.Storage().Put(task.OutBucket, outKey, encodeInt32s(values)); err != nil {
+			return Segment{}, fmt.Errorf("workloads: mergesort write leaf: %w", err)
+		}
+		return Segment{Bucket: task.OutBucket, Key: outKey, Count: task.Count}, nil
+	}
+
+	half := task.Count / 2
+	left := task
+	left.Count = half
+	left.Depth = task.Depth - 1
+	right := task
+	right.Offset += half
+	right.Count = task.Count - half
+	right.Depth = task.Depth - 1
+
+	children, err := gowren.SpawnAwait[Segment](ctx, FuncMergesort, []any{left, right})
+	if err != nil {
+		return Segment{}, fmt.Errorf("workloads: mergesort spawn children: %w", err)
+	}
+	if len(children) != 2 {
+		return Segment{}, fmt.Errorf("workloads: mergesort expected 2 children, got %d", len(children))
+	}
+
+	lRaw, _, err := ctx.Storage().Get(children[0].Bucket, children[0].Key)
+	if err != nil {
+		return Segment{}, fmt.Errorf("workloads: mergesort read left child: %w", err)
+	}
+	rRaw, _, err := ctx.Storage().Get(children[1].Bucket, children[1].Key)
+	if err != nil {
+		return Segment{}, fmt.Errorf("workloads: mergesort read right child: %w", err)
+	}
+	merged := mergeSorted(decodeInt32s(lRaw), decodeInt32s(rRaw))
+	if err := ctx.ChargeCompute(time.Duration(task.Count) * PyMergePerElem); err != nil {
+		return Segment{}, err
+	}
+	if _, err := ctx.Storage().Put(task.OutBucket, outKey, encodeInt32s(merged)); err != nil {
+		return Segment{}, fmt.Errorf("workloads: mergesort write merge: %w", err)
+	}
+	// Children are no longer needed; free the storage.
+	_ = ctx.Storage().Delete(children[0].Bucket, children[0].Key)
+	_ = ctx.Storage().Delete(children[1].Bucket, children[1].Key)
+	return Segment{Bucket: task.OutBucket, Key: outKey, Count: task.Count}, nil
+}
+
+// mergeSorted merges two sorted slices.
+func mergeSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func decodeInt32s(raw []byte) []int32 {
+	n := len(raw) / elemSize
+	out := make([]int32, n)
+	for i := 0; i < n; i++ {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[i*elemSize:]))
+	}
+	return out
+}
+
+func encodeInt32s(values []int32) []byte {
+	out := make([]byte, len(values)*elemSize)
+	for i, v := range values {
+		binary.LittleEndian.PutUint32(out[i*elemSize:], uint32(v))
+	}
+	return out
+}
+
+// ArrayGenerator produces a deterministic pseudorandom int32 array of n
+// elements as a storage object (little endian), so Fig. 4's 25M-integer
+// inputs occupy no memory until read.
+func ArrayGenerator(seed uint64) cos.Generator {
+	return cos.GeneratorFunc(func(off int64, p []byte) {
+		for len(p) > 0 {
+			idx := off / elemSize
+			within := off % elemSize
+			var word [elemSize]byte
+			binary.LittleEndian.PutUint32(word[:], uint32(splitmix64(seed^uint64(idx))))
+			n := copy(p, word[within:])
+			p = p[n:]
+			off += int64(n)
+		}
+	})
+}
+
+// LoadArray stores an n-element generated array under bucket/key, creating
+// the bucket if needed.
+func LoadArray(store *cos.Store, bucket, key string, n int64, seed uint64) error {
+	if err := store.CreateBucket(bucket); err != nil && !errors.Is(err, cos.ErrBucketExists) {
+		return err
+	}
+	_, err := store.PutGenerated(bucket, key, n*elemSize, ArrayGenerator(seed))
+	return err
+}
+
+// VerifySorted reads a segment and checks it is sorted and has the
+// expected element count.
+func VerifySorted(storage cos.Client, seg Segment) error {
+	raw, _, err := storage.Get(seg.Bucket, seg.Key)
+	if err != nil {
+		return err
+	}
+	values := decodeInt32s(raw)
+	if int64(len(values)) != seg.Count {
+		return fmt.Errorf("workloads: segment has %d elements, want %d", len(values), seg.Count)
+	}
+	for i := 1; i < len(values); i++ {
+		if values[i-1] > values[i] {
+			return fmt.Errorf("workloads: segment unsorted at %d", i)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,446 @@
+package workloads
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"gowren"
+	"gowren/internal/cos"
+)
+
+func TestCitiesCalibration(t *testing.T) {
+	cities := Cities(DefaultDatasetBytes)
+	if len(cities) != 33 {
+		t.Fatalf("cities = %d, want 33 (paper: 'The full dataset is composed of 33 cities')", len(cities))
+	}
+	total := TotalBytes(cities)
+	if total < DefaultDatasetBytes*95/100 || total > DefaultDatasetBytes {
+		t.Fatalf("total = %d, want within 5%% of 1.9GB", total)
+	}
+	records := TotalRecords(cities)
+	// Paper: 3,695,107 comments. RecordSize=256 over 1.9GB gives ~7.3M;
+	// the figure-relevant quantity is bytes, but the count must be in the
+	// millions for the workload to be comparable.
+	if records < 3_000_000 {
+		t.Fatalf("records = %d, want millions of comments", records)
+	}
+	for _, c := range cities {
+		if c.SizeBytes%RecordSize != 0 {
+			t.Fatalf("city %s size %d not record aligned", c.Name, c.SizeBytes)
+		}
+	}
+	// Skew: the largest city must dominate the smallest by >10x, which is
+	// what produces Table 3's sublinear executor growth.
+	if cities[0].SizeBytes < 10*cities[len(cities)-1].SizeBytes {
+		t.Fatalf("size distribution not skewed: max=%d min=%d", cities[0].SizeBytes, cities[len(cities)-1].SizeBytes)
+	}
+}
+
+func TestCityGeneratorDeterministicAndAligned(t *testing.T) {
+	city := Cities(DefaultDatasetBytes)[0]
+	gen := CityGenerator(city, 42)
+	a := make([]byte, 3*RecordSize)
+	b := make([]byte, 3*RecordSize)
+	gen.FillAt(0, a)
+	gen.FillAt(0, b)
+	if string(a) != string(b) {
+		t.Fatal("generator not deterministic")
+	}
+	// Unaligned reads see the same content.
+	c := make([]byte, RecordSize)
+	gen.FillAt(100, c)
+	if string(c) != string(a[100:100+RecordSize]) {
+		t.Fatal("unaligned read disagrees with aligned read")
+	}
+	// Each record terminates with a newline at the boundary.
+	for i := 1; i <= 3; i++ {
+		if a[i*RecordSize-1] != '\n' {
+			t.Fatalf("record %d not newline-terminated", i)
+		}
+	}
+	if !strings.HasPrefix(string(a), "R|new-york|") {
+		t.Fatalf("record prefix = %q", a[:32])
+	}
+}
+
+func TestGeneratorRangeConsistencyProperty(t *testing.T) {
+	city := Cities(DefaultDatasetBytes)[3]
+	gen := CityGenerator(city, 7)
+	full := make([]byte, 8*RecordSize)
+	gen.FillAt(0, full)
+	f := func(offRaw, lenRaw uint16) bool {
+		off := int64(offRaw) % int64(len(full)-1)
+		length := int64(lenRaw)%512 + 1
+		if off+length > int64(len(full)) {
+			length = int64(len(full)) - off
+		}
+		part := make([]byte, length)
+		gen.FillAt(off, part)
+		return string(part) == string(full[off:off+length])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeToneDistribution(t *testing.T) {
+	city := Cities(DefaultDatasetBytes)[0]
+	const n = 2000
+	buf := make([]byte, n*RecordSize)
+	CityGenerator(city, 42).FillAt(0, buf)
+	counts, points := AnalyzeTone(buf, 100)
+	if counts.Records != n {
+		t.Fatalf("records = %d, want %d", counts.Records, n)
+	}
+	if counts.Good+counts.Neutral+counts.Bad != n {
+		t.Fatalf("counts don't sum: %+v", counts)
+	}
+	goodFrac := float64(counts.Good) / n
+	if goodFrac < 0.40 || goodFrac > 0.65 {
+		t.Fatalf("good fraction = %.2f, want ~0.5", goodFrac)
+	}
+	badFrac := float64(counts.Bad) / n
+	if badFrac < 0.10 || badFrac > 0.30 {
+		t.Fatalf("bad fraction = %.2f, want ~0.2", badFrac)
+	}
+	if len(points) != 100 {
+		t.Fatalf("points = %d, want capped at 100", len(points))
+	}
+	for _, p := range points {
+		if p.Lat < city.Lat-0.2 || p.Lat > city.Lat+0.2 {
+			t.Fatalf("point latitude %f too far from city %f", p.Lat, city.Lat)
+		}
+	}
+}
+
+func TestAnalyzeToneIgnoresPartialRecords(t *testing.T) {
+	city := Cities(DefaultDatasetBytes)[1]
+	buf := make([]byte, 2*RecordSize+100)
+	CityGenerator(city, 1).FillAt(0, buf)
+	counts, _ := AnalyzeTone(buf, 0)
+	if counts.Records != 2 {
+		t.Fatalf("records = %d, want 2 (trailing partial ignored)", counts.Records)
+	}
+}
+
+func TestLoadDataset(t *testing.T) {
+	store := cos.NewStore()
+	cities, err := LoadDataset(store, "airbnb", 10<<20, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed, err := cos.ListAll(store, "airbnb", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != len(cities) {
+		t.Fatalf("stored %d objects, want %d", len(listed), len(cities))
+	}
+	data, _, err := store.GetRange("airbnb", cities[0].Name, 0, RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "R|") {
+		t.Fatalf("stored object content = %q", data[:16])
+	}
+}
+
+func TestRenderASCIIMap(t *testing.T) {
+	m := CityMap{
+		City:   "testville",
+		Counts: ToneCounts{Good: 2, Neutral: 1, Bad: 1, Records: 4},
+		Points: []Point{
+			{Lat: 1, Lon: 1, Tone: ToneGood},
+			{Lat: 2, Lon: 2, Tone: ToneBad},
+			{Lat: 1.5, Lon: 1.5, Tone: ToneNeutral},
+		},
+	}
+	out := RenderASCIIMap(m, 20, 10)
+	if !strings.Contains(out, "testville") {
+		t.Fatal("render missing city name")
+	}
+	if !strings.Contains(out, "+") || !strings.Contains(out, "x") || !strings.Contains(out, ".") {
+		t.Fatalf("render missing tone marks:\n%s", out)
+	}
+	empty := RenderASCIIMap(CityMap{City: "void"}, 10, 5)
+	if !strings.Contains(empty, "no points") {
+		t.Fatal("empty render should say so")
+	}
+}
+
+func TestMergeSortedAndCodecs(t *testing.T) {
+	a := []int32{1, 3, 5}
+	b := []int32{2, 3, 8, 9}
+	got := mergeSorted(a, b)
+	want := []int32{1, 2, 3, 3, 5, 8, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge = %v, want %v", got, want)
+		}
+	}
+	raw := encodeInt32s(want)
+	back := decodeInt32s(raw)
+	for i := range want {
+		if back[i] != want[i] {
+			t.Fatalf("codec round trip = %v", back)
+		}
+	}
+}
+
+func TestMergeSortedProperty(t *testing.T) {
+	f := func(aRaw, bRaw []int32) bool {
+		a := append([]int32(nil), aRaw...)
+		b := append([]int32(nil), bRaw...)
+		sortInt32s(a)
+		sortInt32s(b)
+		m := mergeSorted(a, b)
+		if len(m) != len(a)+len(b) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i-1] > m[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sortInt32s(v []int32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+}
+
+func TestArrayGeneratorDeterministic(t *testing.T) {
+	gen := ArrayGenerator(5)
+	a := make([]byte, 64)
+	b := make([]byte, 64)
+	gen.FillAt(0, a)
+	gen.FillAt(0, b)
+	if string(a) != string(b) {
+		t.Fatal("array generator not deterministic")
+	}
+	// Partial word reads agree with full reads.
+	c := make([]byte, 10)
+	gen.FillAt(3, c)
+	if string(c) != string(a[3:13]) {
+		t.Fatal("unaligned array read disagrees")
+	}
+}
+
+// newWorkloadCloud wires a virtual-time cloud with the workload functions.
+func newWorkloadCloud(t *testing.T) *gowren.Cloud {
+	t.Helper()
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := Register(img); err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cloud
+}
+
+func TestMergesortEndToEndAllDepths(t *testing.T) {
+	for depth := 0; depth <= 3; depth++ {
+		cloud := newWorkloadCloud(t)
+		const n = int64(4000)
+		if err := LoadArray(cloud.Store(), "arrays", "input", n, 11); err != nil {
+			t.Fatal(err)
+		}
+		if err := cloud.Store().CreateBucket("out"); err != nil {
+			t.Fatal(err)
+		}
+		var seg Segment
+		cloud.Run(func() {
+			exec, err := cloud.Executor()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			task := SortTask{Bucket: "arrays", Key: "input", Offset: 0, Count: n, Depth: depth, OutBucket: "out"}
+			if _, err := exec.CallAsync(FuncMergesort, task); err != nil {
+				t.Error(err)
+				return
+			}
+			seg, err = gowren.Result[Segment](exec)
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		if seg.Count != n {
+			t.Fatalf("depth %d: segment count = %d, want %d", depth, seg.Count, n)
+		}
+		if err := VerifySorted(cloud.Store(), seg); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+	}
+}
+
+func TestMergesortDeeperIsFasterAtScale(t *testing.T) {
+	elapsed := func(depth int) time.Duration {
+		cloud := newWorkloadCloud(t)
+		const n = int64(2_000_000)
+		if err := LoadArray(cloud.Store(), "arrays", "input", n, 3); err != nil {
+			t.Fatal(err)
+		}
+		if err := cloud.Store().CreateBucket("out"); err != nil {
+			t.Fatal(err)
+		}
+		var d time.Duration
+		cloud.Run(func() {
+			exec, err := cloud.Executor()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			start := cloud.Clock().Now()
+			task := SortTask{Bucket: "arrays", Key: "input", Count: n, Depth: depth, OutBucket: "out"}
+			if _, err := exec.CallAsync(FuncMergesort, task); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := gowren.Result[Segment](exec); err != nil {
+				t.Error(err)
+				return
+			}
+			d = cloud.Clock().Now().Sub(start)
+		})
+		return d
+	}
+	d0 := elapsed(0)
+	d2 := elapsed(2)
+	if d2 >= d0 {
+		t.Fatalf("depth 2 (%v) should beat depth 0 (%v) at 2M elements", d2, d0)
+	}
+}
+
+func TestToneMapReduceJob(t *testing.T) {
+	cloud := newWorkloadCloud(t)
+	cities, err := LoadDataset(cloud.Store(), "airbnb", 4<<20, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maps []CityMap
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, err = exec.MapReduce(FuncToneMap, gowren.FromBuckets("airbnb"), FuncToneReduce, gowren.MapReduceOptions{
+			ChunkBytes:          256 << 10,
+			ReducerOnePerObject: true,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		maps, err = gowren.Results[CityMap](exec)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if len(maps) != len(cities) {
+		t.Fatalf("city maps = %d, want %d", len(maps), len(cities))
+	}
+	byCity := map[string]CityMap{}
+	var recs int64
+	for _, m := range maps {
+		byCity[strings.TrimPrefix(m.City, "airbnb/")] = m
+		recs += m.Counts.Records
+	}
+	for _, c := range cities {
+		m, ok := byCity[c.Name]
+		if !ok {
+			t.Fatalf("missing map for city %s", c.Name)
+		}
+		if m.Bytes != c.SizeBytes {
+			t.Fatalf("city %s bytes = %d, want %d", c.Name, m.Bytes, c.SizeBytes)
+		}
+		if m.Counts.Records != c.Records() {
+			t.Fatalf("city %s records = %d, want %d", c.Name, m.Counts.Records, c.Records())
+		}
+	}
+	if recs != TotalRecords(cities) {
+		t.Fatalf("total records = %d, want %d", recs, TotalRecords(cities))
+	}
+}
+
+func TestSequentialToneAnalysisChargesVMRate(t *testing.T) {
+	cloud := newWorkloadCloud(t)
+	cities := Cities(64 << 20)
+	var maps []CityMap
+	start := cloud.Clock().Now()
+	cloud.Run(func() {
+		var err error
+		maps, err = SequentialToneAnalysis(SequentialCtx{Clock: cloud.Clock()}, cities, 1)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if len(maps) != len(cities) {
+		t.Fatalf("maps = %d, want %d", len(maps), len(cities))
+	}
+	elapsed := cloud.Clock().Now().Sub(start)
+	wantMin := time.Duration(float64(TotalBytes(cities))/(1<<20)*float64(VMAnalyzePerMiB)) + time.Duration(len(cities))*RenderCostPerCity
+	wantMin -= time.Microsecond // per-city float rounding
+	if elapsed < wantMin {
+		t.Fatalf("sequential elapsed = %v, want >= %v", elapsed, wantMin)
+	}
+}
+
+func TestKVToneShuffleJob(t *testing.T) {
+	cloud := newWorkloadCloud(t)
+	cities, err := LoadDataset(cloud.Store(), "airbnb", 3<<20, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var merged []gowren.KeyResult
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		_, err = exec.MapReduceShuffle(FuncKVToneMap, gowren.FromBuckets("airbnb"), FuncKVToneReduce,
+			gowren.ShuffleOptions{ChunkBytes: 512 << 10, NumReducers: 3})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		merged, err = gowren.ShuffleResults(exec)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if len(merged) != 3 {
+		t.Fatalf("tone keys = %d, want 3 (good/neutral/bad)", len(merged))
+	}
+	var total int64
+	counts := map[string]int64{}
+	for _, kr := range merged {
+		var n int64
+		if err := json.Unmarshal(kr.Value, &n); err != nil {
+			t.Fatal(err)
+		}
+		counts[kr.Key] = n
+		total += n
+	}
+	if want := TotalRecords(cities); total != want {
+		t.Fatalf("total classified records = %d, want %d (counts: %v)", total, want, counts)
+	}
+	if counts[ToneGood] <= counts[ToneBad] {
+		t.Fatalf("tone distribution inverted: %v", counts)
+	}
+}
