@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: all build vet test race verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the tier-1 gate plus the race detector — what CI runs.
+verify: build vet test race

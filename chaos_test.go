@@ -1,0 +1,271 @@
+package gowren_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gowren"
+	"gowren/internal/trace"
+)
+
+// chaosImage registers the functions the fault-injection tests run.
+func chaosImage(t *testing.T) *gowren.Image {
+	t.Helper()
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(gowren.RegisterFunc(img, "work", func(ctx *gowren.Ctx, x int) (int, error) {
+		if err := ctx.ChargeCompute(5 * time.Second); err != nil {
+			return 0, err
+		}
+		return x * 2, nil
+	}))
+	must(gowren.RegisterFunc(img, "flaky", func(_ *gowren.Ctx, x int) (int, error) {
+		if x < 0 {
+			return 0, errors.New("deliberate permanent failure")
+		}
+		return x + 1, nil
+	}))
+	return img
+}
+
+// chaosRun executes one full 500-call map under a scripted COS brownout
+// plus 5% container crashes and returns the results and elapsed virtual
+// time. Recovery is left entirely to GetResult — no manual FailedFutures
+// or Respawn.
+func chaosRun(t *testing.T, seed int64) (results []int, elapsed time.Duration, crashes int, dead []gowren.DeadLetter) {
+	t.Helper()
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images:        []*gowren.Image{chaosImage(t)},
+		Seed:          seed,
+		CrashProb:     0.05,
+		TraceCapacity: 1 << 16,
+		Chaos: []gowren.ChaosFault{
+			{
+				Kind:        gowren.ChaosCOSBrownout,
+				Start:       3 * time.Second,
+				End:         12 * time.Second,
+				Probability: 0.9,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := make([]any, 500)
+		for i := range args {
+			args[i] = i
+		}
+		start := cloud.Clock().Now()
+		if _, err := exec.MapSlice("work", args); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		results, err = gowren.Results[int](exec, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil {
+			t.Errorf("get result: %v", err)
+			return
+		}
+		elapsed = cloud.Clock().Now().Sub(start)
+		dead = exec.DeadLetters()
+	})
+	for _, ev := range cloud.Trace().Events() {
+		if ev.Kind == trace.KindCrash {
+			crashes++
+		}
+	}
+	return results, elapsed, crashes, dead
+}
+
+func TestChaosMapRecoversAllCalls(t *testing.T) {
+	// Acceptance: a 500-call map with a mid-job COS brownout and 5%
+	// crash probability completes with zero lost calls, purely through
+	// the automatic recovery in the wait path.
+	results, _, crashes, dead := chaosRun(t, 42)
+	if len(results) != 500 {
+		t.Fatalf("got %d results, want 500", len(results))
+	}
+	for i, r := range results {
+		if r != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*2)
+		}
+	}
+	if len(dead) != 0 {
+		t.Fatalf("recovery gave up on %d calls: %+v", len(dead), dead[0])
+	}
+	// The run must actually have injected faults, or the test proves
+	// nothing: with CrashProb 0.05 over 500+ activations crashes are
+	// statistically guaranteed under any seed.
+	if crashes == 0 {
+		t.Fatal("no containers crashed; fault injection did not engage")
+	}
+}
+
+func TestChaosRunDeterministicUnderSeed(t *testing.T) {
+	r1, e1, c1, _ := chaosRun(t, 42)
+	r2, e2, c2, _ := chaosRun(t, 42)
+	if e1 != e2 {
+		t.Fatalf("elapsed diverged under same seed: %v vs %v", e1, e2)
+	}
+	if c1 != c2 {
+		t.Fatalf("crash count diverged under same seed: %d vs %d", c1, c2)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts diverged: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("result %d diverged: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestRecoveryBudgetExhaustionDeadLetters(t *testing.T) {
+	// Deterministically failing calls exhaust their per-call recovery
+	// budget, land on the dead-letter list, and — with PartialResults —
+	// the successful subset still comes back alongside a PartialError.
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images: []*gowren.Image{chaosImage(t)},
+		Seed:   7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.Map("flaky", 1, -1, 3, -2); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		raws, err := exec.GetResult(gowren.GetResultOptions{
+			Timeout:        time.Hour,
+			PartialResults: true,
+			Recovery:       &gowren.RecoveryOptions{MaxAttempts: 1},
+		})
+		if err == nil {
+			t.Error("want PartialError, got nil")
+			return
+		}
+		var pe *gowren.PartialError
+		if !errors.As(err, &pe) {
+			t.Errorf("err = %v, want *PartialError", err)
+			return
+		}
+		if !errors.Is(err, gowren.ErrCallFailed) {
+			t.Errorf("err = %v, want to wrap ErrCallFailed", err)
+		}
+		if len(pe.Failed) != 2 || len(pe.Errs) != 2 {
+			t.Errorf("partial error reports %d/%d failures, want 2/2", len(pe.Failed), len(pe.Errs))
+		}
+		if len(raws) != 4 {
+			t.Errorf("got %d slots, want 4", len(raws))
+			return
+		}
+		// Successes resolved, failures left nil, in call order.
+		for i, wantNil := range []bool{false, true, false, true} {
+			if gotNil := raws[i] == nil; gotNil != wantNil {
+				t.Errorf("slot %d nil=%v, want %v", i, gotNil, wantNil)
+			}
+		}
+		dead := exec.DeadLetters()
+		if len(dead) != 2 {
+			t.Errorf("dead letters = %d, want 2", len(dead))
+			return
+		}
+		for _, d := range dead {
+			if d.Attempts != 1 {
+				t.Errorf("dead letter %s attempts = %d, want 1", d.CallID, d.Attempts)
+			}
+		}
+	})
+}
+
+func TestRecoveryDisabledFailsFast(t *testing.T) {
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images: []*gowren.Image{chaosImage(t)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.Map("flaky", -1); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		_, err = exec.GetResult(gowren.GetResultOptions{
+			Timeout:  time.Hour,
+			Recovery: &gowren.RecoveryOptions{Disabled: true},
+		})
+		if !errors.Is(err, gowren.ErrCallFailed) {
+			t.Errorf("err = %v, want ErrCallFailed", err)
+		}
+		if dead := exec.DeadLetters(); len(dead) != 0 {
+			t.Errorf("disabled recovery still dead-lettered %d calls", len(dead))
+		}
+	})
+}
+
+func TestControllerOutageWindowRecovered(t *testing.T) {
+	// Invocations issued into a controller outage window see 429s and
+	// retry through the shared policy until the window lifts; the job
+	// still completes exactly.
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images: []*gowren.Image{chaosImage(t)},
+		Seed:   5,
+		Chaos: []gowren.ChaosFault{
+			{
+				Kind:  gowren.ChaosControllerOutage,
+				Start: 0,
+				End:   4 * time.Second,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor(gowren.WithRetryPolicy(8, 500*time.Millisecond))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		start := cloud.Clock().Now()
+		if _, err := exec.Map("work", 1, 2, 3); err != nil {
+			t.Errorf("map during outage: %v", err)
+			return
+		}
+		results, err := gowren.Results[int](exec, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil {
+			t.Errorf("get result: %v", err)
+			return
+		}
+		if len(results) != 3 || results[0] != 2 || results[1] != 4 || results[2] != 6 {
+			t.Errorf("results = %v, want [2 4 6]", results)
+		}
+		// The outage must have cost the invocation phase real (virtual)
+		// time: nothing could be admitted before t=4s.
+		if done := cloud.Clock().Now().Sub(start); done < 4*time.Second {
+			t.Errorf("job finished in %v, impossible during a 4s outage", done)
+		}
+	})
+}

@@ -93,8 +93,26 @@ func (e *Executor) WaitThreshold(frac float64, timeout time.Duration) (done, pen
 func (e *Executor) FailedFutures() ([]*Future, error) { return e.inner.FailedFutures() }
 
 // Respawn re-invokes failed calls from their staged payloads, recovering
-// from transient platform failures such as container crashes.
+// from transient platform failures such as container crashes. GetResult
+// performs this automatically (see RecoveryOptions); Respawn remains for
+// manual recovery flows.
 func (e *Executor) Respawn(futures []*Future) error { return e.inner.Respawn(futures) }
+
+// RecoveryOptions tune GetResult's automatic re-execution of failed calls
+// (GetResultOptions.Recovery). The zero value means recovery on with
+// defaults; set Disabled for the original fail-fast client behavior.
+type RecoveryOptions = core.RecoveryOptions
+
+// DeadLetter records one call automatic recovery gave up on.
+type DeadLetter = core.DeadLetter
+
+// PartialError reports permanently failed calls when GetResult runs with
+// PartialResults; it unwraps to the per-call errors.
+type PartialError = core.PartialError
+
+// DeadLetters returns the calls automatic recovery abandoned across this
+// executor's GetResult calls.
+func (e *Executor) DeadLetters() []DeadLetter { return e.inner.DeadLetters() }
 
 // JobStats counts the executor's staged/produced objects in storage.
 type JobStats = core.JobStats

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"time"
 
+	"gowren/internal/chaos"
 	"gowren/internal/core"
 	"gowren/internal/cos"
 	"gowren/internal/netsim"
@@ -70,6 +71,37 @@ const (
 	WaitAlways       = core.WaitAlways
 	WaitAnyCompleted = core.WaitAnyCompleted
 	WaitAllCompleted = core.WaitAllCompleted
+)
+
+// Chaos fault-plan building blocks (see internal/chaos): a SimConfig.Chaos
+// schedule of time-windowed correlated faults driven by the simulation
+// clock.
+type (
+	// ChaosFault is one scheduled fault window.
+	ChaosFault = chaos.Fault
+	// ChaosKind names a fault type.
+	ChaosKind = chaos.Kind
+)
+
+// Chaos fault kinds.
+const (
+	// ChaosCOSBrownout makes storage requests fail with elevated
+	// probability during the window.
+	ChaosCOSBrownout = chaos.COSBrownout
+	// ChaosControllerOutage makes the FaaS gateway reject invocations
+	// with 429s during the window.
+	ChaosControllerOutage = chaos.ControllerOutage
+	// ChaosSlowContainers multiplies activation jitter during the window.
+	ChaosSlowContainers = chaos.SlowContainers
+)
+
+// Failure-handling errors, re-exported for errors.Is against GetResult and
+// Wait results.
+var (
+	// ErrCallFailed marks a function call that failed permanently.
+	ErrCallFailed = core.ErrCallFailed
+	// ErrWaitTimeout marks a wait that hit its deadline.
+	ErrWaitTimeout = core.ErrWaitTimeout
 )
 
 // DefaultRuntime is the stock runtime image name.
@@ -109,6 +141,17 @@ type SimConfig struct {
 	// targets; the cap is lifted to 8 minutes — below the 600 s platform
 	// timeout, so a straggler is slow rather than killed.
 	JitterSigma float64
+	// CrashProb is the probability an activation's container dies
+	// mid-execution with no status committed (paper §3 failure model).
+	// Zero disables crashes; failure-injection tests and chaos runs set
+	// it. Crashed calls are detected client-side from activation records
+	// and recovered automatically by GetResult (see RecoveryOptions).
+	CrashProb float64
+	// Chaos schedules deterministic fault windows on the simulation
+	// clock: COS brownouts, controller outages, slow-container windows.
+	// Start/End are relative to the cloud's creation time. Empty disables
+	// fault injection.
+	Chaos []ChaosFault
 	// MetaBucket overrides the job-metadata bucket name.
 	MetaBucket string
 	// TraceCapacity, when positive, enables the platform flight recorder
@@ -126,6 +169,7 @@ type Cloud struct {
 	platform *core.Platform
 	recorder *trace.Recorder
 	seed     int64
+	chaos    *chaos.Plan
 }
 
 // NewSimCloud builds a simulated cloud from cfg.
@@ -166,14 +210,24 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 	if cfg.TraceCapacity > 0 {
 		recorder = trace.New(cfg.TraceCapacity)
 	}
+	var plan *chaos.Plan
+	if len(cfg.Chaos) > 0 {
+		var err error
+		plan, err = chaos.NewPlan(clk, cfg.Seed, cfg.Chaos)
+		if err != nil {
+			return nil, fmt.Errorf("gowren: chaos plan: %w", err)
+		}
+	}
 	pcfg := core.PlatformConfig{
 		Clock:         clk,
 		Registry:      registry,
 		Store:         store,
 		Seed:          cfg.Seed,
 		MaxConcurrent: cfg.MaxConcurrent,
+		CrashProb:     cfg.CrashProb,
 		MetaBucket:    cfg.MetaBucket,
 		Trace:         recorder,
+		Chaos:         plan,
 	}
 	if cfg.Jitter {
 		sigma, cap := 0.8, 5*time.Second
@@ -205,6 +259,7 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		platform: platform,
 		recorder: recorder,
 		seed:     cfg.Seed,
+		chaos:    plan,
 	}, nil
 }
 
@@ -261,17 +316,20 @@ const (
 type ExecutorOption func(*executorSettings)
 
 type executorSettings struct {
-	runtime        string
-	profile        ClientProfile
-	massive        bool
-	spawnGroup     int
-	invokeConc     int
-	stageConc      int
-	clientOverhead time.Duration
-	pollInterval   time.Duration
-	retryBackoff   time.Duration
-	maxRetries     int
-	storage        cos.Client
+	runtime          string
+	profile          ClientProfile
+	massive          bool
+	spawnGroup       int
+	invokeConc       int
+	stageConc        int
+	clientOverhead   time.Duration
+	pollInterval     time.Duration
+	retryBackoff     time.Duration
+	maxRetries       int
+	retryBudget      float64
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	storage          cos.Client
 }
 
 // WithRuntime selects the runtime image, as in
@@ -315,11 +373,35 @@ func WithPollInterval(d time.Duration) ExecutorOption {
 	return func(s *executorSettings) { s.pollInterval = d }
 }
 
-// WithRetryPolicy sets the invocation retry limit and base backoff.
+// WithRetryPolicy sets the invocation retry limit and base backoff of the
+// executor's shared retry policy (internal/retry): exponential backoff
+// with decorrelated jitter, applied to invocations and storage accesses
+// alike.
 func WithRetryPolicy(maxRetries int, backoff time.Duration) ExecutorOption {
 	return func(s *executorSettings) {
 		s.maxRetries = maxRetries
 		s.retryBackoff = backoff
+	}
+}
+
+// WithRetryBudget caps the executor's total retry volume: a token bucket
+// holding tokens retries, refilled one token per successful operation.
+// A sustained outage then degrades into fast failures instead of a retry
+// storm. Zero keeps the generous default (1024); negative disables the
+// budget.
+func WithRetryBudget(tokens float64) ExecutorOption {
+	return func(s *executorSettings) { s.retryBudget = tokens }
+}
+
+// WithCircuitBreaker arms a circuit breaker on the invocation path: after
+// threshold consecutive throttled attempts the executor sheds invocations
+// for cooldown (zero cooldown selects 5s) instead of queueing behind a
+// saturated gateway. Unset, throttled calls retry until the retry limit —
+// the classic PyWren behavior.
+func WithCircuitBreaker(threshold int, cooldown time.Duration) ExecutorOption {
+	return func(s *executorSettings) {
+		s.breakerThreshold = threshold
+		s.breakerCooldown = cooldown
 	}
 }
 
@@ -359,7 +441,10 @@ func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
 
 	storage := s.storage
 	if storage == nil {
-		storage = cos.NewLinked(c.store, c.clock, storageLink)
+		// A COS brownout degrades the service itself, so the client's view
+		// is chaos-wrapped exactly like the in-cloud one (below the
+		// executor's retry layer).
+		storage = chaos.WrapStorage(cos.NewLinked(c.store, c.clock, storageLink), c.chaos)
 	}
 	inner, err := core.NewExecutor(core.Config{
 		Platform:          c.platform,
@@ -374,6 +459,9 @@ func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
 		MaxRetries:        s.maxRetries,
 		RetryBackoff:      s.retryBackoff,
 		PollInterval:      s.pollInterval,
+		RetryBudget:       s.retryBudget,
+		BreakerThreshold:  s.breakerThreshold,
+		BreakerCooldown:   s.breakerCooldown,
 	})
 	if err != nil {
 		return nil, err

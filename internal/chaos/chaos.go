@@ -1,0 +1,265 @@
+// Package chaos schedules deterministic, time-windowed, *correlated*
+// faults over the simulated cloud. The netsim links already model
+// independent per-request failures (the paper's WAN loss rate); chaos adds
+// the failure modes those Bernoulli draws cannot express — "COS is browned
+// out from t=10s to t=25s", "the Cloud Functions gateway answers 429 for a
+// minute", "containers run slow during the noisy-neighbour window" — so
+// experiments and tests can script whole outage scenarios on the virtual
+// clock and replay them bit-for-bit under a fixed seed.
+//
+// A Plan is a list of Fault windows anchored at the moment the plan is
+// created (the simulation epoch). The platform consults the plan through
+// narrow probes: storage wrappers ask StorageFailure per request, the FaaS
+// controller asks ControllerDown per invocation and ExecFactor per
+// activation. A nil *Plan is inert everywhere, so wiring is unconditional.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/vclock"
+)
+
+// Kind names a fault type.
+type Kind string
+
+const (
+	// COSBrownout makes object-storage requests fail with
+	// cos.ErrRequestFailed at Probability while the window is active —
+	// a region-wide storage degradation rather than independent packet
+	// loss.
+	COSBrownout Kind = "cos-brownout"
+	// ControllerOutage makes the FaaS gateway refuse every invocation
+	// with a 429 (faas.ErrThrottled) while the window is active.
+	ControllerOutage Kind = "controller-outage"
+	// SlowContainers multiplies each activation's execution jitter by
+	// Factor while the window is active — the noisy-neighbour windows
+	// behind the paper's Fig. 3 stragglers.
+	SlowContainers Kind = "slow-containers"
+)
+
+// Fault is one scripted fault window, relative to the plan epoch.
+type Fault struct {
+	// Kind selects the fault type. Required.
+	Kind Kind
+	// Start and End bound the window: active when Start <= elapsed < End.
+	// End must be greater than Start.
+	Start, End time.Duration
+	// Probability is the per-request failure probability of a
+	// COSBrownout. Zero selects 0.9 (browned out, not fully down).
+	Probability float64
+	// Factor is the jitter multiplier of a SlowContainers window. Zero
+	// selects 10.
+	Factor float64
+}
+
+func (f Fault) validate() error {
+	switch f.Kind {
+	case COSBrownout, ControllerOutage, SlowContainers:
+	default:
+		return fmt.Errorf("chaos: unknown fault kind %q", f.Kind)
+	}
+	if f.End <= f.Start || f.Start < 0 {
+		return fmt.Errorf("chaos: %s window [%v, %v) is empty or negative", f.Kind, f.Start, f.End)
+	}
+	if f.Probability < 0 || f.Probability > 1 {
+		return fmt.Errorf("chaos: %s probability %v out of [0,1]", f.Kind, f.Probability)
+	}
+	if f.Factor < 0 {
+		return fmt.Errorf("chaos: %s factor %v negative", f.Kind, f.Factor)
+	}
+	return nil
+}
+
+// Plan is a validated fault schedule anchored on a clock. All methods are
+// safe for concurrent use and on a nil receiver (inert).
+type Plan struct {
+	clk    vclock.Clock
+	epoch  time.Time
+	faults []Fault
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewPlan validates faults and anchors their windows at clk.Now(). seed
+// drives the brownout failure draws.
+func NewPlan(clk vclock.Clock, seed int64, faults []Fault) (*Plan, error) {
+	if clk == nil {
+		return nil, fmt.Errorf("chaos: plan requires a clock")
+	}
+	normalized := make([]Fault, len(faults))
+	for i, f := range faults {
+		if err := f.validate(); err != nil {
+			return nil, err
+		}
+		if f.Kind == COSBrownout && f.Probability == 0 {
+			f.Probability = 0.9
+		}
+		if f.Kind == SlowContainers && f.Factor == 0 {
+			f.Factor = 10
+		}
+		normalized[i] = f
+	}
+	return &Plan{
+		clk:    clk,
+		epoch:  clk.Now(),
+		faults: normalized,
+		rng:    rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+// active returns the matching active fault of the given kind, if any.
+// Overlapping windows of the same kind resolve to the first in plan order.
+func (p *Plan) active(kind Kind) (Fault, bool) {
+	if p == nil {
+		return Fault{}, false
+	}
+	elapsed := p.clk.Now().Sub(p.epoch)
+	for _, f := range p.faults {
+		if f.Kind == kind && elapsed >= f.Start && elapsed < f.End {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}
+
+// StorageFailure draws one correlated-failure decision for a storage
+// request issued now.
+func (p *Plan) StorageFailure() bool {
+	f, ok := p.active(COSBrownout)
+	if !ok {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Float64() < f.Probability
+}
+
+// ControllerDown reports whether the FaaS gateway is refusing invocations
+// now.
+func (p *Plan) ControllerDown() bool {
+	_, ok := p.active(ControllerOutage)
+	return ok
+}
+
+// ExecFactor returns the current execution-jitter multiplier (1 outside
+// any SlowContainers window).
+func (p *Plan) ExecFactor() float64 {
+	f, ok := p.active(SlowContainers)
+	if !ok {
+		return 1
+	}
+	return f.Factor
+}
+
+// Storage wraps a cos.Client with the plan's COS-brownout windows: while a
+// window is active, requests fail with cos.ErrRequestFailed at the window's
+// probability before reaching the inner client. Layer it *under* retrying
+// wrappers so retries observe the brownout like real SDKs would.
+type Storage struct {
+	inner cos.Client
+	plan  *Plan
+}
+
+var _ cos.Client = (*Storage)(nil)
+
+// WrapStorage returns inner guarded by plan. A nil plan returns inner
+// unchanged.
+func WrapStorage(inner cos.Client, plan *Plan) cos.Client {
+	if plan == nil {
+		return inner
+	}
+	return &Storage{inner: inner, plan: plan}
+}
+
+func (s *Storage) guard() error {
+	if s.plan.StorageFailure() {
+		return cos.ErrRequestFailed
+	}
+	return nil
+}
+
+// CreateBucket implements cos.Client.
+func (s *Storage) CreateBucket(bucket string) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.inner.CreateBucket(bucket)
+}
+
+// DeleteBucket implements cos.Client.
+func (s *Storage) DeleteBucket(bucket string) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.inner.DeleteBucket(bucket)
+}
+
+// BucketExists implements cos.Client.
+func (s *Storage) BucketExists(bucket string) (bool, error) {
+	if err := s.guard(); err != nil {
+		return false, err
+	}
+	return s.inner.BucketExists(bucket)
+}
+
+// Put implements cos.Client.
+func (s *Storage) Put(bucket, key string, data []byte) (cos.ObjectMeta, error) {
+	if err := s.guard(); err != nil {
+		return cos.ObjectMeta{}, err
+	}
+	return s.inner.Put(bucket, key, data)
+}
+
+// Get implements cos.Client.
+func (s *Storage) Get(bucket, key string) ([]byte, cos.ObjectMeta, error) {
+	if err := s.guard(); err != nil {
+		return nil, cos.ObjectMeta{}, err
+	}
+	return s.inner.Get(bucket, key)
+}
+
+// GetRange implements cos.Client.
+func (s *Storage) GetRange(bucket, key string, offset, length int64) ([]byte, cos.ObjectMeta, error) {
+	if err := s.guard(); err != nil {
+		return nil, cos.ObjectMeta{}, err
+	}
+	return s.inner.GetRange(bucket, key, offset, length)
+}
+
+// Head implements cos.Client.
+func (s *Storage) Head(bucket, key string) (cos.ObjectMeta, error) {
+	if err := s.guard(); err != nil {
+		return cos.ObjectMeta{}, err
+	}
+	return s.inner.Head(bucket, key)
+}
+
+// List implements cos.Client.
+func (s *Storage) List(bucket, prefix, marker string, maxKeys int) (cos.ListResult, error) {
+	if err := s.guard(); err != nil {
+		return cos.ListResult{}, err
+	}
+	return s.inner.List(bucket, prefix, marker, maxKeys)
+}
+
+// ListBuckets implements cos.Client.
+func (s *Storage) ListBuckets() ([]string, error) {
+	if err := s.guard(); err != nil {
+		return nil, err
+	}
+	return s.inner.ListBuckets()
+}
+
+// Delete implements cos.Client.
+func (s *Storage) Delete(bucket, key string) error {
+	if err := s.guard(); err != nil {
+		return err
+	}
+	return s.inner.Delete(bucket, key)
+}

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"gowren/internal/cos"
+	"gowren/internal/faas"
 	"gowren/internal/netsim"
+	"gowren/internal/retry"
 	"gowren/internal/runtime"
 	"gowren/internal/vclock"
 	"gowren/internal/wire"
@@ -63,11 +65,27 @@ type Config struct {
 	// MaxRetries bounds invocation retries on throttling or network
 	// failure. Zero uses 5.
 	MaxRetries int
-	// RetryBackoff is the base backoff between retries (doubled per
-	// attempt). Zero uses 1s.
+	// RetryBackoff is the base backoff between retries, grown
+	// exponentially with decorrelated jitter by the shared policy in
+	// internal/retry. Zero uses 1s.
 	RetryBackoff time.Duration
 	// PollInterval is the status-polling granularity. Zero uses 50ms.
 	PollInterval time.Duration
+
+	// RetryBudget caps the total retry volume this executor may generate
+	// across invocations and storage accesses (a token bucket refilled by
+	// successes; see retry.Budget). Zero uses 1024 tokens; negative
+	// disables the budget entirely.
+	RetryBudget float64
+	// BreakerThreshold arms a circuit breaker on the invocation path:
+	// after this many consecutive throttled attempts the executor sheds
+	// invocations with retry.ErrCircuitOpen for BreakerCooldown. Zero
+	// disables the breaker (throttled calls then retry until MaxRetries,
+	// the classic PyWren behavior).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit sheds load. Zero uses
+	// 5s.
+	BreakerCooldown time.Duration
 }
 
 func (c *Config) applyDefaults() error {
@@ -110,9 +128,38 @@ type Executor struct {
 	clock vclock.Clock
 	gil   *serial
 
-	mu      sync.Mutex
-	futures []*Future
-	nextID  int
+	// invokeRetry and storageRetry back every client-side retry loop with
+	// the shared policy: exponential backoff with decorrelated jitter, one
+	// retry budget for the whole executor, and an optional circuit breaker
+	// on the invocation path.
+	invokeRetry  *retry.Retrier
+	storageRetry *retry.Retrier
+
+	mu          sync.Mutex
+	futures     []*Future
+	nextID      int
+	deadLetters []DeadLetter
+}
+
+// classifyCallErr maps invocation-path errors onto the shared retry
+// classes: 429s feed the breaker, lost requests retry, the rest is fatal.
+func classifyCallErr(err error) retry.Class {
+	switch {
+	case errors.Is(err, faas.ErrThrottled):
+		return retry.Throttle
+	case errors.Is(err, cos.ErrRequestFailed):
+		return retry.Transient
+	default:
+		return retry.Fatal
+	}
+}
+
+// classifyStorageErr retries only transient simulated request failures.
+func classifyStorageErr(err error) retry.Class {
+	if errors.Is(err, cos.ErrRequestFailed) {
+		return retry.Transient
+	}
+	return retry.Fatal
 }
 
 // NewExecutor validates cfg and returns an executor with a fresh ID.
@@ -124,11 +171,30 @@ func NewExecutor(cfg Config) (*Executor, error) {
 	// Every storage access gets SDK-style transient-failure retries, so
 	// one lost request cannot fail data discovery or a status sweep.
 	cfg.Storage = cos.NewRetrying(cfg.Storage, clk, 4, 150*time.Millisecond)
+
+	n := execCounter.Add(1)
+	var budget *retry.Budget
+	if cfg.RetryBudget >= 0 {
+		budget = retry.NewBudget(cfg.RetryBudget, 1)
+	}
+	breaker := retry.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	seed := cfg.Platform.nextExecutorSeed()
+	policy := retry.Policy{
+		MaxAttempts: cfg.MaxRetries + 1,
+		BaseBackoff: cfg.RetryBackoff,
+		MaxBackoff:  30 * time.Second,
+		Multiplier:  2,
+		Jitter:      true,
+	}
 	return &Executor{
 		cfg:   cfg,
-		id:    fmt.Sprintf("exec-%06d", execCounter.Add(1)),
+		id:    fmt.Sprintf("exec-%06d", n),
 		clock: clk,
 		gil:   newSerial(clk),
+		invokeRetry: retry.New(clk, policy, classifyCallErr,
+			retry.WithBudget(budget), retry.WithBreaker(breaker), retry.WithSeed(seed)),
+		storageRetry: retry.New(clk, policy, classifyStorageErr,
+			retry.WithBudget(budget), retry.WithSeed(seed+1)),
 	}, nil
 }
 
@@ -258,49 +324,28 @@ func (e *Executor) stagePayloads(payloads []*wire.CallPayload) error {
 	return nil
 }
 
-// putWithRetry retries transient simulated network failures.
+// putWithRetry retries transient simulated network failures under the
+// shared policy.
 func (e *Executor) putWithRetry(bucket, key string, body []byte) error {
-	var err error
-	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			e.clock.Sleep(e.backoff(attempt))
-		}
-		if _, err = e.cfg.Storage.Put(bucket, key, body); err == nil {
-			return nil
-		}
-		if !errors.Is(err, cos.ErrRequestFailed) {
-			return err
-		}
-	}
-	return err
+	return e.storageRetry.Do(func() error {
+		_, err := e.cfg.Storage.Put(bucket, key, body)
+		return err
+	})
 }
 
 // getWithRetry fetches an object, retrying transient simulated network
-// failures.
+// failures under the shared policy.
 func (e *Executor) getWithRetry(bucket, key string) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			e.clock.Sleep(e.backoff(attempt))
-		}
-		data, _, err := e.cfg.Storage.Get(bucket, key)
-		if err == nil {
-			return data, nil
-		}
-		if !errors.Is(err, cos.ErrRequestFailed) {
-			return nil, err
-		}
-		lastErr = err
+	var data []byte
+	err := e.storageRetry.Do(func() error {
+		var err error
+		data, _, err = e.cfg.Storage.Get(bucket, key)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, lastErr
-}
-
-func (e *Executor) backoff(attempt int) time.Duration {
-	d := e.cfg.RetryBackoff
-	for i := 1; i < attempt && d < 30*time.Second; i++ {
-		d *= 2
-	}
-	return d
+	return data, nil
 }
 
 // Wait strategies (Table 2: wait). The names mirror the paper's §4.2.
@@ -333,6 +378,15 @@ type GetResultOptions struct {
 	// Progress, when set, receives (done, total) after every poll sweep,
 	// backing the paper's progress bar.
 	Progress func(done, total int)
+	// Recovery tunes automatic re-execution of failed calls while
+	// waiting. Nil uses the defaults (recovery on, 3 attempts with
+	// doubling backoff); set Recovery.Disabled for the original
+	// fail-on-first-observation client behavior.
+	Recovery *RecoveryOptions
+	// PartialResults returns the successful subset instead of failing the
+	// whole collection: permanently failed calls leave nil entries in the
+	// result slice and are reported through a *PartialError.
+	PartialResults bool
 }
 
 // GetResult waits for every tracked future, downloads the results, and

@@ -59,14 +59,21 @@ func (e *Executor) WaitThreshold(frac float64, deadline time.Time) (done, pendin
 		}
 		return d, p
 	}
+	// A non-transient sweep failure aborts the wait; swallowing it here
+	// would spin until the deadline and misreport it as ErrWaitTimeout.
+	var sweepErr error
 	ok := pollClock(e, func() bool {
 		if err := sweepStatuses(e, futures); err != nil {
-			return false
+			sweepErr = err
+			return true
 		}
 		d, _ := partition()
 		return len(d) >= need
 	}, deadline)
 	done, pending = partition()
+	if sweepErr != nil {
+		return done, pending, fmt.Errorf("core: wait threshold: %w", sweepErr)
+	}
 	if !ok {
 		return done, pending, fmt.Errorf("core: threshold %d/%d not reached: %w", need, len(futures), ErrWaitTimeout)
 	}

@@ -190,16 +190,23 @@ func waitFutures(e *Executor, futures []*Future, strategy WaitStrategy, deadline
 		done, pending = partition()
 		return done, pending, nil
 	}
+	// A non-transient sweep failure must abort the wait, not silently spin
+	// until the deadline turns it into a misleading ErrWaitTimeout.
+	var sweepErr error
 	ok := vclock.Poll(e.clock, func() bool {
 		if satisfied() {
 			return true
 		}
 		if err := sweepStatuses(e, futures); err != nil {
-			return false
+			sweepErr = err
+			return true
 		}
 		return satisfied()
 	}, e.pollInterval(), deadline)
 	done, pending = partition()
+	if sweepErr != nil {
+		return done, pending, sweepErr
+	}
 	if !ok {
 		return done, pending, fmt.Errorf("core: %d of %d calls still pending: %w", len(pending), len(futures), ErrWaitTimeout)
 	}
@@ -207,52 +214,64 @@ func waitFutures(e *Executor, futures []*Future, strategy WaitStrategy, deadline
 }
 
 // collectResults waits for all futures, downloads their results with the
-// staging pool, and resolves composition continuations.
+// staging pool, and resolves composition continuations. While waiting it
+// drives automatic failure recovery (see recover.go): failed calls are
+// re-invoked from their staged payloads until they succeed or run out of
+// attempts and land on the executor's dead-letter list.
 func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]json.RawMessage, error) {
 	deadline := e.deadlineFrom(opts.Timeout)
+	rec := newRecoverer(e, futures, opts.Recovery)
 
-	if opts.Progress != nil {
-		// Drive the progress callback from a wait loop that reports after
-		// every sweep.
-		total := len(futures)
-		last := -1
-		report := func() {
-			done := 0
-			for _, f := range futures {
-				if f.knownDone() {
-					done++
-				}
-			}
-			if done != last {
-				last = done
-				opts.Progress(done, total)
+	total := len(futures)
+	last := -1
+	report := func() {
+		if opts.Progress == nil {
+			return
+		}
+		done := 0
+		for _, f := range futures {
+			if f.knownDone() {
+				done++
 			}
 		}
-		report()
-		ok := vclock.Poll(e.clock, func() bool {
-			if err := sweepStatuses(e, futures); err != nil {
-				return false
-			}
-			report()
-			for _, f := range futures {
-				if !f.knownDone() {
-					return false
-				}
-			}
+		if done != last {
+			last = done
+			opts.Progress(done, total)
+		}
+	}
+	report()
+	var sweepErr error
+	ok := vclock.Poll(e.clock, func() bool {
+		if err := sweepStatuses(e, futures); err != nil {
+			sweepErr = err
 			return true
-		}, e.pollInterval(), deadline)
-		if !ok {
-			return nil, fmt.Errorf("core: get_result: %w", ErrWaitTimeout)
 		}
-	} else {
-		if _, _, err := waitFutures(e, futures, WaitAllCompleted, deadline); err != nil {
-			return nil, fmt.Errorf("core: get_result: %w", err)
-		}
+		rec.step()
+		report()
+		return rec.settled()
+	}, e.pollInterval(), deadline)
+	if sweepErr != nil {
+		return nil, fmt.Errorf("core: get_result: %w", sweepErr)
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: get_result: %w", ErrWaitTimeout)
+	}
+
+	failedFs, failErrs := rec.terminalFailures()
+	if len(failedFs) > 0 && !opts.PartialResults {
+		return nil, fmt.Errorf("core: get_result: %w", errors.Join(failErrs...))
+	}
+	failedSet := make(map[*Future]bool, len(failedFs))
+	for _, f := range failedFs {
+		failedSet[f] = true
 	}
 
 	r := &resolver{exec: e, deadline: deadline}
 	out := make([]json.RawMessage, len(futures))
 	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(futures), func(i int) error {
+		if failedSet[futures[i]] {
+			return nil // left nil in the output; reported via PartialError
+		}
 		val, err := r.resolveFuture(futures[i], 0)
 		if err != nil {
 			return err
@@ -262,6 +281,9 @@ func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]js
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
+	}
+	if len(failedFs) > 0 {
+		return out, &PartialError{Failed: rec.lettersFor(failedFs, failErrs), Errs: failErrs}
 	}
 	return out, nil
 }

@@ -1,11 +1,9 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"gowren/internal/cos"
-	"gowren/internal/faas"
 	"gowren/internal/wire"
 )
 
@@ -35,35 +33,34 @@ func (e *Executor) invokeDirect(action string, payloads []*wire.CallPayload) ([]
 	return actIDs, nil
 }
 
-// invokeOne performs a single invocation with retries on throttling and
-// simulated network failures. Each attempt pays the serialized client
-// overhead and one control-link round trip.
+// invokeOne performs a single invocation under the shared retry policy:
+// throttles and lost requests back off with decorrelated jitter, drawing on
+// the executor's retry budget and tripping its circuit breaker (when
+// armed). Each attempt pays the serialized client overhead and one
+// control-link round trip.
 func (e *Executor) invokeOne(action string, ref wire.ObjectRef) (string, error) {
 	params := wire.MustMarshal(ref)
-	var lastErr error
-	for attempt := 0; attempt <= e.cfg.MaxRetries; attempt++ {
-		if attempt > 0 {
-			e.clock.Sleep(e.backoff(attempt))
-		}
+	var id string
+	err := e.invokeRetry.Do(func() error {
 		e.gil.Acquire(e.cfg.ClientOverhead)
 		if e.cfg.ControlLink != nil {
 			d, failed := e.cfg.ControlLink.RequestCost(approxInvokeBytes)
 			e.clock.Sleep(d)
 			if failed {
-				lastErr = fmt.Errorf("core: invocation request lost: %w", cos.ErrRequestFailed)
-				continue
+				return fmt.Errorf("core: invocation request lost: %w", cos.ErrRequestFailed)
 			}
 		}
-		id, err := e.cfg.Platform.Controller().Invoke(action, params)
-		if err == nil {
-			return id, nil
+		got, err := e.cfg.Platform.Controller().Invoke(action, params)
+		if err != nil {
+			return err
 		}
-		if !errors.Is(err, faas.ErrThrottled) {
-			return "", err
-		}
-		lastErr = err
+		id = got
+		return nil
+	})
+	if err != nil {
+		return "", fmt.Errorf("core: invocation failed: %w", err)
 	}
-	return "", fmt.Errorf("core: invocation failed after %d retries: %w", e.cfg.MaxRetries, lastErr)
+	return id, nil
 }
 
 // invokeViaSpawners implements massive function spawning (§5.1): payload

@@ -4,11 +4,14 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"gowren/internal/chaos"
 	"gowren/internal/cos"
 	"gowren/internal/faas"
 	"gowren/internal/netsim"
+	"gowren/internal/retry"
 	"gowren/internal/runtime"
 	"gowren/internal/trace"
 	"gowren/internal/vclock"
@@ -35,6 +38,11 @@ type PlatformConfig struct {
 	Seed int64
 	// Trace, when non-nil, records platform events for inspection.
 	Trace *trace.Recorder
+	// Chaos, when non-nil, schedules correlated fault windows on the
+	// virtual clock: COS brownouts degrade the in-cloud storage view,
+	// controller outages reject invocations with 429s, and slow-container
+	// windows stretch activation jitter. Nil disables fault injection.
+	Chaos *chaos.Plan
 
 	// FaaS platform knobs, forwarded to faas.Config.
 	MaxConcurrent int
@@ -56,6 +64,19 @@ type Platform struct {
 	cloudStorage cos.Client
 	cloudLink    *netsim.Link
 	metaBucket   string
+	seed         int64
+	chaos        *chaos.Plan
+
+	// fnStorageRetry and fnInvokeRetry back the in-cloud helpers
+	// (runner/invoker handlers): the cloud link is reliable, so a short
+	// fixed schedule for storage and a capped exponential one for
+	// invocations suffice.
+	fnStorageRetry *retry.Retrier
+	fnInvokeRetry  *retry.Retrier
+
+	// execSeq numbers executors per platform so their derived PRNG seeds
+	// are reproducible run to run (the process-global ID counter is not).
+	execSeq atomic.Int64
 
 	mu       sync.Mutex
 	deployed map[string]string // image name → runner action name
@@ -76,9 +97,18 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		cloudLink = netsim.InCloud(cfg.Seed)
 	}
 	// Functions see storage through the in-cloud link with SDK-style
-	// retries on transient request failures.
-	cloudStorage := cos.Client(cos.NewRetrying(cos.NewLinked(cfg.Store, cfg.Clock, cloudLink), cfg.Clock, 0, 0))
+	// retries on transient request failures. A chaos plan slots in below
+	// the retry layer, so brownout failures look exactly like ordinary
+	// transient request failures to every consumer.
+	linked := cos.Client(cos.NewLinked(cfg.Store, cfg.Clock, cloudLink))
+	cloudStorage := cos.Client(cos.NewRetrying(chaos.WrapStorage(linked, cfg.Chaos), cfg.Clock, 0, 0))
 
+	var outage func() bool
+	var slowFactor func() float64
+	if cfg.Chaos != nil {
+		outage = cfg.Chaos.ControllerDown
+		slowFactor = cfg.Chaos.ExecFactor
+	}
 	ctrl, err := faas.New(faas.Config{
 		Clock:         cfg.Clock,
 		Registry:      cfg.Registry,
@@ -92,6 +122,8 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		WarmStart:     cfg.WarmStart,
 		KeepAlive:     cfg.KeepAlive,
 		Seed:          cfg.Seed,
+		Outage:        outage,
+		SlowFactor:    slowFactor,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: build controller: %w", err)
@@ -105,8 +137,22 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		cloudStorage: cloudStorage,
 		cloudLink:    cloudLink,
 		metaBucket:   cfg.MetaBucket,
+		seed:         cfg.Seed,
+		chaos:        cfg.Chaos,
 		deployed:     make(map[string]string),
 	}
+	p.fnStorageRetry = retry.New(cfg.Clock, retry.Policy{
+		MaxAttempts: runnerRetries + 1,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		Multiplier:  1,
+	}, classifyStorageErr)
+	p.fnInvokeRetry = retry.New(cfg.Clock, retry.Policy{
+		MaxAttempts: runnerRetries + 1,
+		BaseBackoff: 250 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		Multiplier:  2,
+	}, classifyCallErr)
 
 	if err := cfg.Store.CreateBucket(cfg.MetaBucket); err != nil && !errors.Is(err, cos.ErrBucketExists) {
 		return nil, fmt.Errorf("core: create meta bucket: %w", err)
@@ -139,6 +185,18 @@ func (p *Platform) CloudLink() *netsim.Link { return p.cloudLink }
 
 // MetaBucket returns the job-metadata bucket name.
 func (p *Platform) MetaBucket() string { return p.metaBucket }
+
+// Seed returns the platform seed, used to derive per-executor PRNG streams.
+func (p *Platform) Seed() int64 { return p.seed }
+
+// nextExecutorSeed derives a fresh deterministic PRNG seed for the next
+// executor created against this platform.
+func (p *Platform) nextExecutorSeed() int64 {
+	return p.seed + p.execSeq.Add(1)*1000003
+}
+
+// Chaos returns the active fault plan, or nil when fault injection is off.
+func (p *Platform) Chaos() *chaos.Plan { return p.chaos }
 
 // runnerActionName is the platform action executing staged calls for image.
 func runnerActionName(image string) string { return "gowren-runner--" + image }

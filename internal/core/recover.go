@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Automatic failure recovery in the wait path. The paper's programming
+// model (§4.2) leaves failure handling to the user: a crashed container or
+// a failed call surfaces from get_result and the caller re-runs the job.
+// GoWren keeps that behavior reachable (RecoveryOptions.Disabled, the
+// manual FailedFutures/Respawn pair) but defaults to the thing every real
+// deployment ends up building anyway: while the client is already polling
+// for statuses, failed calls are re-invoked from their staged payloads —
+// idempotent by construction — up to a bounded number of attempts with
+// backoff. Calls that stay broken are parked on the executor's dead-letter
+// list and reported either as an error or, with PartialResults, alongside
+// the successful subset.
+
+// Recovery defaults applied by RecoveryOptions.withDefaults.
+const (
+	// DefaultRecoveryAttempts is the per-call re-execution cap.
+	DefaultRecoveryAttempts = 3
+	// DefaultRecoveryBackoff is the delay before the first re-execution;
+	// it doubles per attempt up to maxRecoveryBackoff.
+	DefaultRecoveryBackoff = 500 * time.Millisecond
+	maxRecoveryBackoff     = 10 * time.Second
+)
+
+// RecoveryOptions tune automatic re-execution of failed calls during
+// result collection. The zero value means "recovery on, defaults".
+type RecoveryOptions struct {
+	// Disabled switches automatic recovery off: failures surface on the
+	// first observation, like the original PyWren client.
+	Disabled bool
+	// MaxAttempts caps re-executions per call. Zero selects
+	// DefaultRecoveryAttempts; negative behaves like zero attempts left
+	// (failures dead-letter immediately but are still recorded).
+	MaxAttempts int
+	// Backoff delays the first re-execution of a failed call and doubles
+	// per subsequent attempt. Zero selects DefaultRecoveryBackoff.
+	Backoff time.Duration
+}
+
+func (o RecoveryOptions) withDefaults() RecoveryOptions {
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = DefaultRecoveryAttempts
+	}
+	if o.MaxAttempts < 0 {
+		o.MaxAttempts = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = DefaultRecoveryBackoff
+	}
+	return o
+}
+
+// DeadLetter records one call automatic recovery gave up on.
+type DeadLetter struct {
+	ExecutorID string
+	CallID     string
+	// Attempts is the number of automatic re-executions performed.
+	Attempts int
+	// LastError is the failure observed when recovery gave up.
+	LastError string
+	// GaveUpAt is the virtual time of the final verdict.
+	GaveUpAt time.Time
+}
+
+// DeadLetters returns the calls automatic recovery abandoned, in the order
+// they were given up on. The list accumulates across GetResult calls;
+// a respawned call that later succeeds never appears here.
+func (e *Executor) DeadLetters() []DeadLetter {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]DeadLetter, len(e.deadLetters))
+	copy(out, e.deadLetters)
+	return out
+}
+
+func (e *Executor) addDeadLetter(d DeadLetter) {
+	e.mu.Lock()
+	e.deadLetters = append(e.deadLetters, d)
+	e.mu.Unlock()
+}
+
+// PartialError reports the calls that failed permanently when GetResult
+// ran with PartialResults. It unwraps to the per-call errors, so
+// errors.Is(err, ErrCallFailed) works on it.
+type PartialError struct {
+	// Failed lists the permanently failed calls, mirroring the
+	// executor's dead letters for this collection.
+	Failed []DeadLetter
+	// Errs holds one error per failed call.
+	Errs []error
+}
+
+func (p *PartialError) Error() string {
+	return fmt.Sprintf("core: %d calls failed permanently (first: %v)", len(p.Errs), p.Errs[0])
+}
+
+// Unwrap exposes the per-call errors to errors.Is/errors.As.
+func (p *PartialError) Unwrap() []error { return p.Errs }
+
+// recoverer drives automatic re-execution from inside a wait loop. One
+// recoverer serves one collection call; the executor's dead-letter list is
+// the only state that outlives it.
+type recoverer struct {
+	exec    *Executor
+	opts    RecoveryOptions
+	futures []*Future
+
+	attempts map[*Future]int
+	nextTry  map[*Future]time.Time
+	failed   map[*Future]error // terminal failures, keyed by future
+}
+
+func newRecoverer(e *Executor, futures []*Future, opts *RecoveryOptions) *recoverer {
+	var o RecoveryOptions
+	if opts != nil {
+		o = *opts
+	}
+	return &recoverer{
+		exec:     e,
+		opts:     o.withDefaults(),
+		futures:  futures,
+		attempts: make(map[*Future]int),
+		nextTry:  make(map[*Future]time.Time),
+		failed:   make(map[*Future]error),
+	}
+}
+
+// observedFailure returns the failure currently visible on f, or nil. It
+// covers both failure modes: an activation that died without committing a
+// status (crash) and a committed status with OK=false (user or runner
+// error).
+func (r *recoverer) observedFailure(f *Future) error {
+	if err := f.failure(); err != nil {
+		return err
+	}
+	if !f.knownDone() {
+		return nil
+	}
+	rec, err := f.Status()
+	if err != nil {
+		return fmt.Errorf("core: call %s/%s status unreadable: %w", f.executorID, f.callID, err)
+	}
+	if !rec.OK {
+		return fmt.Errorf("core: call %s/%s: %s: %w", f.executorID, f.callID, rec.Error, ErrCallFailed)
+	}
+	return nil
+}
+
+// step runs one recovery pass: newly observed failures are scheduled for
+// re-execution after their backoff, due ones are respawned in a batch, and
+// calls out of attempts are dead-lettered. Respawn failures (for example a
+// controller outage outlasting the invocation retries) are not fatal: the
+// future stays failed and the next pass tries again until the attempt cap
+// dead-letters it.
+func (r *recoverer) step() {
+	now := r.exec.clock.Now()
+	var due []*Future
+	for _, f := range r.futures {
+		if _, terminal := r.failed[f]; terminal {
+			continue
+		}
+		err := r.observedFailure(f)
+		if err == nil {
+			continue
+		}
+		if r.opts.Disabled || r.attempts[f] >= r.opts.MaxAttempts {
+			r.failed[f] = err
+			if !r.opts.Disabled {
+				r.exec.addDeadLetter(DeadLetter{
+					ExecutorID: f.executorID,
+					CallID:     f.callID,
+					Attempts:   r.attempts[f],
+					LastError:  err.Error(),
+					GaveUpAt:   now,
+				})
+			}
+			continue
+		}
+		when, scheduled := r.nextTry[f]
+		if !scheduled {
+			// First sighting of this failure: wait out the backoff before
+			// re-invoking, doubling per attempt already spent.
+			backoff := r.opts.Backoff << r.attempts[f]
+			if backoff > maxRecoveryBackoff || backoff <= 0 {
+				backoff = maxRecoveryBackoff
+			}
+			r.nextTry[f] = now.Add(backoff)
+			continue
+		}
+		if now.Before(when) {
+			continue
+		}
+		due = append(due, f)
+	}
+	if len(due) == 0 {
+		return
+	}
+	for _, f := range due {
+		r.attempts[f]++
+		delete(r.nextTry, f)
+	}
+	// Respawn resets each successfully re-invoked future; ones it could
+	// not re-invoke keep their failure mark and come around again.
+	_ = r.exec.Respawn(due)
+}
+
+// settled reports whether every future reached a terminal state: succeeded,
+// or failed with no recovery attempts left.
+func (r *recoverer) settled() bool {
+	for _, f := range r.futures {
+		if _, terminal := r.failed[f]; terminal {
+			continue
+		}
+		if !f.knownDone() || f.failure() != nil {
+			return false
+		}
+		// Completed with a status: only a success is terminal here; a
+		// failure status belongs to step() first.
+		rec, err := f.Status()
+		if err != nil || !rec.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// lettersFor summarizes terminal failures as DeadLetter values for a
+// PartialError (also covering Disabled mode, where nothing was added to
+// the executor's dead-letter list).
+func (r *recoverer) lettersFor(fs []*Future, errs []error) []DeadLetter {
+	now := r.exec.clock.Now()
+	out := make([]DeadLetter, len(fs))
+	for i, f := range fs {
+		out[i] = DeadLetter{
+			ExecutorID: f.executorID,
+			CallID:     f.callID,
+			Attempts:   r.attempts[f],
+			LastError:  errs[i].Error(),
+			GaveUpAt:   now,
+		}
+	}
+	return out
+}
+
+// terminalFailures returns the futures recovery gave up on, with their
+// errors, in future order.
+func (r *recoverer) terminalFailures() ([]*Future, []error) {
+	var fs []*Future
+	var errs []error
+	for _, f := range r.futures {
+		if err, ok := r.failed[f]; ok {
+			fs = append(fs, f)
+			errs = append(errs, err)
+		}
+	}
+	return fs, errs
+}

@@ -28,7 +28,7 @@ func (p *Platform) runnerHandler() faas.Handler {
 		if err := wire.Unmarshal(params, &ref); err != nil {
 			return nil, fmt.Errorf("core: runner params: %w", err)
 		}
-		body, err := getRetry(ctx, ref.Bucket, ref.Key)
+		body, err := p.getRetry(ctx, ref.Bucket, ref.Key)
 		if err != nil {
 			return nil, fmt.Errorf("core: runner load payload: %w", err)
 		}
@@ -67,7 +67,7 @@ func (p *Platform) runnerHandler() faas.Handler {
 					Bucket: payload.MetaBucket,
 					Key:    resultKey(payload.ExecutorID, payload.CallID),
 				}
-				if err := putRetry(ctx, resRef.Bucket, resRef.Key, envBody); err != nil {
+				if err := p.putRetry(ctx, resRef.Bucket, resRef.Key, envBody); err != nil {
 					return nil, fmt.Errorf("core: runner store result: %w", err)
 				}
 				rec.OK = true
@@ -75,7 +75,7 @@ func (p *Platform) runnerHandler() faas.Handler {
 			}
 		}
 		statusBody := wire.MustMarshal(&rec)
-		if err := putRetry(ctx, payload.MetaBucket, statusKey(payload.ExecutorID, payload.CallID), statusBody); err != nil {
+		if err := p.putRetry(ctx, payload.MetaBucket, statusKey(payload.ExecutorID, payload.CallID), statusBody); err != nil {
 			// Without a status the client can never observe completion;
 			// surface the failure at the platform level instead.
 			return nil, fmt.Errorf("core: runner commit status: %w", err)
@@ -162,7 +162,7 @@ func (p *Platform) awaitMapPartials(ctx *runtime.Ctx, spec *wire.ReduceSpec) ([]
 
 	partials := make([]json.RawMessage, len(spec.MapCallIDs))
 	for i, callID := range spec.MapCallIDs {
-		statusBody, err := getRetry(ctx, spec.MetaBucket, statusKey(spec.ExecutorID, callID))
+		statusBody, err := p.getRetry(ctx, spec.MetaBucket, statusKey(spec.ExecutorID, callID))
 		if err != nil {
 			return nil, fmt.Errorf("core: reduce fetch map status %s: %w", callID, err)
 		}
@@ -173,7 +173,7 @@ func (p *Platform) awaitMapPartials(ctx *runtime.Ctx, spec *wire.ReduceSpec) ([]
 		if !rec.OK {
 			return nil, fmt.Errorf("core: map call %s failed: %s: %w", callID, rec.Error, ErrCallFailed)
 		}
-		resBody, err := getRetry(ctx, rec.ResultRef.Bucket, rec.ResultRef.Key)
+		resBody, err := p.getRetry(ctx, rec.ResultRef.Bucket, rec.ResultRef.Key)
 		if err != nil {
 			return nil, fmt.Errorf("core: reduce fetch map result %s: %w", callID, err)
 		}
@@ -198,7 +198,7 @@ func (p *Platform) invokerHandler() faas.Handler {
 		if err := wire.Unmarshal(params, &ref); err != nil {
 			return nil, fmt.Errorf("core: invoker params: %w", err)
 		}
-		body, err := getRetry(ctx, ref.Bucket, ref.Key)
+		body, err := p.getRetry(ctx, ref.Bucket, ref.Key)
 		if err != nil {
 			return nil, fmt.Errorf("core: invoker load payload: %w", err)
 		}
@@ -227,79 +227,52 @@ func (p *Platform) invokerHandler() faas.Handler {
 			EndUnixNs:    ctx.Clock().Now().UnixNano(),
 			ResultRef:    wire.ObjectRef{},
 		}
-		_ = putRetry(ctx, payload.MetaBucket, statusKey(payload.ExecutorID, payload.CallID), wire.MustMarshal(&rec))
+		_ = p.putRetry(ctx, payload.MetaBucket, statusKey(payload.ExecutorID, payload.CallID), wire.MustMarshal(&rec))
 		return wire.Marshal(map[string]int{"fired": fired})
 	}
 }
 
 // invokeFromCloud fires one invocation over the in-cloud link with
-// throttle/failure retries.
+// throttle/failure retries backed by the shared policy.
 func (p *Platform) invokeFromCloud(ctx *runtime.Ctx, target wire.SpawnTarget) error {
 	params := wire.MustMarshal(target.Payload)
-	var lastErr error
-	for attempt := 0; attempt <= runnerRetries; attempt++ {
-		if attempt > 0 {
-			backoff := 250 * time.Millisecond << uint(attempt-1)
-			if backoff > 5*time.Second {
-				backoff = 5 * time.Second
-			}
-			ctx.Clock().Sleep(backoff)
-		}
+	err := p.fnInvokeRetry.Do(func() error {
 		d, failed := p.cloudLink.RequestCost(approxInvokeBytes)
 		ctx.Clock().Sleep(d)
 		if failed {
-			lastErr = cos.ErrRequestFailed
-			continue
+			return cos.ErrRequestFailed
 		}
-		if _, err := p.controller.Invoke(target.Action, params); err != nil {
-			if errors.Is(err, faas.ErrThrottled) {
-				lastErr = err
-				continue
-			}
-			return err
-		}
-		return nil
+		_, err := p.controller.Invoke(target.Action, params)
+		return err
+	})
+	if err != nil {
+		return fmt.Errorf("core: in-cloud invocation failed: %w", err)
 	}
-	return fmt.Errorf("core: in-cloud invocation failed after retries: %w", lastErr)
+	return nil
 }
 
 // getRetry reads an object through the function's storage view with
-// transient-failure retries.
-func getRetry(ctx *runtime.Ctx, bucket, key string) ([]byte, error) {
-	var lastErr error
-	for attempt := 0; attempt <= runnerRetries; attempt++ {
-		if attempt > 0 {
-			ctx.Clock().Sleep(100 * time.Millisecond)
-		}
-		data, _, err := ctx.Storage().Get(bucket, key)
-		if err == nil {
-			return data, nil
-		}
-		if !errors.Is(err, cos.ErrRequestFailed) {
-			return nil, err
-		}
-		lastErr = err
+// transient-failure retries backed by the shared policy.
+func (p *Platform) getRetry(ctx *runtime.Ctx, bucket, key string) ([]byte, error) {
+	var data []byte
+	err := p.fnStorageRetry.Do(func() error {
+		var err error
+		data, _, err = ctx.Storage().Get(bucket, key)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, lastErr
+	return data, nil
 }
 
 // putRetry writes an object through the function's storage view with
-// transient-failure retries.
-func putRetry(ctx *runtime.Ctx, bucket, key string, body []byte) error {
-	var lastErr error
-	for attempt := 0; attempt <= runnerRetries; attempt++ {
-		if attempt > 0 {
-			ctx.Clock().Sleep(100 * time.Millisecond)
-		}
-		if _, err := ctx.Storage().Put(bucket, key, body); err == nil {
-			return nil
-		} else if !errors.Is(err, cos.ErrRequestFailed) {
-			return err
-		} else {
-			lastErr = err
-		}
-	}
-	return lastErr
+// transient-failure retries backed by the shared policy.
+func (p *Platform) putRetry(ctx *runtime.Ctx, bucket, key string, body []byte) error {
+	return p.fnStorageRetry.Do(func() error {
+		_, err := ctx.Storage().Put(bucket, key, body)
+		return err
+	})
 }
 
 // spawner implements runtime.Spawner over an in-cloud executor, enabling

@@ -126,7 +126,7 @@ func (p *Platform) runShuffleMap(ctx *runtime.Ctx, payload *wire.CallPayload) (a
 			return nil, fmt.Errorf("core: shuffle map serialize partition %d: %w", i, err)
 		}
 		key := wire.ShuffleKey(payload.ExecutorID, payload.CallID, i)
-		if err := putRetry(ctx, payload.MetaBucket, key, body); err != nil {
+		if err := p.putRetry(ctx, payload.MetaBucket, key, body); err != nil {
 			return nil, fmt.Errorf("core: shuffle map write partition %d: %w", i, err)
 		}
 		counts[i] = len(bucket)
@@ -170,7 +170,7 @@ func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload)
 	groups := make(map[string][]json.RawMessage)
 	for _, mapID := range spec.MapCallIDs {
 		key := wire.ShuffleKey(payload.ExecutorID, mapID, spec.Reducer)
-		body, err := getRetry(ctx, payload.MetaBucket, key)
+		body, err := p.getRetry(ctx, payload.MetaBucket, key)
 		if err != nil {
 			return nil, fmt.Errorf("core: shuffle reduce fetch %s: %w", key, err)
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"time"
 )
@@ -67,15 +68,21 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 		}
 		return done
 	}
+	rec := newRecoverer(e, futures, opts.Recovery)
+	// A non-transient sweep failure aborts the wait instead of spinning
+	// into a misleading ErrWaitTimeout.
+	var sweepErr error
 	ok := pollClock(e, func() bool {
 		if err := sweepStatuses(e, futures); err != nil {
-			return false
+			sweepErr = err
+			return true
 		}
+		rec.step()
 		done := countDone()
 		if opts.Progress != nil {
 			opts.Progress(done, len(futures))
 		}
-		if done == len(futures) {
+		if rec.settled() {
 			return true
 		}
 		if armAt.IsZero() && done >= need {
@@ -99,13 +106,28 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 		}
 		return false
 	}, deadline)
+	if sweepErr != nil {
+		return nil, fmt.Errorf("core: speculative get_result: %w", sweepErr)
+	}
 	if !ok {
 		return nil, fmt.Errorf("core: speculative get_result: %w", ErrWaitTimeout)
+	}
+
+	failedFs, failErrs := rec.terminalFailures()
+	if len(failedFs) > 0 && !opts.PartialResults {
+		return nil, fmt.Errorf("core: speculative get_result: %w", errors.Join(failErrs...))
+	}
+	failedSet := make(map[*Future]bool, len(failedFs))
+	for _, f := range failedFs {
+		failedSet[f] = true
 	}
 
 	r := &resolver{exec: e, deadline: deadline}
 	out := make([]json.RawMessage, len(futures))
 	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(futures), func(i int) error {
+		if failedSet[futures[i]] {
+			return nil // reported via PartialError
+		}
 		val, err := r.resolveFuture(futures[i], 0)
 		if err != nil {
 			return err
@@ -115,6 +137,9 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 	})
 	if err := firstErr(errs); err != nil {
 		return nil, err
+	}
+	if len(failedFs) > 0 {
+		return out, &PartialError{Failed: rec.lettersFor(failedFs, failErrs), Errs: failErrs}
 	}
 	return out, nil
 }

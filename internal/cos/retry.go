@@ -4,46 +4,70 @@ import (
 	"errors"
 	"time"
 
+	"gowren/internal/retry"
 	"gowren/internal/vclock"
+)
+
+// Defaults applied by NewRetrying when the caller passes non-positive
+// values. They mirror common storage-SDK settings: a handful of quick,
+// evenly spaced tries.
+const (
+	// DefaultRetryAttempts is the total number of tries (first call
+	// included) selected when attempts <= 0.
+	DefaultRetryAttempts = 4
+	// DefaultRetryBackoff is the fixed delay between tries selected when
+	// backoff <= 0.
+	DefaultRetryBackoff = 100 * time.Millisecond
 )
 
 // Retrying wraps a Client and retries operations that fail with the
 // simulated transient error ErrRequestFailed, as real storage SDKs do.
 // Non-transient errors pass through untouched. The platform wraps the
 // in-cloud storage view with it so every function sees SDK-like semantics.
+// It is a thin shim over the system-wide policy in internal/retry.
 type Retrying struct {
-	inner    Client
-	clk      vclock.Clock
-	attempts int
-	backoff  time.Duration
+	inner Client
+	retr  *retry.Retrier
 }
 
 var _ Client = (*Retrying)(nil)
 
-// NewRetrying wraps inner with up to attempts tries separated by backoff.
-// Zero values select 4 attempts and 100 ms.
+// classifyStorage maps storage errors onto the shared retry classes: only
+// the simulated transient request failure is retryable.
+func classifyStorage(err error) retry.Class {
+	if errors.Is(err, ErrRequestFailed) {
+		return retry.Transient
+	}
+	return retry.Fatal
+}
+
+// NewRetrying wraps inner with up to attempts total tries separated by a
+// fixed backoff. Validation is explicit: any attempts >= 1 is honored
+// exactly (attempts == 1 disables retries entirely) and any backoff > 0 is
+// honored exactly; only non-positive values select DefaultRetryAttempts
+// and DefaultRetryBackoff. Callers needing exponential or jittered
+// schedules, budgets or breakers should build a retry.Retrier directly.
 func NewRetrying(inner Client, clk vclock.Clock, attempts int, backoff time.Duration) *Retrying {
 	if attempts <= 0 {
-		attempts = 4
+		attempts = DefaultRetryAttempts
 	}
 	if backoff <= 0 {
-		backoff = 100 * time.Millisecond
+		backoff = DefaultRetryBackoff
 	}
-	return &Retrying{inner: inner, clk: clk, attempts: attempts, backoff: backoff}
+	return &Retrying{
+		inner: inner,
+		retr: retry.New(clk, retry.Policy{
+			MaxAttempts: attempts,
+			BaseBackoff: backoff,
+			MaxBackoff:  backoff,
+			Multiplier:  1, // fixed spacing, as storage SDKs default to
+		}, classifyStorage),
+	}
 }
 
 // do retries op while it reports a transient failure.
 func (r *Retrying) do(op func() error) error {
-	var err error
-	for attempt := 0; attempt < r.attempts; attempt++ {
-		if attempt > 0 {
-			r.clk.Sleep(r.backoff)
-		}
-		if err = op(); err == nil || !errors.Is(err, ErrRequestFailed) {
-			return err
-		}
-	}
-	return err
+	return r.retr.Do(op)
 }
 
 // CreateBucket implements Client.

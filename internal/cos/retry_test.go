@@ -87,6 +87,45 @@ func TestRetryingPassesThroughPermanentErrors(t *testing.T) {
 	}
 }
 
+func TestRetryingHonorsSmallExplicitValues(t *testing.T) {
+	// attempts == 1 is a caller choice meaning "no retries" and must not
+	// be rewritten to the default.
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	fl := &flaky{Client: store}
+	fl.failuresLeft.Store(1000)
+	r := NewRetrying(fl, clk, 1, time.Millisecond)
+	clk.Run(func() {
+		if _, _, err := r.Get("b", "k"); !errors.Is(err, ErrRequestFailed) {
+			t.Errorf("err = %v, want ErrRequestFailed", err)
+		}
+	})
+	if got := fl.calls.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want exactly 1", got)
+	}
+}
+
+func TestRetryingZeroValuesSelectDefaults(t *testing.T) {
+	clk := vclock.NewVirtual()
+	store := NewStore()
+	fl := &flaky{Client: store}
+	fl.failuresLeft.Store(1000)
+	r := NewRetrying(fl, clk, 0, 0)
+	start := clk.Now()
+	clk.Run(func() {
+		if _, _, err := r.Get("b", "k"); !errors.Is(err, ErrRequestFailed) {
+			t.Errorf("err = %v, want ErrRequestFailed", err)
+		}
+	})
+	if got := fl.calls.Load(); got != DefaultRetryAttempts {
+		t.Fatalf("attempts = %d, want DefaultRetryAttempts (%d)", got, DefaultRetryAttempts)
+	}
+	want := time.Duration(DefaultRetryAttempts-1) * DefaultRetryBackoff
+	if got := clk.Now().Sub(start); got != want {
+		t.Fatalf("backoff time = %v, want %v", got, want)
+	}
+}
+
 func TestRetryingCoversAllOps(t *testing.T) {
 	clk := vclock.NewVirtual()
 	store := NewStore()

@@ -324,6 +324,90 @@ func RunWANLatencySweep(n int, rows []WANSweepRow, seed int64) ([]WANSweepRow, e
 	return out, nil
 }
 
+// ChaosRecoveryResult compares one job on a clean platform against the
+// same job (same seed) under a scripted fault plan that automatic
+// recovery must absorb.
+type ChaosRecoveryResult struct {
+	Clean       time.Duration
+	Faulted     time.Duration
+	DeadLetters int
+}
+
+// RecoveryOverhead is the extra job time the fault windows cost.
+func (r ChaosRecoveryResult) RecoveryOverhead() time.Duration {
+	return r.Faulted - r.Clean
+}
+
+// RunChaosRecoveryAblation runs an n-call compute job twice — once clean,
+// once through a mid-job COS brownout plus container crashes — and
+// reports both job times. The faulted arm must still return every result
+// (recovery in the wait path re-executes lost calls); the delta is the
+// price of riding out the incident rather than failing the job, the
+// fault-tolerance story §5.1's WAN retry observations motivate.
+func RunChaosRecoveryAblation(n int, taskSeconds float64, seed int64) (ChaosRecoveryResult, error) {
+	var out ChaosRecoveryResult
+	run := func(faulted bool) (time.Duration, int, error) {
+		img := gowren.NewImage(gowren.DefaultRuntime, 0)
+		if err := workloads.Register(img); err != nil {
+			return 0, 0, err
+		}
+		cfg := gowren.SimConfig{
+			Images:        []*gowren.Image{img},
+			Seed:          seed,
+			MaxConcurrent: n + 50,
+		}
+		if faulted {
+			cfg.CrashProb = 0.05
+			cfg.Chaos = []gowren.ChaosFault{{
+				Kind:        gowren.ChaosCOSBrownout,
+				Start:       time.Duration(taskSeconds * float64(time.Second) / 2),
+				End:         time.Duration(taskSeconds * 2 * float64(time.Second)),
+				Probability: 0.9,
+			}}
+		}
+		cloud, err := gowren.NewSimCloud(cfg)
+		if err != nil {
+			return 0, 0, err
+		}
+		var (
+			elapsed time.Duration
+			dead    int
+			runErr  error
+		)
+		cloud.Run(func() {
+			exec, err := cloud.Executor(gowren.WithPollInterval(ExperimentPollInterval))
+			if err != nil {
+				runErr = err
+				return
+			}
+			args := make([]any, n)
+			for i := range args {
+				args[i] = taskSeconds
+			}
+			start := cloud.Clock().Now()
+			if _, err := exec.MapSlice(workloads.FuncComputeBound, args); err != nil {
+				runErr = err
+				return
+			}
+			if _, err := gowren.Results[float64](exec); err != nil {
+				runErr = err
+				return
+			}
+			elapsed = cloud.Clock().Now().Sub(start)
+			dead = len(exec.DeadLetters())
+		})
+		return elapsed, dead, runErr
+	}
+	var err error
+	if out.Clean, _, err = run(false); err != nil {
+		return out, fmt.Errorf("experiments: chaos ablation clean arm: %w", err)
+	}
+	if out.Faulted, out.DeadLetters, err = run(true); err != nil {
+		return out, fmt.Errorf("experiments: chaos ablation faulted arm: %w", err)
+	}
+	return out, nil
+}
+
 // SpeculationResult compares plain and speculative result collection on a
 // platform with heavy-tailed execution noise.
 type SpeculationResult struct {

@@ -263,3 +263,18 @@ func TestSpeculationAblation(t *testing.T) {
 		t.Fatalf("speculation (%v) should at least halve the straggler tail (plain %v)", res.Speculative, res.Plain)
 	}
 }
+
+func TestChaosRecoveryAblation(t *testing.T) {
+	res, err := RunChaosRecoveryAblation(100, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The faulted arm rides out a 90% COS brownout plus 5% crashes: it
+	// must still finish (zero dead letters) and must pay for it in time.
+	if res.DeadLetters != 0 {
+		t.Fatalf("faulted arm lost %d calls; recovery should absorb the incident", res.DeadLetters)
+	}
+	if res.RecoveryOverhead() <= 0 {
+		t.Fatalf("fault windows cost nothing (clean %v, faulted %v); chaos did not engage", res.Clean, res.Faulted)
+	}
+}

@@ -98,6 +98,15 @@ type Config struct {
 	// Seed feeds the controller's PRNG (jitter, crashes).
 	Seed int64
 
+	// Outage, when non-nil, is consulted on every invocation; returning
+	// true makes the gateway reject the call with ErrThrottled, modeling a
+	// controller outage window (chaos injection). Callers see ordinary
+	// 429s and retry through the usual policy.
+	Outage func() bool
+	// SlowFactor, when non-nil, multiplies each activation's sampled exec
+	// jitter; values > 1 model slow-container windows (chaos injection).
+	SlowFactor func() float64
+
 	// Trace, when non-nil, records platform events (invocations,
 	// throttles, container lifecycle) for post-run inspection.
 	Trace *trace.Recorder
@@ -318,6 +327,11 @@ func (c *Controller) Invoke(actionName string, params []byte) (string, error) {
 	// Wait out our turn in the pipeline on the caller's task.
 	c.cfg.Clock.Sleep(done.Sub(now))
 
+	if c.cfg.Outage != nil && c.cfg.Outage() {
+		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindThrottle, actionName, "controller outage window")
+		return "", fmt.Errorf("faas: invoke %q: controller outage: %w", actionName, ErrThrottled)
+	}
+
 	c.mu.Lock()
 	if c.cfg.MaxConcurrent >= 0 && c.inflight >= c.cfg.MaxConcurrent {
 		c.mu.Unlock()
@@ -358,6 +372,11 @@ func (c *Controller) execute(act *action, rec *Activation, params []byte) {
 		jitter = c.cfg.ExecJitter.Sample(c.rng)
 	}
 	c.mu.Unlock()
+	if c.cfg.SlowFactor != nil {
+		if f := c.cfg.SlowFactor(); f > 1 {
+			jitter = time.Duration(float64(jitter) * f)
+		}
+	}
 
 	c.cfg.Trace.Emit(start, trace.KindActStart, rec.ID, act.spec.Name)
 	ctx := runtime.NewCtx(c.buildCtxConfig(act, rec, cold, start))

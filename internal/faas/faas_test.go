@@ -575,3 +575,76 @@ func TestDeleteAction(t *testing.T) {
 		}
 	})
 }
+
+func TestCrashChargesPartialDuration(t *testing.T) {
+	// A crashed activation must still be retrievable as a failed record
+	// whose duration reflects the partial execution the platform bills:
+	// the crash manifests at Timeout/10 into the run.
+	e := newEnv(t, func(c *Config) { c.CrashProb = 1.0 })
+	err := e.ctrl.CreateAction(ActionSpec{
+		Name:    "doomed",
+		Image:   runtime.DefaultImage,
+		Timeout: 100 * time.Second,
+		Handler: func(ctx *runtime.Ctx, params []byte) ([]byte, error) {
+			t.Error("handler ran despite guaranteed crash")
+			return nil, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var id string
+	e.clk.Run(func() {
+		id, err = e.ctrl.Invoke("doomed", nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := e.ctrl.Activation(id)
+	if err != nil {
+		t.Fatalf("crashed activation not retrievable: %v", err)
+	}
+	if !rec.Done() || rec.OK {
+		t.Fatalf("activation = %+v, want finished with error status", rec)
+	}
+	if !strings.Contains(rec.Error, "crashed") {
+		t.Fatalf("error = %q, want crash", rec.Error)
+	}
+	if run := rec.EndAt.Sub(rec.StartAt); run != 10*time.Second {
+		t.Fatalf("charged duration = %v, want Timeout/10 = 10s", run)
+	}
+	if rec.MemoryMB != DefaultMemoryMB {
+		t.Fatalf("memory = %d, want %d for billing", rec.MemoryMB, DefaultMemoryMB)
+	}
+}
+
+func TestOutageHookRejectsWith429(t *testing.T) {
+	down := true
+	e := newEnv(t, func(c *Config) { c.Outage = func() bool { return down } })
+	e.sleepAction(t, "work", time.Second)
+	e.clk.Run(func() {
+		if _, err := e.ctrl.Invoke("work", nil); !errors.Is(err, ErrThrottled) {
+			t.Errorf("err = %v, want ErrThrottled during outage", err)
+		}
+		down = false
+		if _, err := e.ctrl.Invoke("work", nil); err != nil {
+			t.Errorf("err = %v after outage lifted, want success", err)
+		}
+	})
+}
+
+func TestSlowFactorStretchesJitter(t *testing.T) {
+	e := newEnv(t, func(c *Config) {
+		c.ExecJitter = netsim.Constant{D: 5 * time.Second}
+		c.SlowFactor = func() float64 { return 3 }
+	})
+	e.sleepAction(t, "work", 10*time.Second)
+	var id string
+	e.clk.Run(func() {
+		id, _ = e.ctrl.Invoke("work", nil)
+	})
+	rec, _ := e.ctrl.Activation(id)
+	if run := rec.EndAt.Sub(rec.StartAt); run != 25*time.Second {
+		t.Fatalf("runtime = %v, want 10s work + 3×5s jitter = 25s", run)
+	}
+}

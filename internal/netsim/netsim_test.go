@@ -219,3 +219,71 @@ func TestLinkFailNoProb(t *testing.T) {
 		}
 	}
 }
+
+func TestLinkDeterministicAcrossOpInterleavings(t *testing.T) {
+	// All three randomness-consuming operations share one seeded PRNG, so
+	// a fixed seed must reproduce the exact outcome stream for any fixed
+	// interleaving of RequestCost, Latency and Fail calls.
+	type outcome struct {
+		d    time.Duration
+		fail bool
+	}
+	run := func(seed int64) []outcome {
+		l := NewLink(LinkConfig{
+			RTT:         LogNormal{Median: 50 * time.Millisecond, Sigma: 0.4, Cap: time.Second},
+			PerRequest:  5 * time.Millisecond,
+			FailureProb: 0.3,
+			Seed:        seed,
+		})
+		var out []outcome
+		for i := 0; i < 30; i++ {
+			switch i % 3 {
+			case 0:
+				d, f := l.RequestCost(int64(i) * 100)
+				out = append(out, outcome{d, f})
+			case 1:
+				out = append(out, outcome{d: l.Latency()})
+			default:
+				out = append(out, outcome{fail: l.Fail()})
+			}
+		}
+		return out
+	}
+	a, b := run(11), run(11)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := run(12)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical mixed-op streams")
+	}
+}
+
+func TestLogNormalNegativeClampOnOverflow(t *testing.T) {
+	// An extreme median/sigma combination overflows the float→Duration
+	// conversion; the clamp must keep every sample non-negative rather
+	// than letting wrapped values surface as negative latencies.
+	m := LogNormal{Median: time.Duration(1 << 62), Sigma: 4}
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 5000; i++ {
+		if d := m.Sample(r); d < 0 {
+			t.Fatalf("sample %d negative: %v", i, d)
+		}
+	}
+}
+
+func TestLinkZeroBandwidthTransferFree(t *testing.T) {
+	l := NewLink(LinkConfig{RTT: Constant{D: time.Millisecond}}) // BandwidthBps 0
+	if got := l.Transfer(1 << 30); got != 0 {
+		t.Fatalf("zero-bandwidth transfer of 1GiB = %v, want instantaneous", got)
+	}
+}

@@ -1,0 +1,340 @@
+// Package retry is GoWren's single retry policy. Every retry loop in the
+// system — the executor's invocation path, its storage accesses, the
+// in-cloud runner helpers and the cos SDK-style client wrapper — is backed
+// by the same three primitives:
+//
+//   - Policy: bounded exponential backoff, optionally with decorrelated
+//     jitter, driven by the simulation clock so virtual-time experiments
+//     pay realistic retry delays;
+//   - Budget: a per-executor token bucket that caps the *total* retry
+//     volume a client may generate, so a sustained outage degrades into
+//     fast failures instead of a retry storm (the WAN failure-and-retry
+//     effect of the paper's §5.1, kept under control);
+//   - Breaker: a circuit breaker that sheds load after sustained
+//     throttling, for callers that prefer failing fast over queueing
+//     behind a saturated gateway.
+//
+// Callers classify errors with a Classifier; the package itself has no
+// knowledge of faas or cos error values, which keeps it at the bottom of
+// the dependency graph.
+package retry
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gowren/internal/vclock"
+)
+
+// Class buckets an operation error for retry purposes.
+type Class int
+
+const (
+	// Fatal errors are returned immediately; retrying cannot help
+	// (user-code errors, missing actions, serialization failures).
+	Fatal Class = iota
+	// Transient errors are retried with backoff (lost requests,
+	// simulated network failures).
+	Transient
+	// Throttle errors are retried with backoff and additionally feed the
+	// circuit breaker (429-style admission rejections).
+	Throttle
+)
+
+// Classifier maps an operation error to its retry class. It is never
+// called with a nil error.
+type Classifier func(error) Class
+
+// Errors produced by the policy layer itself. Both wrap the underlying
+// operation error, so errors.Is works for either.
+var (
+	// ErrBudgetExhausted marks a failure that was *not* retried because
+	// the executor's retry budget ran dry.
+	ErrBudgetExhausted = errors.New("retry: retry budget exhausted")
+	// ErrCircuitOpen marks a call shed by an open circuit breaker.
+	ErrCircuitOpen = errors.New("retry: circuit open")
+)
+
+// Policy describes one bounded-backoff retry schedule.
+type Policy struct {
+	// MaxAttempts is the total number of tries including the first.
+	// Zero or negative selects 5.
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry. Zero or negative
+	// selects 100 ms.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the delay between retries. Zero selects 30 s.
+	MaxBackoff time.Duration
+	// Multiplier grows the delay per retry. Values <= 1 keep the delay
+	// fixed at BaseBackoff; zero selects 2.
+	Multiplier float64
+	// Jitter switches the schedule to decorrelated jitter: each delay is
+	// drawn uniformly from [BaseBackoff, prev*3], capped at MaxBackoff.
+	// Jittered schedules need a seeded Retrier to stay deterministic.
+	Jitter bool
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 5
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 30 * time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	return p
+}
+
+// Budget is a token bucket bounding total retry volume across every
+// operation that shares it (typically one Budget per executor). Each retry
+// spends one token; each successful operation deposits Refill tokens up to
+// the cap. A bucket that runs dry converts retryable failures into
+// immediate ErrBudgetExhausted failures until successes replenish it.
+type Budget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	refill float64
+}
+
+// NewBudget returns a full bucket holding max tokens that earns refill
+// tokens back per successful operation. max <= 0 selects 1024, refill <= 0
+// selects 1.
+func NewBudget(max, refill float64) *Budget {
+	if max <= 0 {
+		max = 1024
+	}
+	if refill <= 0 {
+		refill = 1
+	}
+	return &Budget{tokens: max, max: max, refill: refill}
+}
+
+// spend takes one retry token, reporting whether one was available.
+func (b *Budget) spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// deposit credits the bucket for a successful operation.
+func (b *Budget) deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens += b.refill
+	if b.tokens > b.max {
+		b.tokens = b.max
+	}
+}
+
+// Remaining returns the current token count (for tests and metrics).
+func (b *Budget) Remaining() float64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.tokens
+}
+
+// Breaker sheds load after sustained throttling: Threshold consecutive
+// Throttle-class failures open the circuit for Cooldown, during which every
+// Do fails fast with ErrCircuitOpen. The first attempt after the cooldown
+// probes the platform; success closes the circuit, another throttle
+// reopens it.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	consecutive int
+	openUntil   time.Time
+}
+
+// NewBreaker returns a breaker tripping after threshold consecutive
+// throttles for cooldown. cooldown <= 0 selects 5 s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		return nil
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// allow reports whether a call may proceed at now.
+func (b *Breaker) allow(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return !now.Before(b.openUntil)
+}
+
+// record feeds one attempt outcome into the breaker state.
+func (b *Breaker) record(throttled bool, now time.Time) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !throttled {
+		b.consecutive = 0
+		return
+	}
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+		b.consecutive = 0
+	}
+}
+
+// Open reports whether the circuit is currently open at now.
+func (b *Breaker) Open(now time.Time) bool { return !b.allow(now) }
+
+// Retrier executes operations under a Policy on a clock, with an optional
+// shared Budget and Breaker. It is safe for concurrent use; jittered
+// backoff draws come from one seeded PRNG so virtual-time runs stay
+// deterministic.
+type Retrier struct {
+	policy   Policy
+	clk      vclock.Clock
+	classify Classifier
+	budget   *Budget
+	breaker  *Breaker
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Option customizes a Retrier.
+type Option func(*Retrier)
+
+// WithBudget attaches a shared retry budget.
+func WithBudget(b *Budget) Option { return func(r *Retrier) { r.budget = b } }
+
+// WithBreaker attaches a shared circuit breaker.
+func WithBreaker(b *Breaker) Option { return func(r *Retrier) { r.breaker = b } }
+
+// WithSeed seeds the jitter PRNG (default seed 0, still deterministic).
+func WithSeed(seed int64) Option {
+	return func(r *Retrier) { r.rng = rand.New(rand.NewSource(seed)) }
+}
+
+// New builds a Retrier. clk and classify are required.
+func New(clk vclock.Clock, policy Policy, classify Classifier, opts ...Option) *Retrier {
+	if clk == nil {
+		panic("retry: nil clock")
+	}
+	if classify == nil {
+		panic("retry: nil classifier")
+	}
+	r := &Retrier{
+		policy:   policy.withDefaults(),
+		clk:      clk,
+		classify: classify,
+		rng:      rand.New(rand.NewSource(0)),
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r
+}
+
+// Policy returns the retrier's (defaulted) policy.
+func (r *Retrier) Policy() Policy { return r.policy }
+
+// Budget returns the attached budget, if any.
+func (r *Retrier) Budget() *Budget { return r.budget }
+
+// Breaker returns the attached breaker, if any.
+func (r *Retrier) Breaker() *Breaker { return r.breaker }
+
+// backoff computes the delay before retry number n (1-based), updating prev
+// for decorrelated jitter.
+func (r *Retrier) backoff(n int, prev time.Duration) time.Duration {
+	p := r.policy
+	if p.Jitter {
+		lo, hi := p.BaseBackoff, 3*prev
+		if hi < lo {
+			hi = lo
+		}
+		if hi > p.MaxBackoff {
+			hi = p.MaxBackoff
+		}
+		d := lo
+		if hi > lo {
+			r.mu.Lock()
+			d = lo + time.Duration(r.rng.Int63n(int64(hi-lo)+1))
+			r.mu.Unlock()
+		}
+		return d
+	}
+	d := p.BaseBackoff
+	if p.Multiplier > 1 {
+		for i := 1; i < n && d < p.MaxBackoff; i++ {
+			d = time.Duration(float64(d) * p.Multiplier)
+		}
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	return d
+}
+
+// Do runs op under the policy: retry on Transient/Throttle classes until
+// the attempt cap, the budget, or the breaker stops it. The returned error
+// is the last operation error, wrapped with ErrBudgetExhausted or
+// ErrCircuitOpen when those mechanisms cut the retry short.
+func (r *Retrier) Do(op func() error) error {
+	var lastErr error
+	prev := r.policy.BaseBackoff
+	for attempt := 1; ; attempt++ {
+		if !r.breaker.allow(r.clk.Now()) {
+			if lastErr != nil {
+				return fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
+			}
+			return ErrCircuitOpen
+		}
+		err := op()
+		if err == nil {
+			r.breaker.record(false, r.clk.Now())
+			r.budget.deposit()
+			return nil
+		}
+		class := r.classify(err)
+		r.breaker.record(class == Throttle, r.clk.Now())
+		if class == Fatal {
+			return err
+		}
+		lastErr = err
+		if attempt >= r.policy.MaxAttempts {
+			return fmt.Errorf("retry: %d attempts exhausted: %w", attempt, err)
+		}
+		if !r.budget.spend() {
+			return fmt.Errorf("%w: %w", ErrBudgetExhausted, err)
+		}
+		d := r.backoff(attempt, prev)
+		prev = d
+		r.clk.Sleep(d)
+	}
+}

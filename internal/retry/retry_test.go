@@ -1,0 +1,225 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gowren/internal/vclock"
+)
+
+var (
+	errTransient = errors.New("transient")
+	errThrottle  = errors.New("throttle")
+	errFatal     = errors.New("fatal")
+)
+
+func classify(err error) Class {
+	switch {
+	case errors.Is(err, errTransient):
+		return Transient
+	case errors.Is(err, errThrottle):
+		return Throttle
+	default:
+		return Fatal
+	}
+}
+
+func TestDoRetriesTransientThenSucceeds(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		r := New(clk, Policy{MaxAttempts: 5, BaseBackoff: 100 * time.Millisecond}, classify)
+		calls := 0
+		start := clk.Now()
+		err := r.Do(func() error {
+			calls++
+			if calls < 3 {
+				return errTransient
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+		// Deterministic exponential backoff: 100ms + 200ms.
+		if got := clk.Now().Sub(start); got != 300*time.Millisecond {
+			t.Fatalf("elapsed = %v, want 300ms", got)
+		}
+	})
+}
+
+func TestDoFatalNotRetried(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		r := New(clk, Policy{}, classify)
+		calls := 0
+		err := r.Do(func() error {
+			calls++
+			return errFatal
+		})
+		if !errors.Is(err, errFatal) {
+			t.Fatalf("err = %v, want fatal", err)
+		}
+		if calls != 1 {
+			t.Fatalf("calls = %d, want 1", calls)
+		}
+	})
+}
+
+func TestDoAttemptCap(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		r := New(clk, Policy{MaxAttempts: 3, BaseBackoff: time.Millisecond}, classify)
+		calls := 0
+		err := r.Do(func() error {
+			calls++
+			return errTransient
+		})
+		if !errors.Is(err, errTransient) {
+			t.Fatalf("err = %v, want wrapped transient", err)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+	})
+}
+
+func TestDoBackoffCapped(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		r := New(clk, Policy{
+			MaxAttempts: 6,
+			BaseBackoff: time.Second,
+			MaxBackoff:  2 * time.Second,
+		}, classify)
+		start := clk.Now()
+		_ = r.Do(func() error { return errTransient })
+		// Backoffs: 1s, 2s, 2s, 2s, 2s = 9s.
+		if got := clk.Now().Sub(start); got != 9*time.Second {
+			t.Fatalf("elapsed = %v, want 9s", got)
+		}
+	})
+}
+
+func TestDecorrelatedJitterDeterministicAndBounded(t *testing.T) {
+	elapsed := func(seed int64) time.Duration {
+		clk := vclock.NewVirtual()
+		var d time.Duration
+		clk.Run(func() {
+			r := New(clk, Policy{
+				MaxAttempts: 8,
+				BaseBackoff: 50 * time.Millisecond,
+				MaxBackoff:  time.Second,
+				Jitter:      true,
+			}, classify, WithSeed(seed))
+			start := clk.Now()
+			_ = r.Do(func() error { return errTransient })
+			d = clk.Now().Sub(start)
+		})
+		return d
+	}
+	a, b := elapsed(7), elapsed(7)
+	if a != b {
+		t.Fatalf("same seed, different schedules: %v vs %v", a, b)
+	}
+	// 7 backoffs, each in [50ms, 1s].
+	if a < 7*50*time.Millisecond || a > 7*time.Second {
+		t.Fatalf("jittered total %v outside bounds", a)
+	}
+	if c := elapsed(8); c == a {
+		t.Fatalf("different seeds produced identical schedule %v", c)
+	}
+}
+
+func TestBudgetStopsRetriesAndRefills(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		budget := NewBudget(2, 1)
+		r := New(clk, Policy{MaxAttempts: 10, BaseBackoff: time.Millisecond}, classify, WithBudget(budget))
+		calls := 0
+		err := r.Do(func() error {
+			calls++
+			return errTransient
+		})
+		if !errors.Is(err, ErrBudgetExhausted) {
+			t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+		}
+		if !errors.Is(err, errTransient) {
+			t.Fatalf("err = %v, should wrap the operation error", err)
+		}
+		// 1 first try + 2 budgeted retries.
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3", calls)
+		}
+		// Successes replenish the bucket.
+		for i := 0; i < 5; i++ {
+			if err := r.Do(func() error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if budget.Remaining() != 2 {
+			t.Fatalf("budget = %v, want refilled to cap 2", budget.Remaining())
+		}
+	})
+}
+
+func TestBreakerShedsAfterSustainedThrottle(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		br := NewBreaker(3, 10*time.Second)
+		r := New(clk, Policy{MaxAttempts: 4, BaseBackoff: time.Millisecond}, classify, WithBreaker(br))
+		calls := 0
+		// First Do: 4 throttled attempts trip the breaker at the third.
+		err := r.Do(func() error {
+			calls++
+			return errThrottle
+		})
+		if !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("err = %v, want ErrCircuitOpen once tripped mid-loop", err)
+		}
+		if calls != 3 {
+			t.Fatalf("calls = %d, want 3 (fourth attempt shed)", calls)
+		}
+		// While open, calls are shed without running the op.
+		err = r.Do(func() error {
+			calls++
+			return nil
+		})
+		if !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("err = %v, want ErrCircuitOpen while open", err)
+		}
+		if calls != 3 {
+			t.Fatalf("op ran while circuit open")
+		}
+		// After the cooldown the probe goes through and closes the circuit.
+		clk.Sleep(11 * time.Second)
+		if err := r.Do(func() error { calls++; return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if calls != 4 {
+			t.Fatalf("calls = %d, want 4", calls)
+		}
+		if br.Open(clk.Now()) {
+			t.Fatal("breaker still open after successful probe")
+		}
+	})
+}
+
+func TestNilBudgetAndBreakerAreInert(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		r := New(clk, Policy{MaxAttempts: 2, BaseBackoff: time.Millisecond}, classify)
+		if r.Budget() != nil || r.Breaker() != nil {
+			t.Fatal("unexpected attached budget/breaker")
+		}
+		if err := r.Do(func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if NewBreaker(0, time.Second) != nil {
+		t.Fatal("threshold 0 should disable the breaker")
+	}
+}
