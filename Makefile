@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify
+.PHONY: all build vet test race chaos verify
 
 all: verify
 
@@ -15,6 +15,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# chaos runs the fault-injection acceptance suite under the race detector:
+# scripted COS brownouts, controller outages, regional partitions with
+# failover, and the recovery/dead-letter machinery.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestController|TestRecovery|TestRegion' .
 
 # verify is the tier-1 gate plus the race detector — what CI runs.
 verify: build vet test race

@@ -114,6 +114,21 @@ type PartialError = core.PartialError
 // executor's GetResult calls.
 func (e *Executor) DeadLetters() []DeadLetter { return e.inner.DeadLetters() }
 
+// PersistedDeadLetters reads the durable dead-letter records this executor
+// wrote to the meta bucket — they survive the in-memory list (and, in a
+// real deployment, the client process).
+func (e *Executor) PersistedDeadLetters() ([]DeadLetter, error) {
+	return e.inner.PersistedDeadLetters()
+}
+
+// ReplayDeadLetters re-stages every dead-lettered call as a fresh tracked
+// job, clearing the in-memory list and the durable records. Use it after
+// the underlying outage heals; collect the returned futures with
+// GetResult as usual.
+func (e *Executor) ReplayDeadLetters() ([]*Future, error) {
+	return e.inner.ReplayDeadLetters()
+}
+
 // JobStats counts the executor's staged/produced objects in storage.
 type JobStats = core.JobStats
 

@@ -95,6 +95,28 @@ const (
 	ChaosSlowContainers = chaos.SlowContainers
 )
 
+// LinkPhase is one scripted WAN degradation window on a network link
+// (latency inflation, brownout, or full partition), driven by the
+// simulation clock. Use it in RegionSpec.Degrade to script a region's
+// network weather, or in WithLinkDegradation for a client's own path.
+type LinkPhase = netsim.Phase
+
+// RegionSpec describes one region of a multi-region COS deployment
+// (SimConfig.Regions). Each region is an independent failure domain: its
+// own store, its own network path, its own fault plan.
+type RegionSpec struct {
+	// Name identifies the region (e.g. "us-south"); required and unique.
+	Name string
+	// Chaos schedules fault windows on this region's storage stack only;
+	// windows are relative to cloud creation. Only storage-affecting kinds
+	// matter here (ChaosCOSBrownout).
+	Chaos []ChaosFault
+	// Degrade schedules network degradation windows on this region's
+	// path: latency inflation, failure-probability floors, and full
+	// partitions. Windows are relative to cloud creation.
+	Degrade []LinkPhase
+}
+
 // Failure-handling errors, re-exported for errors.Is against GetResult and
 // Wait results.
 var (
@@ -152,6 +174,20 @@ type SimConfig struct {
 	// Start/End are relative to the cloud's creation time. Empty disables
 	// fault injection.
 	Chaos []ChaosFault
+	// Regions, when non-empty, replaces the single object store with a
+	// multi-region COS deployment: every bucket is replicated across all
+	// listed regions, each an independent failure domain with its own
+	// network path, fault plan, and scripted degradation windows. Reads
+	// fail over between regions transparently and stale replicas are
+	// read-repaired on the next full read. See DESIGN.md, "Failure
+	// domains".
+	Regions []RegionSpec
+	// DisableRegionFailover pins all storage traffic to the preferred
+	// region with no replica failover or read-repair — the control knob
+	// for measuring what the resilience layer buys: with it set, a
+	// regional partition surfaces as transient errors that exhaust
+	// recovery and park calls in the dead-letter list.
+	DisableRegionFailover bool
 	// MetaBucket overrides the job-metadata bucket name.
 	MetaBucket string
 	// TraceCapacity, when positive, enables the platform flight recorder
@@ -170,6 +206,7 @@ type Cloud struct {
 	recorder *trace.Recorder
 	seed     int64
 	chaos    *chaos.Plan
+	multi    *cos.MultiRegion // nil for single-region clouds
 }
 
 // NewSimCloud builds a simulated cloud from cfg.
@@ -205,7 +242,6 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		}
 	}
 
-	store := cos.NewStore()
 	var recorder *trace.Recorder
 	if cfg.TraceCapacity > 0 {
 		recorder = trace.New(cfg.TraceCapacity)
@@ -218,6 +254,67 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 			return nil, fmt.Errorf("gowren: chaos plan: %w", err)
 		}
 	}
+
+	// Storage plane: a single in-cloud store, or — when Regions are
+	// configured — one independent store per region behind a replicating
+	// facade with transparent failover.
+	store := cos.NewStore()
+	var multi *cos.MultiRegion
+	if len(cfg.Regions) > 0 {
+		metaBucket := cfg.MetaBucket
+		if metaBucket == "" {
+			metaBucket = core.DefaultMetaBucket
+		}
+		backends := make([]cos.RegionBackend, len(cfg.Regions))
+		for i, r := range cfg.Regions {
+			if r.Name == "" {
+				return nil, fmt.Errorf("gowren: region %d has no name", i)
+			}
+			rs := cos.NewStore()
+			// The meta bucket must exist in every region before the
+			// platform starts; create it on the raw engine so no link time
+			// is charged outside a simulation task.
+			if err := rs.CreateBucket(metaBucket); err != nil {
+				return nil, fmt.Errorf("gowren: region %s: %w", r.Name, err)
+			}
+			// Each region gets its own datacenter path with a distinct
+			// seed, so degradation and jitter are uncorrelated across
+			// failure domains.
+			link := netsim.InCloud(cfg.Seed + 10 + int64(i))
+			if len(r.Degrade) > 0 {
+				sched, err := netsim.NewSchedule(clk, r.Degrade)
+				if err != nil {
+					return nil, fmt.Errorf("gowren: region %s degradation: %w", r.Name, err)
+				}
+				link.SetSchedule(sched)
+			}
+			var rplan *chaos.Plan
+			if len(r.Chaos) > 0 {
+				var err error
+				rplan, err = chaos.NewPlan(clk, cfg.Seed+100+int64(i), r.Chaos)
+				if err != nil {
+					return nil, fmt.Errorf("gowren: region %s chaos plan: %w", r.Name, err)
+				}
+			}
+			backends[i] = cos.RegionBackend{
+				Name:   r.Name,
+				Client: chaos.WrapStorage(cos.NewLinked(rs, clk, link), rplan),
+			}
+			if i == 0 {
+				store = rs // Cloud.Store() seeds datasets into the first region
+			}
+		}
+		var mopts []cos.MultiRegionOption
+		if cfg.DisableRegionFailover {
+			mopts = append(mopts, cos.WithoutFailover())
+		}
+		var err error
+		multi, err = cos.NewMultiRegion(backends, mopts...)
+		if err != nil {
+			return nil, fmt.Errorf("gowren: %w", err)
+		}
+	}
+
 	pcfg := core.PlatformConfig{
 		Clock:         clk,
 		Registry:      registry,
@@ -228,6 +325,9 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		MetaBucket:    cfg.MetaBucket,
 		Trace:         recorder,
 		Chaos:         plan,
+	}
+	if multi != nil {
+		pcfg.Backend = multi
 	}
 	if cfg.Jitter {
 		sigma, cap := 0.8, 5*time.Second
@@ -260,6 +360,7 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		recorder: recorder,
 		seed:     cfg.Seed,
 		chaos:    plan,
+		multi:    multi,
 	}, nil
 }
 
@@ -287,8 +388,15 @@ func (c *Cloud) Go(fn func()) {
 // Clock returns the cloud's clock.
 func (c *Cloud) Clock() Clock { return c.clock }
 
-// Store returns the raw object-store engine, for seeding datasets.
+// Store returns the raw object-store engine, for seeding datasets. On a
+// multi-region cloud it is the first region's engine; reads through the
+// facade find directly-seeded objects there via failover.
 func (c *Cloud) Store() *cos.Store { return c.store }
+
+// MultiRegion returns the replicating storage facade, or nil when
+// SimConfig.Regions was empty. Its Stats report failovers, read-repairs
+// and write misses observed so far.
+func (c *Cloud) MultiRegion() *cos.MultiRegion { return c.multi }
 
 // Platform exposes the wired core platform for advanced integrations and
 // the experiment harnesses.
@@ -330,6 +438,8 @@ type executorSettings struct {
 	breakerThreshold int
 	breakerCooldown  time.Duration
 	storage          cos.Client
+	preferredRegion  string
+	degrade          []LinkPhase
 }
 
 // WithRuntime selects the runtime image, as in
@@ -412,6 +522,23 @@ func WithStorage(client cos.Client) ExecutorOption {
 	return func(s *executorSettings) { s.storage = client }
 }
 
+// WithPreferredRegion routes this executor's storage traffic to the named
+// region first, failing over to the others only when it is unreachable
+// (or not at all under SimConfig.DisableRegionFailover). Requires a
+// multi-region cloud.
+func WithPreferredRegion(name string) ExecutorOption {
+	return func(s *executorSettings) { s.preferredRegion = name }
+}
+
+// WithLinkDegradation scripts WAN weather on this executor's own network
+// paths (control and storage): latency inflation, failure floors, full
+// partitions. Windows are relative to the Executor call. The executor
+// gets dedicated links so other clients sharing the profile are not
+// affected.
+func WithLinkDegradation(phases ...LinkPhase) ExecutorOption {
+	return func(s *executorSettings) { s.degrade = append(s.degrade, phases...) }
+}
+
 // Executor creates an executor against this cloud — the analogue of
 // pw.ibm_cf_executor(). The default client profile is in-cloud with no
 // massive spawning.
@@ -439,12 +566,47 @@ func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
 		return nil, fmt.Errorf("gowren: unknown client profile %d", int(s.profile))
 	}
 
+	if len(s.degrade) > 0 {
+		sched, err := netsim.NewSchedule(c.clock, s.degrade)
+		if err != nil {
+			return nil, fmt.Errorf("gowren: link degradation: %w", err)
+		}
+		if s.profile == ClientInCloud {
+			// The in-cloud profile shares the platform's link; degrade a
+			// dedicated pair instead so the rest of the cloud keeps a
+			// clean path.
+			controlLink = netsim.InCloud(c.seed + 3)
+			storageLink = netsim.InCloud(c.seed + 4)
+		}
+		controlLink.SetSchedule(sched)
+		storageLink.SetSchedule(sched)
+	}
+
 	storage := s.storage
 	if storage == nil {
+		// The client's own path to storage: the single store, or the
+		// multi-region facade (optionally pinned to a preferred region).
+		// Each region charges its own link below the facade; storageLink
+		// here is the client-to-frontend hop.
+		backend := cos.Client(c.store)
+		if c.multi != nil {
+			backend = c.multi
+			if s.preferredRegion != "" {
+				view, err := c.multi.Preferred(s.preferredRegion)
+				if err != nil {
+					return nil, fmt.Errorf("gowren: %w", err)
+				}
+				backend = view
+			}
+		} else if s.preferredRegion != "" {
+			return nil, errors.New("gowren: WithPreferredRegion requires SimConfig.Regions")
+		}
 		// A COS brownout degrades the service itself, so the client's view
 		// is chaos-wrapped exactly like the in-cloud one (below the
 		// executor's retry layer).
-		storage = chaos.WrapStorage(cos.NewLinked(c.store, c.clock, storageLink), c.chaos)
+		storage = chaos.WrapStorage(cos.NewLinked(backend, c.clock, storageLink), c.chaos)
+	} else if s.preferredRegion != "" {
+		return nil, errors.New("gowren: WithPreferredRegion conflicts with WithStorage")
 	}
 	inner, err := core.NewExecutor(core.Config{
 		Platform:          c.platform,

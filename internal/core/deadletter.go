@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+
+	"gowren/internal/cos"
+	"gowren/internal/wire"
+)
+
+// Dead-letter persistence and replay. The in-memory dead-letter list
+// (recover.go) tells the caller which calls automatic recovery abandoned;
+// this file makes those records durable and actionable. Every dead letter
+// is also written to the meta bucket next to the job's staged payloads, and
+// ReplayDeadLetters re-stages the abandoned calls as a brand-new job — the
+// operational loop a real deployment runs after an outage: wait for the
+// platform to heal, then replay what was parked.
+
+// persistDeadLetter writes d to the meta bucket, best-effort: the call is
+// already parked in memory, and a storage plane unhealthy enough to reject
+// this write is usually the reason the call dead-lettered in the first
+// place. The record is overwritten if the same call dead-letters again.
+func (e *Executor) persistDeadLetter(d DeadLetter) {
+	body, err := wire.Marshal(d)
+	if err != nil {
+		return
+	}
+	_ = e.putWithRetry(e.cfg.Platform.MetaBucket(), deadLetterKey(d.ExecutorID, d.CallID), body)
+}
+
+// PersistedDeadLetters loads the dead-letter records of this executor from
+// the meta bucket, in key (call ID) order.
+func (e *Executor) PersistedDeadLetters() ([]DeadLetter, error) {
+	meta := e.cfg.Platform.MetaBucket()
+	listed, err := cos.ListAll(e.cfg.Storage, meta, fmt.Sprintf("jobs/%s/%s/", e.id, deadLetterPrefix))
+	if err != nil {
+		return nil, fmt.Errorf("core: list dead letters: %w", err)
+	}
+	out := make([]DeadLetter, 0, len(listed))
+	for _, obj := range listed {
+		data, err := e.getWithRetry(meta, obj.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: load dead letter %s: %w", obj.Key, err)
+		}
+		var d DeadLetter
+		if err := wire.Unmarshal(data, &d); err != nil {
+			return nil, fmt.Errorf("core: decode dead letter %s: %w", obj.Key, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// ReplayDeadLetters re-stages every dead-lettered call as a new job on this
+// executor: the original staged payloads are fetched, re-keyed under fresh
+// call IDs, staged, and invoked like any other job, so the replay gets the
+// full machinery — retries, recovery, speculation — from scratch. On
+// success the executor's dead-letter list is cleared, the persisted records
+// are deleted, and the new futures are returned, tracked in place of the
+// dead originals (which are untracked, so the next GetResult collects each
+// replayed call exactly once). With no dead letters it returns (nil, nil).
+// On error the dead-letter list is left intact for a later retry.
+func (e *Executor) ReplayDeadLetters() ([]*Future, error) {
+	e.mu.Lock()
+	letters := e.deadLetters
+	e.deadLetters = nil
+	e.mu.Unlock()
+	if len(letters) == 0 {
+		return nil, nil
+	}
+	restore := func() {
+		e.mu.Lock()
+		e.deadLetters = append(letters, e.deadLetters...)
+		e.mu.Unlock()
+	}
+
+	meta := e.cfg.Platform.MetaBucket()
+	payloads := make([]*wire.CallPayload, len(letters))
+	for i, d := range letters {
+		data, err := e.getWithRetry(meta, payloadKey(d.ExecutorID, d.CallID))
+		if err != nil {
+			restore()
+			return nil, fmt.Errorf("core: replay: fetch payload %s/%s: %w", d.ExecutorID, d.CallID, err)
+		}
+		var p wire.CallPayload
+		if err := wire.Unmarshal(data, &p); err != nil {
+			restore()
+			return nil, fmt.Errorf("core: replay: decode payload %s/%s: %w", d.ExecutorID, d.CallID, err)
+		}
+		payloads[i] = &p
+	}
+	ids := e.reserveCallIDs(len(payloads))
+	for i, p := range payloads {
+		p.ExecutorID = e.id
+		p.CallID = ids[i]
+	}
+	futures, err := e.launch(payloads, true)
+	if err != nil {
+		restore()
+		return nil, fmt.Errorf("core: replay dead letters: %w", err)
+	}
+	// The replacements are tracked; the dead originals must not be, or the
+	// next GetResult would collect (and re-recover) both copies.
+	dead := make(map[[2]string]bool, len(letters))
+	for _, d := range letters {
+		dead[[2]string{d.ExecutorID, d.CallID}] = true
+	}
+	e.untrack(dead)
+	// The replay owns these calls now; drop the persisted records
+	// best-effort (a leftover record is re-deleted by Clean).
+	for _, d := range letters {
+		_ = e.cfg.Storage.Delete(meta, deadLetterKey(d.ExecutorID, d.CallID))
+	}
+	return futures, nil
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gowren/internal/runtime"
+)
+
+// newGateEnv registers "gated": a function that fails while gate is open
+// and returns its argument once closed — the shape of a regional outage
+// from user code's point of view.
+func newGateEnv(t *testing.T) (*env, *atomic.Bool) {
+	t.Helper()
+	var gate atomic.Bool
+	gate.Store(true)
+	e := newEnvWith(t, func(img *runtime.Image) {
+		if err := img.RegisterPlain("gated", func(_ *runtime.Ctx, arg json.RawMessage) (any, error) {
+			if gate.Load() {
+				return nil, errors.New("dependency unavailable")
+			}
+			return arg, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return e, &gate
+}
+
+func TestDeadLettersPersistedToMetaBucket(t *testing.T) {
+	e, _ := newGateEnv(t)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		if _, err := exec.Map("gated", []any{1, 2}); err != nil {
+			t.Error(err)
+			return
+		}
+		_, err := exec.GetResult(GetResultOptions{
+			Recovery:       &RecoveryOptions{MaxAttempts: 1, Backoff: 100 * time.Millisecond},
+			PartialResults: true,
+		})
+		var pe *PartialError
+		if !errors.As(err, &pe) {
+			t.Errorf("err = %v, want PartialError", err)
+			return
+		}
+		letters := exec.DeadLetters()
+		if len(letters) != 2 {
+			t.Errorf("dead letters = %d, want 2", len(letters))
+			return
+		}
+		persisted, err := exec.PersistedDeadLetters()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(persisted) != 2 {
+			t.Errorf("persisted dead letters = %d, want 2", len(persisted))
+			return
+		}
+		for i, d := range persisted {
+			if d.ExecutorID != exec.ID() || d.Attempts != 1 || d.LastError == "" {
+				t.Errorf("persisted[%d] = %+v", i, d)
+			}
+		}
+	})
+}
+
+func TestReplayDeadLettersRestagesAsNewJob(t *testing.T) {
+	e, gate := newGateEnv(t)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		if _, err := exec.Map("gated", []any{11, 22, 33}); err != nil {
+			t.Error(err)
+			return
+		}
+		_, err := exec.GetResult(GetResultOptions{
+			Recovery:       &RecoveryOptions{MaxAttempts: 1, Backoff: 100 * time.Millisecond},
+			PartialResults: true,
+		})
+		if err == nil {
+			t.Error("outage produced no error")
+			return
+		}
+		if len(exec.DeadLetters()) != 3 {
+			t.Errorf("dead letters = %d, want 3", len(exec.DeadLetters()))
+			return
+		}
+		// The dependency heals; replay the parked calls as a new job.
+		gate.Store(false)
+		replayed, err := exec.ReplayDeadLetters()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(replayed) != 3 {
+			t.Errorf("replayed futures = %d, want 3", len(replayed))
+			return
+		}
+		if len(exec.DeadLetters()) != 0 {
+			t.Error("dead-letter list not cleared by replay")
+		}
+		// The dead originals are untracked, so a full GetResult collects
+		// each replayed call exactly once.
+		if n := len(exec.Futures()); n != 3 {
+			t.Errorf("tracked futures after replay = %d, want 3", n)
+		}
+		results, err := collectResults(exec, replayed, GetResultOptions{})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Replay order follows dead-letter (give-up) order, not argument
+		// order; the values themselves must all come back.
+		got := decodeInts(t, results)
+		seen := make(map[int]bool, len(got))
+		for _, v := range got {
+			seen[v] = true
+		}
+		for _, want := range []int{11, 22, 33} {
+			if !seen[want] {
+				t.Errorf("replayed results = %v, missing %d", got, want)
+			}
+		}
+		// Replay consumed the durable records.
+		persisted, err := exec.PersistedDeadLetters()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(persisted) != 0 {
+			t.Errorf("persisted dead letters after replay = %d, want 0", len(persisted))
+		}
+	})
+}
+
+func TestReplayDeadLettersEmpty(t *testing.T) {
+	e := newEnv(t, nil)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		fs, err := exec.ReplayDeadLetters()
+		if err != nil || fs != nil {
+			t.Errorf("empty replay = %v, %v, want nil, nil", fs, err)
+		}
+	})
+}
+
+func TestCleanRemovesDeadLetterRecords(t *testing.T) {
+	e, _ := newGateEnv(t)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		if _, err := exec.Map("gated", []any{1}); err != nil {
+			t.Error(err)
+			return
+		}
+		_, err := exec.GetResult(GetResultOptions{
+			Recovery:       &RecoveryOptions{MaxAttempts: 1, Backoff: 100 * time.Millisecond},
+			PartialResults: true,
+		})
+		if err == nil {
+			t.Error("outage produced no error")
+			return
+		}
+		if err := exec.Clean(); err != nil {
+			t.Error(err)
+			return
+		}
+		persisted, err := exec.PersistedDeadLetters()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(persisted) != 0 {
+			t.Errorf("persisted dead letters after clean = %d", len(persisted))
+		}
+	})
+}

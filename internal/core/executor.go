@@ -135,6 +135,10 @@ type Executor struct {
 	invokeRetry  *retry.Retrier
 	storageRetry *retry.Retrier
 
+	// respawns is the unified automatic-respawn ledger shared by failure
+	// recovery and straggler speculation (see respawn.go).
+	respawns *respawnLedger
+
 	mu          sync.Mutex
 	futures     []*Future
 	nextID      int
@@ -187,10 +191,11 @@ func NewExecutor(cfg Config) (*Executor, error) {
 		Jitter:      true,
 	}
 	return &Executor{
-		cfg:   cfg,
-		id:    fmt.Sprintf("exec-%06d", n),
-		clock: clk,
-		gil:   newSerial(clk),
+		cfg:      cfg,
+		id:       fmt.Sprintf("exec-%06d", n),
+		clock:    clk,
+		gil:      newSerial(clk),
+		respawns: newRespawnLedger(),
 		invokeRetry: retry.New(clk, policy, classifyCallErr,
 			retry.WithBudget(budget), retry.WithBreaker(breaker), retry.WithSeed(seed)),
 		storageRetry: retry.New(clk, policy, classifyStorageErr,
@@ -226,6 +231,21 @@ func (e *Executor) track(fs []*Future) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.futures = append(e.futures, fs...)
+}
+
+// untrack removes the futures matching the given (executorID, callID)
+// pairs from the tracked set — used by dead-letter replay, which replaces
+// terminally failed calls with freshly staged ones.
+func (e *Executor) untrack(ids map[[2]string]bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	kept := e.futures[:0]
+	for _, f := range e.futures {
+		if !ids[[2]string{f.executorID, f.callID}] {
+			kept = append(kept, f)
+		}
+	}
+	e.futures = kept
 }
 
 // CallAsync runs one function asynchronously in the cloud (Table 2:

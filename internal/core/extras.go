@@ -18,7 +18,7 @@ import (
 // become unusable afterwards.
 func (e *Executor) Clean() error {
 	meta := e.cfg.Platform.MetaBucket()
-	for _, prefix := range []string{payloadPrefix, statusPrefix, resultPrefix, shufflePrefix} {
+	for _, prefix := range []string{payloadPrefix, statusPrefix, resultPrefix, shufflePrefix, deadLetterPrefix} {
 		listed, err := cos.ListAll(e.cfg.Storage, meta, fmt.Sprintf("jobs/%s/%s/", e.id, prefix))
 		if err != nil {
 			return fmt.Errorf("core: clean %s: %w", e.id, err)

@@ -242,6 +242,7 @@ func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]js
 	report()
 	var sweepErr error
 	ok := vclock.Poll(e.clock, func() bool {
+		e.respawns.advance()
 		if err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true

@@ -28,10 +28,11 @@ import (
 // trick IBM-PyWren uses so client polling does not need a round trip per
 // future.
 const (
-	payloadPrefix = "payload"
-	statusPrefix  = "status"
-	resultPrefix  = "result"
-	shufflePrefix = "shuffle"
+	payloadPrefix    = "payload"
+	statusPrefix     = "status"
+	resultPrefix     = "result"
+	shufflePrefix    = "shuffle"
+	deadLetterPrefix = "deadletter"
 )
 
 func jobKey(kind, execID, callID string) string {
@@ -60,6 +61,10 @@ func callIDFromStatusKey(key string) (string, bool) {
 	}
 	return key[i+1:], true
 }
+
+// deadLetterKey is where a call's DeadLetter record is persisted when
+// automatic recovery gives up on it.
+func deadLetterKey(execID, callID string) string { return jobKey(deadLetterPrefix, execID, callID) }
 
 // payloadRef builds the ObjectRef for a staged payload.
 func payloadRef(metaBucket, execID, callID string) wire.ObjectRef {

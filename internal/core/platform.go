@@ -29,6 +29,13 @@ type PlatformConfig struct {
 	// Store is the object-store engine. Functions and remote invokers see
 	// it through CloudLink; executors attach their own views.
 	Store *cos.Store
+	// Backend, when non-nil, replaces Store as the storage plane seen by
+	// functions and executors — typically a cos.MultiRegion facade whose
+	// region stacks already charge their own links and fault plans, so no
+	// additional CloudLink charge is layered on top. Store is still
+	// required: it remains the raw engine for bucket bootstrap and for
+	// tests that seed data directly.
+	Backend cos.Client
 	// CloudLink is the in-datacenter network path (functions ↔ COS,
 	// invoker ↔ controller). Nil uses netsim.InCloud with Seed.
 	CloudLink *netsim.Link
@@ -60,6 +67,7 @@ type Platform struct {
 	clock        vclock.Clock
 	registry     *runtime.Registry
 	store        *cos.Store
+	backend      cos.Client
 	controller   *faas.Controller
 	cloudStorage cos.Client
 	cloudLink    *netsim.Link
@@ -99,9 +107,17 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 	// Functions see storage through the in-cloud link with SDK-style
 	// retries on transient request failures. A chaos plan slots in below
 	// the retry layer, so brownout failures look exactly like ordinary
-	// transient request failures to every consumer.
-	linked := cos.Client(cos.NewLinked(cfg.Store, cfg.Clock, cloudLink))
-	cloudStorage := cos.Client(cos.NewRetrying(chaos.WrapStorage(linked, cfg.Chaos), cfg.Clock, 0, 0))
+	// transient request failures to every consumer. A multi-region backend
+	// carries its own per-region links and plans and is used as-is.
+	backend := cos.Client(cfg.Store)
+	if cfg.Backend != nil {
+		backend = cfg.Backend
+	}
+	inner := backend
+	if cfg.Backend == nil {
+		inner = cos.NewLinked(cfg.Store, cfg.Clock, cloudLink)
+	}
+	cloudStorage := cos.Client(cos.NewRetrying(chaos.WrapStorage(inner, cfg.Chaos), cfg.Clock, 0, 0))
 
 	var outage func() bool
 	var slowFactor func() float64
@@ -133,6 +149,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		clock:        cfg.Clock,
 		registry:     cfg.Registry,
 		store:        cfg.Store,
+		backend:      backend,
 		controller:   ctrl,
 		cloudStorage: cloudStorage,
 		cloudLink:    cloudLink,
@@ -176,6 +193,10 @@ func (p *Platform) Controller() *faas.Controller { return p.controller }
 
 // Store returns the raw object-store engine (no link charging).
 func (p *Platform) Store() *cos.Store { return p.store }
+
+// Backend returns the storage plane behind every view: the configured
+// multi-region facade when one is wired, otherwise the raw store.
+func (p *Platform) Backend() cos.Client { return p.backend }
 
 // CloudStorage returns the in-cloud view of the store.
 func (p *Platform) CloudStorage() cos.Client { return p.cloudStorage }

@@ -82,6 +82,9 @@ func (e *Executor) addDeadLetter(d DeadLetter) {
 	e.mu.Lock()
 	e.deadLetters = append(e.deadLetters, d)
 	e.mu.Unlock()
+	// Durable copy in the meta bucket, next to the staged payload it
+	// refers to (see deadletter.go).
+	e.persistDeadLetter(d)
 }
 
 // PartialError reports the calls that failed permanently when GetResult
@@ -197,6 +200,11 @@ func (r *recoverer) step() {
 		}
 		due = append(due, f)
 	}
+	// The ledger shared with speculation grants at most one automatic
+	// respawn per call per tick and a joint lifetime budget; denied calls
+	// stay due and come around next tick (or dead-letter at the attempt
+	// cap above).
+	due = r.exec.respawns.reserve(due, respawnLimit(r.opts))
 	if len(due) == 0 {
 		return
 	}

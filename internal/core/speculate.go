@@ -73,6 +73,7 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 	// into a misleading ErrWaitTimeout.
 	var sweepErr error
 	ok := pollClock(e, func() bool {
+		e.respawns.advance()
 		if err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true
@@ -97,9 +98,15 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 						pending = append(pending, f)
 					}
 				}
-				// A failed respawn leaves the original attempt racing on;
-				// the wait continues either way.
-				if err := e.Respawn(pending); err == nil {
+				// Stragglers just respawned by recovery this tick (or out
+				// of the shared budget) are filtered by the ledger, so one
+				// flaky call never gets two copies in one tick.
+				pending = e.respawns.reserve(pending, respawnLimit(rec.opts))
+				if len(pending) == 0 {
+					speculated = true
+				} else if err := e.Respawn(pending); err == nil {
+					// A failed respawn leaves the original attempt racing
+					// on; the wait continues either way.
 					speculated = true
 				}
 			}

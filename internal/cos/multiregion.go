@@ -1,0 +1,725 @@
+package cos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Multi-region object storage. The paper's executor treats COS as a single
+// always-available endpoint; real deployments replicate the data-exchange
+// plane across independent failure domains so a regional brownout or
+// partition degrades into transient errors instead of lost data. MultiRegion
+// is that replication layer: a Client facade over N independent region
+// stacks (each typically a Store behind its own netsim link and chaos plan).
+//
+// Semantics:
+//
+//   - writes replicate synchronously to every region and succeed once at
+//     least one region accepts them; regions that missed a write are marked
+//     stale for that key;
+//   - reads try the preferred region first and fail over, in region order,
+//     to any region holding the latest version; a read never serves a stale
+//     replica;
+//   - full-object reads repair stale replicas in passing (read-repair),
+//     re-writing the latest bytes through the stale region's own stack so
+//     a still-partitioned region simply stays stale;
+//   - listings merge the reachable regions, so statuses committed to a
+//     healthy region during another region's outage are always visible;
+//   - when every region fails an operation, the facade reports
+//     ErrRequestFailed — a transient error that routes into the existing
+//     retry/recovery machinery, never silent data loss.
+//
+// Version bookkeeping lives in the facade (the replication control plane);
+// object bytes live only in the region stores. Keys written around the
+// facade (e.g. datasets seeded directly into one region's Store) have no
+// version record and are served from the first region that has them.
+type MultiRegion struct {
+	regions  []RegionBackend
+	failover bool
+
+	mu       sync.Mutex
+	latest   map[string]objVersion // object key → latest committed version
+	replicas []map[string]uint64   // per-region committed version
+	buckets  map[string]bool       // buckets created through the facade
+
+	stats MultiRegionStats
+}
+
+var _ Client = (*MultiRegion)(nil)
+
+// RegionBackend couples a region name with its client stack — typically
+// chaos.WrapStorage(NewLinked(store, clk, regionLink), regionPlan), so the
+// region has its own network path and its own fault plan.
+type RegionBackend struct {
+	Name   string
+	Client Client
+}
+
+type objVersion struct {
+	v       uint64
+	deleted bool
+}
+
+// MultiRegionStats counts cross-region events. Counters are cumulative and
+// safe to read concurrently.
+type MultiRegionStats struct {
+	// Failovers counts reads served by a non-preferred region because the
+	// preferred one was unreachable or stale.
+	Failovers atomic.Int64
+	// Repairs counts stale replicas brought current by read-repair.
+	Repairs atomic.Int64
+	// WriteMisses counts per-region write failures that left a replica
+	// stale (the write still succeeded elsewhere).
+	WriteMisses atomic.Int64
+}
+
+// MultiRegionSnapshot is a point-in-time copy of the facade counters.
+type MultiRegionSnapshot struct {
+	Failovers, Repairs, WriteMisses int64
+}
+
+// MultiRegionOption configures a MultiRegion.
+type MultiRegionOption func(*MultiRegion)
+
+// WithoutFailover pins every operation to the preferred region alone: no
+// replica writes, no failover reads, no read-repair. It exists to
+// demonstrate (in tests and experiments) what a regional outage costs
+// without the resilience layer.
+func WithoutFailover() MultiRegionOption {
+	return func(m *MultiRegion) { m.failover = false }
+}
+
+// NewMultiRegion builds a facade over the given regions. Region order is
+// the default failover order; region 0 is the default preferred region.
+// At least one region is required; names must be unique and non-empty.
+func NewMultiRegion(regions []RegionBackend, opts ...MultiRegionOption) (*MultiRegion, error) {
+	if len(regions) == 0 {
+		return nil, errors.New("cos: multi-region facade requires at least one region")
+	}
+	seen := make(map[string]bool, len(regions))
+	for _, r := range regions {
+		if r.Name == "" || r.Client == nil {
+			return nil, errors.New("cos: region requires a name and a client")
+		}
+		if seen[r.Name] {
+			return nil, fmt.Errorf("cos: duplicate region name %q", r.Name)
+		}
+		seen[r.Name] = true
+	}
+	m := &MultiRegion{
+		regions:  append([]RegionBackend(nil), regions...),
+		failover: true,
+		latest:   make(map[string]objVersion),
+		replicas: make([]map[string]uint64, len(regions)),
+		buckets:  make(map[string]bool),
+	}
+	for i := range m.replicas {
+		m.replicas[i] = make(map[string]uint64)
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m, nil
+}
+
+// RegionNames returns the region names in failover order.
+func (m *MultiRegion) RegionNames() []string {
+	names := make([]string, len(m.regions))
+	for i, r := range m.regions {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Stats returns a snapshot of the cross-region counters.
+func (m *MultiRegion) Stats() MultiRegionSnapshot {
+	return MultiRegionSnapshot{
+		Failovers:   m.stats.Failovers.Load(),
+		Repairs:     m.stats.Repairs.Load(),
+		WriteMisses: m.stats.WriteMisses.Load(),
+	}
+}
+
+// Preferred returns a Client view of the facade whose reads start at the
+// named region. All views share one version map, so failover and
+// read-repair behave identically regardless of entry point.
+func (m *MultiRegion) Preferred(name string) (Client, error) {
+	for i, r := range m.regions {
+		if r.Name == name {
+			return &regionView{m: m, pref: i}, nil
+		}
+	}
+	return nil, fmt.Errorf("cos: unknown region %q", name)
+}
+
+func objKey(bucket, key string) string { return bucket + "\x00" + key }
+
+// order returns region indices to try: pref first, then the rest in region
+// order. Without failover only pref is returned.
+func (m *MultiRegion) order(pref int) []int {
+	if !m.failover {
+		return []int{pref}
+	}
+	out := make([]int, 0, len(m.regions))
+	out = append(out, pref)
+	for i := range m.regions {
+		if i != pref {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// transient reports whether err should trigger failover to another region.
+func transientRegionErr(err error) bool {
+	return errors.Is(err, ErrRequestFailed)
+}
+
+// --- writes ---------------------------------------------------------------
+
+// put replicates one write. pref orders the attempts so the preferred
+// region's endpoint is tried first.
+func (m *MultiRegion) put(pref int, bucket, key string, data []byte) (ObjectMeta, error) {
+	k := objKey(bucket, key)
+	m.mu.Lock()
+	v := m.latest[k].v + 1
+	m.mu.Unlock()
+
+	var (
+		meta         ObjectMeta
+		gotMeta      bool
+		lastErr      error
+		sawTransient bool
+		wrote        []int
+	)
+	for _, i := range m.order(pref) {
+		got, err := m.regions[i].Client.Put(bucket, key, data)
+		if err != nil {
+			switch {
+			case transientRegionErr(err):
+				sawTransient = true
+			case errors.Is(err, ErrNoSuchBucket):
+				// This region missed the bucket creation (it was down when
+				// the facade created it); the replica is simply stale and
+				// read-repair recreates bucket and object later.
+			default:
+				return ObjectMeta{}, err
+			}
+			m.stats.WriteMisses.Add(1)
+			lastErr = err
+			continue
+		}
+		if !gotMeta {
+			meta, gotMeta = got, true
+		}
+		wrote = append(wrote, i)
+	}
+	if !gotMeta {
+		if !sawTransient && lastErr != nil {
+			// Every region agrees the bucket does not exist: a real caller
+			// error, not an outage.
+			return ObjectMeta{}, fmt.Errorf("put %s/%s: %w", bucket, key, lastErr)
+		}
+		return ObjectMeta{}, fmt.Errorf("cos: put %s/%s failed in all %d regions: %w", bucket, key, len(m.regions), ErrRequestFailed)
+	}
+	m.mu.Lock()
+	if v > m.latest[k].v || m.latest[k].deleted {
+		m.latest[k] = objVersion{v: v}
+	}
+	for _, i := range wrote {
+		if m.replicas[i][k] < v {
+			m.replicas[i][k] = v
+		}
+	}
+	m.mu.Unlock()
+	return meta, nil
+}
+
+// delete_ tombstones one key across the regions. Regions that miss the
+// delete keep stale bytes, which listings and reads filter out through the
+// tombstone; the bytes themselves are reclaimed only if the region sees a
+// later delete or overwrite.
+func (m *MultiRegion) delete_(pref int, bucket, key string) error {
+	k := objKey(bucket, key)
+	m.mu.Lock()
+	v := m.latest[k].v + 1
+	m.mu.Unlock()
+
+	var (
+		okAny        bool
+		lastErr      error
+		sawTransient bool
+		wrote        []int
+	)
+	for _, i := range m.order(pref) {
+		if err := m.regions[i].Client.Delete(bucket, key); err != nil {
+			switch {
+			case transientRegionErr(err):
+				sawTransient = true
+			case errors.Is(err, ErrNoSuchKey) || errors.Is(err, ErrNoSuchBucket):
+				// Nothing to delete in this region; the tombstone below
+				// hides any stale copy it may grow back via repair races.
+				okAny = true
+				wrote = append(wrote, i)
+				continue
+			default:
+				return err
+			}
+			m.stats.WriteMisses.Add(1)
+			lastErr = err
+			continue
+		}
+		okAny = true
+		wrote = append(wrote, i)
+	}
+	if !okAny {
+		if !sawTransient && lastErr != nil {
+			return fmt.Errorf("delete %s/%s: %w", bucket, key, lastErr)
+		}
+		return fmt.Errorf("cos: delete %s/%s failed in all %d regions: %w", bucket, key, len(m.regions), ErrRequestFailed)
+	}
+	m.mu.Lock()
+	if v > m.latest[k].v {
+		m.latest[k] = objVersion{v: v, deleted: true}
+	}
+	for _, i := range wrote {
+		if m.replicas[i][k] < v {
+			m.replicas[i][k] = v
+		}
+	}
+	m.mu.Unlock()
+	return nil
+}
+
+// --- reads ----------------------------------------------------------------
+
+// current reports whether region i holds the latest version of k. Untracked
+// keys (written around the facade) are current everywhere.
+func (m *MultiRegion) current(i int, k string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	lv, tracked := m.latest[k]
+	if !tracked {
+		return true
+	}
+	return m.replicas[i][k] == lv.v
+}
+
+// tombstoned reports whether k's latest version is a delete.
+func (m *MultiRegion) tombstoned(k string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.latest[k].deleted
+}
+
+// getRange serves a ranged read with failover; full reads (offset 0,
+// length < 0) repair stale replicas with the bytes just fetched.
+func (m *MultiRegion) getRange(pref int, bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+	k := objKey(bucket, key)
+	if m.tombstoned(k) {
+		return nil, ObjectMeta{}, fmt.Errorf("get %s/%s: %w", bucket, key, ErrNoSuchKey)
+	}
+	var (
+		lastErr error
+		sawMiss bool
+	)
+	for n, i := range m.order(pref) {
+		if !m.current(i, k) {
+			continue // stale replica; never serve it
+		}
+		data, meta, err := m.regions[i].Client.GetRange(bucket, key, offset, length)
+		if err != nil {
+			switch {
+			case transientRegionErr(err):
+				lastErr = err
+				continue
+			case errors.Is(err, ErrNoSuchKey) || errors.Is(err, ErrNoSuchBucket):
+				// Another region may hold the object (seeded around the
+				// facade, or this replica lost it); keep looking.
+				sawMiss = true
+				lastErr = err
+				continue
+			default:
+				return nil, ObjectMeta{}, err
+			}
+		}
+		if n > 0 {
+			m.stats.Failovers.Add(1)
+		}
+		if offset == 0 && length < 0 {
+			m.repair(k, bucket, key, data)
+		}
+		return data, meta, nil
+	}
+	if lastErr == nil {
+		// Every region skipped as stale: the object exists but no current
+		// replica is known — only possible for keys that were never
+		// successfully written, so report it as transient.
+		lastErr = ErrRequestFailed
+	}
+	if sawMiss && !transientRegionErr(lastErr) {
+		return nil, ObjectMeta{}, fmt.Errorf("get %s/%s: %w", bucket, key, lastErr)
+	}
+	return nil, ObjectMeta{}, fmt.Errorf("cos: get %s/%s unreachable in all regions: %w", bucket, key, ErrRequestFailed)
+}
+
+// repair pushes the latest bytes of k to every stale region, through that
+// region's own stack so its link and fault plan apply. Failures leave the
+// replica stale; a later read retries.
+func (m *MultiRegion) repair(k, bucket, key string, data []byte) {
+	if !m.failover {
+		return
+	}
+	m.mu.Lock()
+	lv, tracked := m.latest[k]
+	var stale []int
+	if tracked && !lv.deleted {
+		for i := range m.regions {
+			if m.replicas[i][k] != lv.v {
+				stale = append(stale, i)
+			}
+		}
+	}
+	m.mu.Unlock()
+	for _, i := range stale {
+		if _, err := m.regions[i].Client.Put(bucket, key, data); err != nil {
+			if errors.Is(err, ErrNoSuchBucket) {
+				// The region also missed the bucket creation; repair that
+				// first, then retry the object once.
+				if cerr := m.regions[i].Client.CreateBucket(bucket); cerr != nil && !errors.Is(cerr, ErrBucketExists) {
+					continue
+				}
+				if _, err = m.regions[i].Client.Put(bucket, key, data); err != nil {
+					continue
+				}
+			} else {
+				continue
+			}
+		}
+		m.mu.Lock()
+		if cur := m.latest[k]; cur.v == lv.v && !cur.deleted && m.replicas[i][k] < lv.v {
+			m.replicas[i][k] = lv.v
+			m.stats.Repairs.Add(1)
+		}
+		m.mu.Unlock()
+	}
+}
+
+// head serves metadata with failover, mirroring getRange without a body.
+func (m *MultiRegion) head(pref int, bucket, key string) (ObjectMeta, error) {
+	k := objKey(bucket, key)
+	if m.tombstoned(k) {
+		return ObjectMeta{}, fmt.Errorf("head %s/%s: %w", bucket, key, ErrNoSuchKey)
+	}
+	var lastErr error
+	for n, i := range m.order(pref) {
+		if !m.current(i, k) {
+			continue
+		}
+		meta, err := m.regions[i].Client.Head(bucket, key)
+		if err != nil {
+			if transientRegionErr(err) || errors.Is(err, ErrNoSuchKey) || errors.Is(err, ErrNoSuchBucket) {
+				lastErr = err
+				continue
+			}
+			return ObjectMeta{}, err
+		}
+		if n > 0 {
+			m.stats.Failovers.Add(1)
+		}
+		return meta, nil
+	}
+	if lastErr != nil && !transientRegionErr(lastErr) {
+		return ObjectMeta{}, fmt.Errorf("head %s/%s: %w", bucket, key, lastErr)
+	}
+	return ObjectMeta{}, fmt.Errorf("cos: head %s/%s unreachable in all regions: %w", bucket, key, ErrRequestFailed)
+}
+
+// list merges the reachable regions' listings into one page, filtering
+// tombstoned keys and preferring metadata from a region holding the latest
+// version. Statuses committed to a healthy region during another region's
+// outage are therefore always visible to pollers.
+func (m *MultiRegion) list(pref int, bucket, prefix, marker string, maxKeys int) (ListResult, error) {
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxKeys
+	}
+	type entry struct {
+		meta    ObjectMeta
+		current bool
+	}
+	var (
+		merged     = make(map[string]entry)
+		reachable  bool
+		sawBucket  bool
+		truncated  bool
+		lastErr    error
+		fatalMiss  error
+		regionList []int
+	)
+	regionList = m.order(pref)
+	for _, i := range regionList {
+		page, err := m.regions[i].Client.List(bucket, prefix, marker, maxKeys)
+		if err != nil {
+			switch {
+			case transientRegionErr(err):
+				lastErr = err
+				continue
+			case errors.Is(err, ErrNoSuchBucket):
+				// The region may simply have missed the bucket creation.
+				reachable = true
+				fatalMiss = err
+				continue
+			default:
+				return ListResult{}, err
+			}
+		}
+		reachable, sawBucket = true, true
+		if page.IsTruncated {
+			truncated = true
+		}
+		for _, om := range page.Objects {
+			k := objKey(bucket, om.Key)
+			if m.tombstoned(k) {
+				continue
+			}
+			cur := m.current(i, k)
+			if prev, ok := merged[k]; ok && (prev.current || !cur) {
+				continue
+			}
+			merged[k] = entry{meta: om, current: cur}
+		}
+	}
+	if !reachable {
+		return ListResult{}, fmt.Errorf("cos: list %s unreachable in all regions: %w", bucket, ErrRequestFailed)
+	}
+	if !sawBucket {
+		return ListResult{}, fmt.Errorf("list %s: %w", bucket, fatalMiss)
+	}
+	_ = lastErr
+	keys := make([]string, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, merged[k].meta.Key)
+	}
+	sort.Strings(keys)
+	var res ListResult
+	for i, key := range keys {
+		if i == maxKeys {
+			truncated = true
+			break
+		}
+		res.Objects = append(res.Objects, merged[objKey(bucket, key)].meta)
+	}
+	if truncated && len(res.Objects) > 0 {
+		res.IsTruncated = true
+		res.NextMarker = res.Objects[len(res.Objects)-1].Key
+	}
+	return res, nil
+}
+
+// --- buckets --------------------------------------------------------------
+
+func (m *MultiRegion) createBucket(pref int, name string) error {
+	var (
+		okAny, existed bool
+		lastErr        error
+	)
+	for _, i := range m.order(pref) {
+		err := m.regions[i].Client.CreateBucket(name)
+		switch {
+		case err == nil:
+			okAny = true
+		case errors.Is(err, ErrBucketExists):
+			existed = true
+		case transientRegionErr(err):
+			lastErr = err
+		default:
+			return err
+		}
+	}
+	if !okAny && !existed {
+		return fmt.Errorf("cos: create bucket %q failed in all regions: %w", name, lastErr)
+	}
+	m.mu.Lock()
+	m.buckets[name] = true
+	m.mu.Unlock()
+	if !okAny && existed {
+		return fmt.Errorf("create bucket %q: %w", name, ErrBucketExists)
+	}
+	return nil
+}
+
+func (m *MultiRegion) deleteBucket(pref int, name string) error {
+	var (
+		okAny   bool
+		lastErr error
+	)
+	for _, i := range m.order(pref) {
+		err := m.regions[i].Client.DeleteBucket(name)
+		switch {
+		case err == nil:
+			okAny = true
+		case transientRegionErr(err):
+			lastErr = err
+		case errors.Is(err, ErrNoSuchBucket):
+			// already absent in this region
+		default:
+			return err
+		}
+	}
+	if !okAny {
+		return fmt.Errorf("cos: delete bucket %q failed in all regions: %w", name, lastErr)
+	}
+	m.mu.Lock()
+	delete(m.buckets, name)
+	m.mu.Unlock()
+	return nil
+}
+
+func (m *MultiRegion) bucketExists(pref int) func(name string) (bool, error) {
+	return func(name string) (bool, error) {
+		var lastErr error
+		for _, i := range m.order(pref) {
+			ok, err := m.regions[i].Client.BucketExists(name)
+			if err != nil {
+				if transientRegionErr(err) {
+					lastErr = err
+					continue
+				}
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		if lastErr != nil {
+			return false, fmt.Errorf("cos: bucket-exists %q unreachable: %w", name, ErrRequestFailed)
+		}
+		return false, nil
+	}
+}
+
+func (m *MultiRegion) listBuckets(pref int) ([]string, error) {
+	var (
+		union     = make(map[string]bool)
+		reachable bool
+	)
+	for _, i := range m.order(pref) {
+		names, err := m.regions[i].Client.ListBuckets()
+		if err != nil {
+			if transientRegionErr(err) {
+				continue
+			}
+			return nil, err
+		}
+		reachable = true
+		for _, n := range names {
+			union[n] = true
+		}
+	}
+	if !reachable {
+		return nil, fmt.Errorf("cos: list buckets unreachable in all regions: %w", ErrRequestFailed)
+	}
+	out := make([]string, 0, len(union))
+	for n := range union {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// --- Client implementation (preferred region 0) ---------------------------
+
+// CreateBucket implements Client.
+func (m *MultiRegion) CreateBucket(bucket string) error { return m.createBucket(0, bucket) }
+
+// DeleteBucket implements Client.
+func (m *MultiRegion) DeleteBucket(bucket string) error { return m.deleteBucket(0, bucket) }
+
+// BucketExists implements Client.
+func (m *MultiRegion) BucketExists(bucket string) (bool, error) {
+	return m.bucketExists(0)(bucket)
+}
+
+// Put implements Client.
+func (m *MultiRegion) Put(bucket, key string, data []byte) (ObjectMeta, error) {
+	return m.put(0, bucket, key, data)
+}
+
+// Get implements Client.
+func (m *MultiRegion) Get(bucket, key string) ([]byte, ObjectMeta, error) {
+	return m.getRange(0, bucket, key, 0, -1)
+}
+
+// GetRange implements Client.
+func (m *MultiRegion) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+	return m.getRange(0, bucket, key, offset, length)
+}
+
+// Head implements Client.
+func (m *MultiRegion) Head(bucket, key string) (ObjectMeta, error) {
+	return m.head(0, bucket, key)
+}
+
+// List implements Client.
+func (m *MultiRegion) List(bucket, prefix, marker string, maxKeys int) (ListResult, error) {
+	return m.list(0, bucket, prefix, marker, maxKeys)
+}
+
+// ListBuckets implements Client.
+func (m *MultiRegion) ListBuckets() ([]string, error) { return m.listBuckets(0) }
+
+// Delete implements Client.
+func (m *MultiRegion) Delete(bucket, key string) error { return m.delete_(0, bucket, key) }
+
+// regionView is a Client whose reads prefer a specific region.
+type regionView struct {
+	m    *MultiRegion
+	pref int
+}
+
+var _ Client = (*regionView)(nil)
+
+// CreateBucket implements Client.
+func (v *regionView) CreateBucket(bucket string) error { return v.m.createBucket(v.pref, bucket) }
+
+// DeleteBucket implements Client.
+func (v *regionView) DeleteBucket(bucket string) error { return v.m.deleteBucket(v.pref, bucket) }
+
+// BucketExists implements Client.
+func (v *regionView) BucketExists(bucket string) (bool, error) {
+	return v.m.bucketExists(v.pref)(bucket)
+}
+
+// Put implements Client.
+func (v *regionView) Put(bucket, key string, data []byte) (ObjectMeta, error) {
+	return v.m.put(v.pref, bucket, key, data)
+}
+
+// Get implements Client.
+func (v *regionView) Get(bucket, key string) ([]byte, ObjectMeta, error) {
+	return v.m.getRange(v.pref, bucket, key, 0, -1)
+}
+
+// GetRange implements Client.
+func (v *regionView) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+	return v.m.getRange(v.pref, bucket, key, offset, length)
+}
+
+// Head implements Client.
+func (v *regionView) Head(bucket, key string) (ObjectMeta, error) {
+	return v.m.head(v.pref, bucket, key)
+}
+
+// List implements Client.
+func (v *regionView) List(bucket, prefix, marker string, maxKeys int) (ListResult, error) {
+	return v.m.list(v.pref, bucket, prefix, marker, maxKeys)
+}
+
+// ListBuckets implements Client.
+func (v *regionView) ListBuckets() ([]string, error) { return v.m.listBuckets(v.pref) }
+
+// Delete implements Client.
+func (v *regionView) Delete(bucket, key string) error { return v.m.delete_(v.pref, bucket, key) }

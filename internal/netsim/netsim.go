@@ -67,7 +67,9 @@ func (l LogNormal) Sample(r *rand.Rand) time.Duration {
 
 // Link models one directional network path: per-request round-trip latency,
 // a fixed per-request service overhead, payload transfer time at a given
-// bandwidth, and a request failure probability.
+// bandwidth, and a request failure probability. An optional Schedule layers
+// scripted degradation windows (latency inflation, brownouts, full
+// partitions) on top of the steady-state model.
 type Link struct {
 	mu sync.Mutex
 
@@ -76,6 +78,7 @@ type Link struct {
 	bandwidth   float64 // bytes per second; 0 means infinite
 	failureProb float64
 	rng         *rand.Rand
+	sched       *Schedule // nil means no scripted degradation
 }
 
 // LinkConfig configures a Link.
@@ -102,17 +105,43 @@ func NewLink(cfg LinkConfig) *Link {
 	}
 }
 
+// SetSchedule attaches a scripted degradation schedule to the link. All
+// subsequent requests consult it: latency samples are inflated, the failure
+// probability is floored, and partition phases fail every request. A nil
+// schedule restores steady-state behaviour. Attach schedules at wiring
+// time, before traffic flows.
+func (l *Link) SetSchedule(s *Schedule) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.sched = s
+}
+
+// Schedule returns the attached degradation schedule, or nil.
+func (l *Link) Schedule() *Schedule {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.sched
+}
+
 // RequestCost returns the simulated duration of one request carrying
 // payloadBytes, and whether the request fails. A failing request still
 // consumes its duration (the caller observed a timeout or error response).
 func (l *Link) RequestCost(payloadBytes int64) (time.Duration, bool) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	d := l.rtt.Sample(l.rng) + l.perRequest
+	d := l.sched.degradeLatency(l.rtt.Sample(l.rng) + l.perRequest)
 	if l.bandwidth > 0 && payloadBytes > 0 {
 		d += time.Duration(float64(payloadBytes) / l.bandwidth * float64(time.Second))
 	}
-	fail := l.failureProb > 0 && l.rng.Float64() < l.failureProb
+	floor, partitioned := l.sched.failureFloor()
+	if partitioned {
+		return d, true
+	}
+	prob := l.failureProb
+	if floor > prob {
+		prob = floor
+	}
+	fail := prob > 0 && l.rng.Float64() < prob
 	return d, fail
 }
 
@@ -120,7 +149,7 @@ func (l *Link) RequestCost(payloadBytes int64) (time.Duration, bool) {
 func (l *Link) Latency() time.Duration {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.rtt.Sample(l.rng) + l.perRequest
+	return l.sched.degradeLatency(l.rtt.Sample(l.rng) + l.perRequest)
 }
 
 // Transfer returns the time to move payloadBytes across the link, excluding
@@ -136,12 +165,20 @@ func (l *Link) Transfer(payloadBytes int64) time.Duration {
 
 // Fail draws one failure decision for a request on this link.
 func (l *Link) Fail() bool {
-	if l.failureProb <= 0 {
-		return false
-	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return l.rng.Float64() < l.failureProb
+	floor, partitioned := l.sched.failureFloor()
+	if partitioned {
+		return true
+	}
+	prob := l.failureProb
+	if floor > prob {
+		prob = floor
+	}
+	if prob <= 0 {
+		return false
+	}
+	return l.rng.Float64() < prob
 }
 
 // Profiles for the two paths in the paper's testbed. Constants are

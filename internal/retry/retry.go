@@ -160,16 +160,27 @@ func (b *Budget) Remaining() float64 {
 // Do fails fast with ErrCircuitOpen. The first attempt after the cooldown
 // probes the platform; success closes the circuit, another throttle
 // reopens it.
+//
+// Reopening is adaptive: a circuit that just closed does not resume at full
+// rate. For a ramp window after the cooldown expires, every call through the
+// breaker is paced — delayed by an interval that starts at the slow-start
+// pace and decays linearly to zero — so a platform that shed load recovers
+// under a gentle ramp instead of the full thundering herd that tripped it.
 type Breaker struct {
 	mu          sync.Mutex
 	threshold   int
 	cooldown    time.Duration
+	paceInitial time.Duration // per-call delay right after the circuit closes
+	ramp        time.Duration // window over which the pace decays to zero
 	consecutive int
 	openUntil   time.Time
+	rampUntil   time.Time
 }
 
 // NewBreaker returns a breaker tripping after threshold consecutive
-// throttles for cooldown. cooldown <= 0 selects 5 s.
+// throttles for cooldown. cooldown <= 0 selects 5 s. Slow-start defaults to
+// an initial pace of cooldown/10 decaying over one cooldown; tune it with
+// SetSlowStart.
 func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if threshold <= 0 {
 		return nil
@@ -177,7 +188,31 @@ func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
 	if cooldown <= 0 {
 		cooldown = 5 * time.Second
 	}
-	return &Breaker{threshold: threshold, cooldown: cooldown}
+	return &Breaker{
+		threshold:   threshold,
+		cooldown:    cooldown,
+		paceInitial: cooldown / 10,
+		ramp:        cooldown,
+	}
+}
+
+// SetSlowStart configures the post-trip ramp: the first call after the
+// cooldown is delayed by initial, decaying linearly to zero over ramp.
+// initial <= 0 disables slow-start.
+func (b *Breaker) SetSlowStart(initial, ramp time.Duration) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if initial <= 0 {
+		b.paceInitial, b.ramp = 0, 0
+		return
+	}
+	if ramp <= 0 {
+		ramp = b.cooldown
+	}
+	b.paceInitial, b.ramp = initial, ramp
 }
 
 // allow reports whether a call may proceed at now.
@@ -204,12 +239,31 @@ func (b *Breaker) record(throttled bool, now time.Time) {
 	b.consecutive++
 	if b.consecutive >= b.threshold {
 		b.openUntil = now.Add(b.cooldown)
+		b.rampUntil = b.openUntil.Add(b.ramp)
 		b.consecutive = 0
 	}
 }
 
 // Open reports whether the circuit is currently open at now.
 func (b *Breaker) Open(now time.Time) bool { return !b.allow(now) }
+
+// Pace returns the slow-start delay a call admitted at now must wait before
+// proceeding. Zero outside a ramp window (and always for a nil breaker).
+func (b *Breaker) Pace(now time.Time) time.Duration {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.paceInitial <= 0 || b.ramp <= 0 {
+		return 0
+	}
+	if now.Before(b.openUntil) || !now.Before(b.rampUntil) {
+		return 0
+	}
+	remaining := b.rampUntil.Sub(now)
+	return time.Duration(float64(b.paceInitial) * float64(remaining) / float64(b.ramp))
+}
 
 // Retrier executes operations under a Policy on a clock, with an optional
 // shared Budget and Breaker. It is safe for concurrent use; jittered
@@ -314,6 +368,9 @@ func (r *Retrier) Do(op func() error) error {
 				return fmt.Errorf("%w (last error: %v)", ErrCircuitOpen, lastErr)
 			}
 			return ErrCircuitOpen
+		}
+		if pace := r.breaker.Pace(r.clk.Now()); pace > 0 {
+			r.clk.Sleep(pace) // slow-start: ramp back up after a trip
 		}
 		err := op()
 		if err == nil {

@@ -223,3 +223,81 @@ func TestNilBudgetAndBreakerAreInert(t *testing.T) {
 		t.Fatal("threshold 0 should disable the breaker")
 	}
 }
+
+func TestBreakerSlowStartPacesAfterTrip(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		b := NewBreaker(2, 10*time.Second) // pace starts at 1s, decays over 10s
+		now := clk.Now()
+		b.record(true, now)
+		b.record(true, now) // trips: open until t+10s, ramp until t+20s
+
+		if got := b.Pace(now); got != 0 {
+			t.Fatalf("pace while open = %v, want 0 (allow() sheds these)", got)
+		}
+		reopen := now.Add(10 * time.Second)
+		if got := b.Pace(reopen); got != time.Second {
+			t.Fatalf("pace at reopen = %v, want 1s", got)
+		}
+		if got := b.Pace(reopen.Add(5 * time.Second)); got != 500*time.Millisecond {
+			t.Fatalf("pace mid-ramp = %v, want 500ms", got)
+		}
+		if got := b.Pace(reopen.Add(10 * time.Second)); got != 0 {
+			t.Fatalf("pace after ramp = %v, want 0", got)
+		}
+	})
+	clk.Wait()
+}
+
+func TestRetrierSlowStartDelaysPostTripCalls(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		b := NewBreaker(1, 10*time.Second)
+		r := New(clk, Policy{MaxAttempts: 1}, classify, WithBreaker(b))
+
+		if err := r.Do(func() error { return errThrottle }); err == nil {
+			t.Fatal("throttle not surfaced")
+		}
+		if !b.Open(clk.Now()) {
+			t.Fatal("breaker not open after trip")
+		}
+		clk.Sleep(10 * time.Second) // cooldown expires; ramp window begins
+
+		start := clk.Now()
+		if err := r.Do(func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		// The first post-trip call pays the full slow-start pace (1s).
+		if got := clk.Now().Sub(start); got != time.Second {
+			t.Fatalf("post-trip call delayed %v, want 1s", got)
+		}
+		clk.Sleep(9 * time.Second) // past the ramp window
+		start = clk.Now()
+		if err := r.Do(func() error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if got := clk.Now().Sub(start); got != 0 {
+			t.Fatalf("steady-state call delayed %v, want 0", got)
+		}
+	})
+	clk.Wait()
+}
+
+func TestBreakerSlowStartDisabled(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		b := NewBreaker(1, 10*time.Second)
+		b.SetSlowStart(0, 0)
+		now := clk.Now()
+		b.record(true, now)
+		if got := b.Pace(now.Add(10 * time.Second)); got != 0 {
+			t.Fatalf("disabled slow-start paced %v", got)
+		}
+		var nilB *Breaker
+		nilB.SetSlowStart(time.Second, time.Second)
+		if got := nilB.Pace(now); got != 0 {
+			t.Fatalf("nil breaker paced %v", got)
+		}
+	})
+	clk.Wait()
+}

@@ -1,0 +1,245 @@
+package gowren_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"gowren"
+)
+
+// regionImage registers the function the multi-region acceptance tests
+// run: 5 seconds of compute per call, so a mid-job regional partition
+// lands squarely on the result-writing phase.
+func regionImage(t *testing.T) *gowren.Image {
+	t.Helper()
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	if err := gowren.RegisterFunc(img, "work", func(ctx *gowren.Ctx, x int) (int, error) {
+		if err := ctx.ChargeCompute(5 * time.Second); err != nil {
+			return 0, err
+		}
+		return x * 2, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return img
+}
+
+// twoRegionConfig scripts the acceptance scenario: two regions, with the
+// first fully partitioned from its network between t=2s and t=25s —
+// covering the window where a 5 s job's statuses and results are written.
+func twoRegionConfig(t *testing.T, seed int64, disableFailover bool) gowren.SimConfig {
+	t.Helper()
+	return gowren.SimConfig{
+		Images: []*gowren.Image{regionImage(t)},
+		Seed:   seed,
+		Regions: []gowren.RegionSpec{
+			{
+				Name: "us-south",
+				Degrade: []gowren.LinkPhase{
+					{Start: 2 * time.Second, End: 25 * time.Second, Partition: true},
+				},
+			},
+			{Name: "eu-gb"},
+		},
+		DisableRegionFailover: disableFailover,
+	}
+}
+
+// regionRun executes one 500-call map through the scripted regional
+// partition, with the client's own WAN path suffering a concurrent
+// latency-inflation window, and returns results, elapsed virtual time,
+// dead letters and the facade's failover count.
+func regionRun(t *testing.T, seed int64) (results []int, elapsed time.Duration, dead []gowren.DeadLetter, failovers int64) {
+	t.Helper()
+	cloud, err := gowren.NewSimCloud(twoRegionConfig(t, seed, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor(gowren.WithLinkDegradation(gowren.LinkPhase{
+			Start:         2 * time.Second,
+			End:           25 * time.Second,
+			LatencyFactor: 8,
+		}))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := make([]any, 500)
+		for i := range args {
+			args[i] = i
+		}
+		start := cloud.Clock().Now()
+		if _, err := exec.MapSlice("work", args); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		// Recovery patient enough to outlast the 23 s partition: a call
+		// whose payload got only one replica (a rare write miss at staging)
+		// and then lost that region must be re-run once the window lifts.
+		results, err = gowren.Results[int](exec, gowren.GetResultOptions{
+			Timeout:  time.Hour,
+			Recovery: &gowren.RecoveryOptions{MaxAttempts: 8, Backoff: 2 * time.Second},
+		})
+		if err != nil {
+			t.Errorf("get result: %v", err)
+			return
+		}
+		elapsed = cloud.Clock().Now().Sub(start)
+		dead = exec.DeadLetters()
+	})
+	return results, elapsed, dead, cloud.MultiRegion().Stats().Failovers
+}
+
+func TestRegionPartitionTransparentFailover(t *testing.T) {
+	// Acceptance: a 500-call map runs through a full partition of the
+	// preferred region plus an 8x WAN latency inflation on the client
+	// path, and completes with every result intact and nothing
+	// dead-lettered — the facade absorbs the outage by serving the
+	// surviving region.
+	results, _, dead, failovers := regionRun(t, 42)
+	if len(results) != 500 {
+		t.Fatalf("got %d results, want 500", len(results))
+	}
+	for i, r := range results {
+		if r != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*2)
+		}
+	}
+	if len(dead) != 0 {
+		t.Fatalf("failover run dead-lettered %d calls: %+v", len(dead), dead[0])
+	}
+	// The partition must actually have engaged, or the test proves
+	// nothing: every read served during the window had to fail over.
+	if failovers == 0 {
+		t.Fatal("no failovers recorded; the partition window never engaged")
+	}
+}
+
+func TestRegionRunDeterministicUnderSeed(t *testing.T) {
+	r1, e1, _, f1 := regionRun(t, 42)
+	r2, e2, _, f2 := regionRun(t, 42)
+	if e1 != e2 {
+		t.Fatalf("elapsed diverged under same seed: %v vs %v", e1, e2)
+	}
+	if f1 != f2 {
+		t.Fatalf("failover count diverged under same seed: %d vs %d", f1, f2)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts diverged: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("result %d diverged: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestRegionPartitionWithoutFailoverDeadLetters(t *testing.T) {
+	// Control run: the same partition with failover disabled pins every
+	// storage request to the dead region, so the runners cannot commit
+	// results, recovery exhausts its budget, and the calls land on the
+	// dead-letter list — exactly what the resilience layer exists to
+	// prevent.
+	cfg := twoRegionConfig(t, 42, true)
+	// The window must cover every runner's result write (compute is 5 s)
+	// and then lift, so the client's status sweep — itself pinned to the
+	// dead region — can come back and observe the carnage.
+	cfg.Regions[0].Degrade = []gowren.LinkPhase{
+		{Start: 1 * time.Second, End: 20 * time.Second, Partition: true},
+	}
+	cloud, err := gowren.NewSimCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.MapSlice("work", []any{1, 2, 3, 4}); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		// MaxAttempts -1: record the failures as dead letters without
+		// re-executing — a re-run after the window lifts would succeed and
+		// mask what the outage cost.
+		raws, err := exec.GetResult(gowren.GetResultOptions{
+			Timeout:        30 * time.Minute,
+			PartialResults: true,
+			Recovery:       &gowren.RecoveryOptions{MaxAttempts: -1},
+		})
+		var pe *gowren.PartialError
+		if !errors.As(err, &pe) {
+			t.Errorf("err = %v, want *PartialError", err)
+			return
+		}
+		if len(pe.Failed) != 4 {
+			t.Errorf("partial error reports %d failures, want 4", len(pe.Failed))
+		}
+		for _, raw := range raws {
+			if raw != nil {
+				t.Error("a call committed a result through a partitioned region")
+			}
+		}
+		if dead := exec.DeadLetters(); len(dead) != 4 {
+			t.Errorf("dead letters = %d, want 4", len(dead))
+		}
+		if f := cloud.MultiRegion().Stats().Failovers; f != 0 {
+			t.Errorf("failover-disabled run still failed over %d times", f)
+		}
+	})
+}
+
+func TestRegionReplicationVisibleInBothStores(t *testing.T) {
+	// A small job on a healthy two-region cloud replicates the meta
+	// bucket's objects: results are readable through a view pinned to
+	// either region.
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images: []*gowren.Image{regionImage(t)},
+		Seed:   3,
+		Regions: []gowren.RegionSpec{
+			{Name: "us-south"},
+			{Name: "eu-gb"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor(gowren.WithPreferredRegion("eu-gb"))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.Map("work", 10, 20); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		results, err := gowren.Results[int](exec, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil {
+			t.Errorf("get result: %v", err)
+			return
+		}
+		if len(results) != 2 || results[0] != 20 || results[1] != 40 {
+			t.Errorf("results = %v, want [20 40]", results)
+		}
+	})
+	if names := cloud.MultiRegion().RegionNames(); len(names) != 2 {
+		t.Fatalf("regions = %v", names)
+	}
+}
+
+func TestPreferredRegionRequiresRegions(t *testing.T) {
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		if _, err := cloud.Executor(gowren.WithPreferredRegion("us-south")); err == nil {
+			t.Error("WithPreferredRegion on a single-region cloud did not error")
+		}
+	})
+}
