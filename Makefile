@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race chaos verify
+.PHONY: all build vet lint test race chaos verify
 
 all: verify
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs the in-repo determinism & correctness analyzer suite
+# (cmd/gowren-vet: clockcheck, randcheck, errsink, mapiter, lockhold)
+# plus a gofmt check. Suppress a finding with a justified
+# `//gowren:allow <check>` comment; see DESIGN.md "Determinism rules".
+lint: build
+	$(GO) run ./cmd/gowren-vet ./...
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$fmtout"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -22,5 +31,6 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestController|TestRecovery|TestRegion' .
 
-# verify is the tier-1 gate plus the race detector — what CI runs.
-verify: build vet test race
+# verify is the tier-1 gate plus the race detector and the analyzer
+# suite — what CI runs.
+verify: build vet lint test race

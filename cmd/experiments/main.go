@@ -65,7 +65,9 @@ func run(args []string) error {
 	}
 
 	runOne := func(name string) error {
-		start := time.Now()
+		// Real-mode CLI entry point: this measures the harness's own wall
+		// time, not anything inside a simulation.
+		start := time.Now() //gowren:allow clockcheck — real-mode harness wall time
 		var err error
 		switch name {
 		case "table1":
@@ -86,7 +88,8 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
 		}
-		fmt.Printf("[%s completed in %v wall time]\n\n", name, time.Since(start).Round(10*time.Millisecond))
+		fmt.Printf("[%s completed in %v wall time]\n\n", name, //gowren:allow clockcheck — real-mode harness wall time
+			time.Since(start).Round(10*time.Millisecond))
 		return nil
 	}
 

@@ -141,7 +141,8 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	for i, raw := range req.Args {
 		args[i] = raw
 	}
-	start := time.Now()
+	// Real-mode HTTP entry point: ElapsedMS reports wall time to clients.
+	start := time.Now() //gowren:allow clockcheck — real-mode request timing
 	if _, err := exec.MapSlice(req.Function, args); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -153,8 +154,8 @@ func (s *server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, jobResponse{
 		ExecutorID: exec.ID(),
+		ElapsedMS:  time.Since(start).Milliseconds(), //gowren:allow clockcheck — real-mode request timing
 		Results:    results,
-		ElapsedMS:  time.Since(start).Milliseconds(),
 	})
 }
 
@@ -173,7 +174,8 @@ func (s *server) handleMapReduce(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	start := time.Now()
+	// Real-mode HTTP entry point: ElapsedMS reports wall time to clients.
+	start := time.Now() //gowren:allow clockcheck — real-mode request timing
 	_, err = exec.MapReduce(req.Map, gowren.FromBuckets(req.Buckets...), req.Reduce, gowren.MapReduceOptions{
 		ChunkBytes:          req.ChunkBytes,
 		ReducerOnePerObject: req.ReducerOnePerObject,
@@ -189,8 +191,8 @@ func (s *server) handleMapReduce(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, jobResponse{
 		ExecutorID: exec.ID(),
+		ElapsedMS:  time.Since(start).Milliseconds(), //gowren:allow clockcheck — real-mode request timing
 		Results:    results,
-		ElapsedMS:  time.Since(start).Milliseconds(),
 	})
 }
 

@@ -1,0 +1,87 @@
+// Command gowren-vet runs GoWren's determinism & correctness analyzer
+// suite (internal/analysis) over the given package patterns.
+//
+// Usage:
+//
+//	gowren-vet [flags] [packages]
+//
+// With no patterns it analyzes ./... from the current directory. Exit
+// codes follow vet conventions: 0 when clean, 1 when any diagnostic is
+// reported, 2 when the packages cannot be loaded.
+//
+// Flags:
+//
+//	-list        print the analyzers in the suite and exit
+//	-checks a,b  run only the named analyzers
+//	-suppressed  also print diagnostics silenced by //gowren:allow
+//	-dir path    load packages relative to path instead of the cwd
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"gowren/internal/analysis"
+	"gowren/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gowren-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers in the suite and exit")
+	checks := fs.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
+	showSuppressed := fs.Bool("suppressed", false, "also print diagnostics silenced by //gowren:allow")
+	dir := fs.String("dir", ".", "directory to load packages from")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := suite.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checks != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a := suite.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(stderr, "gowren-vet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "gowren-vet: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+	active := analysis.Active(diags)
+	for _, d := range active {
+		fmt.Fprintln(stdout, d)
+	}
+	if *showSuppressed {
+		for _, d := range analysis.Suppressed(diags) {
+			fmt.Fprintf(stdout, "%s [suppressed]\n", d)
+		}
+	}
+	if len(active) > 0 {
+		fmt.Fprintf(stderr, "gowren-vet: %d finding(s) in %d package(s)\n", len(active), len(pkgs))
+		return 1
+	}
+	return 0
+}

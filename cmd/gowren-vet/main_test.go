@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestList checks the suite roster: the five determinism analyzers.
+func TestList(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("gowren-vet -list exited %d: %s", code, errb.String())
+	}
+	for _, name := range []string{"clockcheck", "randcheck", "errsink", "mapiter", "lockhold"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
+		}
+	}
+}
+
+// TestUnknownAnalyzer checks the usage exit code.
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-checks", "nope"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown analyzer: got exit %d, want 2", code)
+	}
+}
+
+// TestCleanPackage runs the full suite over a package that must be clean
+// and expects exit 0 — the same contract `make lint` enforces repo-wide.
+func TestCleanPackage(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", "../..", "./internal/wire"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("gowren-vet ./internal/wire exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestVclockExempt: the clock substrate itself wraps the time package and
+// must pass clockcheck without suppression comments.
+func TestVclockExempt(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", "../..", "-checks", "clockcheck", "./internal/vclock"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("clockcheck over internal/vclock exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}

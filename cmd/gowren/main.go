@@ -22,8 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"maps"
 	"net/http"
 	"os"
+	"slices"
 	"time"
 
 	"gowren"
@@ -171,8 +173,8 @@ func (c *client) functions(w io.Writer) error {
 	if err := c.getJSON("/v1/functions", &out); err != nil {
 		return err
 	}
-	for image, fns := range out {
-		for _, name := range fns {
+	for _, image := range slices.Sorted(maps.Keys(out)) {
+		for _, name := range out[image] {
 			fmt.Fprintf(w, "%s\t%s\n", image, name)
 		}
 	}

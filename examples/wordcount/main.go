@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"maps"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -64,8 +66,8 @@ func main() {
 		"doc-b": strings.Repeat("to be or not to be that is the question\n", 150),
 		"doc-c": strings.Repeat("a rose is a rose is a rose\n", 200),
 	}
-	for key, body := range corpus {
-		if _, err := store.Put("docs", key, []byte(body)); err != nil {
+	for _, key := range slices.Sorted(maps.Keys(corpus)) {
+		if _, err := store.Put("docs", key, []byte(corpus[key])); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -118,8 +120,8 @@ func main() {
 			n    int
 		}
 		var sorted []wc
-		for w, n := range counts {
-			sorted = append(sorted, wc{w, n})
+		for _, w := range slices.Sorted(maps.Keys(counts)) {
+			sorted = append(sorted, wc{w, counts[w]})
 		}
 		sort.Slice(sorted, func(i, j int) bool {
 			if sorted[i].n != sorted[j].n {
@@ -201,8 +203,8 @@ func emitWords(ctx *gowren.Ctx, part *gowren.PartitionReader) ([]gowren.KV, erro
 		return nil, err
 	}
 	out := make([]gowren.KV, 0, len(counts))
-	for w, n := range counts {
-		kv, err := gowren.EmitKV(w, n)
+	for _, w := range slices.Sorted(maps.Keys(counts)) {
+		kv, err := gowren.EmitKV(w, counts[w])
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,144 @@
+// Package analysis is GoWren's from-scratch static-analysis framework.
+//
+// GoWren's headline property — bit-identical same-seed runs of 2,000-call
+// jobs on the virtual clock — is a whole-codebase invariant: one stray
+// time.Now, one global math/rand draw, one unsorted map iteration feeding
+// the wire encoding, and determinism silently dies. The analyzers in the
+// subpackages (clockcheck, randcheck, errsink, mapiter, lockhold) encode
+// those invariants as machine-checked rules; cmd/gowren-vet runs them over
+// ./... and make lint gates on the result.
+//
+// The framework is intentionally stdlib-only (go/ast, go/parser, go/types,
+// go/token plus the go command for export data) — no golang.org/x/tools
+// dependency — so the repo keeps its "standard library only" contract.
+//
+// Suppression: a diagnostic is silenced by a comment
+//
+//	//gowren:allow <check> — justification
+//
+// on the flagged line or the line directly above it. Every allow comment
+// is expected to carry a justification; gowren-vet -suppressed lists them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the check in diagnostics and in //gowren:allow
+	// comments. Lower-case, no spaces.
+	Name string
+	// Doc is a one-line description shown by gowren-vet -list.
+	Doc string
+	// Run inspects pass.Pkg and reports findings through pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Package is one loaded, parsed, type-checked package.
+type Package struct {
+	// Path is the import path (e.g. "gowren/internal/core").
+	Path string
+	// Fset maps token.Pos values of Files to positions.
+	Fset *token.FileSet
+	// Files are the package's non-test source files, parsed with comments.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	// Pos locates the finding (file:line:column).
+	Pos token.Position
+	// Check is the reporting analyzer's name.
+	Check string
+	// Message describes the finding and, ideally, the fix.
+	Message string
+	// Suppressed marks diagnostics matched by a //gowren:allow comment.
+	// The driver keeps them (for -suppressed) but they do not fail a run.
+	Suppressed bool
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Check, d.Message)
+}
+
+// Pass carries one (analyzer, package) run.
+type Pass struct {
+	Pkg      *Package
+	analyzer *Analyzer
+	sink     *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies every analyzer to every package, applies //gowren:allow
+// suppression, and returns all diagnostics sorted by position then check
+// name. The returned slice includes suppressed diagnostics (marked as
+// such) so callers can audit the allow list; filter with Active.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allowed := allowedLines(pkg)
+		start := len(diags)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a, sink: &diags}
+			a.Run(pass)
+		}
+		for i := start; i < len(diags); i++ {
+			if allowed.matches(diags[i]) {
+				diags[i].Suppressed = true
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// Active returns the diagnostics that were not suppressed.
+func Active(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Suppressed returns the diagnostics silenced by //gowren:allow comments.
+func Suppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text   string
+		checks []string
+		ok     bool
+	}{
+		{"//gowren:allow clockcheck — real-mode timing", []string{"clockcheck"}, true},
+		{"//gowren:allow clockcheck,mapiter — two at once", []string{"clockcheck", "mapiter"}, true},
+		{"//gowren:allow all — blanket", []string{"all"}, true},
+		{"//gowren:allow", nil, false},
+		{"//gowren:allowance is different", nil, false},
+		{"// gowren:allow clockcheck", nil, false}, // space breaks the directive
+		{"//plain comment", nil, false},
+	}
+	for _, tc := range cases {
+		checks, ok := parseAllow(tc.text)
+		if ok != tc.ok {
+			t.Errorf("parseAllow(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			continue
+		}
+		if len(checks) != len(tc.checks) {
+			t.Errorf("parseAllow(%q) = %v, want %v", tc.text, checks, tc.checks)
+			continue
+		}
+		for i := range checks {
+			if checks[i] != tc.checks[i] {
+				t.Errorf("parseAllow(%q)[%d] = %q, want %q", tc.text, i, checks[i], tc.checks[i])
+			}
+		}
+	}
+}
+
+// parseTestPkg builds a Package (without type info) from source — enough
+// for suppression and ordering tests with a syntactic analyzer.
+func parseTestPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "synthetic.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Package{Path: "synthetic", Fset: fset, Files: []*ast.File{f}}
+}
+
+// funcFlagger reports every function declaration — a trivial analyzer to
+// drive the framework plumbing.
+var funcFlagger = &Analyzer{
+	Name: "funcflag",
+	Doc:  "flags every function (test analyzer)",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+	},
+}
+
+func TestRunSuppressionAndOrder(t *testing.T) {
+	pkg := parseTestPkg(t, `package synthetic
+
+func zebra() {}
+
+//gowren:allow funcflag — suppressed by preceding comment
+func allowedAbove() {}
+
+func aardvark() {} //gowren:allow funcflag — suppressed by trailing comment
+
+func plain() {}
+
+//gowren:allow othercheck — different check does not silence funcflag
+func wrongCheck() {}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{funcFlagger})
+	if len(diags) != 5 {
+		t.Fatalf("got %d diagnostics, want 5: %v", len(diags), diags)
+	}
+	// Sorted by position: zebra (line 3) precedes the rest despite its name.
+	if !strings.Contains(diags[0].Message, "zebra") {
+		t.Errorf("first diagnostic should be zebra (position order), got %v", diags[0])
+	}
+	bySuffix := map[string]bool{}
+	for _, d := range diags {
+		bySuffix[d.Message] = d.Suppressed
+	}
+	for msg, wantSuppressed := range map[string]bool{
+		"func zebra":        false,
+		"func allowedAbove": true,
+		"func aardvark":     true,
+		"func plain":        false,
+		"func wrongCheck":   false,
+	} {
+		got, ok := bySuffix[msg]
+		if !ok {
+			t.Errorf("missing diagnostic %q", msg)
+			continue
+		}
+		if got != wantSuppressed {
+			t.Errorf("%q suppressed = %v, want %v", msg, got, wantSuppressed)
+		}
+	}
+	if active := Active(diags); len(active) != 3 {
+		t.Errorf("Active: got %d, want 3", len(active))
+	}
+	if sup := Suppressed(diags); len(sup) != 2 {
+		t.Errorf("Suppressed: got %d, want 2", len(sup))
+	}
+}
+
+// TestLoadRealPackage loads a module package end-to-end through the go
+// command and checks type information is populated.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load("../..", "./internal/vclock")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "gowren/internal/vclock" {
+		t.Errorf("path = %q", pkg.Path)
+	}
+	if pkg.Types == nil || pkg.Info == nil || len(pkg.Files) == 0 {
+		t.Fatalf("package not fully loaded: %+v", pkg)
+	}
+	if len(pkg.Info.Uses) == 0 {
+		t.Error("type info has no uses — import resolution failed")
+	}
+	if pkg.Types.Scope().Lookup("Clock") == nil {
+		t.Error("vclock.Clock not found in package scope")
+	}
+}

@@ -1,0 +1,150 @@
+// Package analysistest runs analyzers over fixture packages and compares
+// their diagnostics against golden files.
+//
+// Layout convention, relative to the analyzer's package directory:
+//
+//	testdata/src/<fixture>/*.go   the fixture package (real, compilable Go)
+//	testdata/<fixture>.golden     expected diagnostics, one per line
+//
+// Fixtures live under testdata so `gowren-vet ./...` and `go build ./...`
+// never see their (intentional) violations, yet they are type-checked for
+// real — against the module's own export data — so fixtures may import
+// gowren/internal/vclock, gowren/internal/cos, and friends.
+//
+// Golden lines render as
+//
+//	file.go:12:9: check: message
+//
+// with suppressed diagnostics carrying a trailing " [suppressed]"; that
+// makes each //gowren:allow fixture case part of the golden contract.
+// Regenerate goldens with GOWREN_UPDATE_GOLDEN=1 go test ./...
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"gowren/internal/analysis"
+)
+
+var (
+	exportsOnce sync.Once
+	exports     map[string]string
+	exportsErr  error
+)
+
+// moduleExports builds (once per test binary) the export-data index for
+// the whole module, so fixtures can import any module or stdlib package.
+func moduleExports(t *testing.T) map[string]string {
+	t.Helper()
+	exportsOnce.Do(func() {
+		root, err := moduleRoot()
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		exports, exportsErr = analysis.ExportIndex(root, "./...")
+	})
+	if exportsErr != nil {
+		t.Fatalf("analysistest: building export index: %v", exportsErr)
+	}
+	return exports
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysistest: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Run loads testdata/src/<fixture>, applies the analyzer, and compares
+// the diagnostics with testdata/<fixture>.golden.
+func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
+	t.Helper()
+	got := diagnose(t, a, fixture)
+	goldenPath := filepath.Join("testdata", fixture+".golden")
+	if os.Getenv("GOWREN_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("analysistest: update golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("analysistest: read golden (set GOWREN_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("analysistest: %s/%s diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", a.Name, fixture, got, want)
+	}
+}
+
+// diagnose returns the rendered diagnostic listing for one fixture.
+func diagnose(t *testing.T, a *analysis.Analyzer, fixture string) string {
+	t.Helper()
+	pkg := loadFixture(t, fixture)
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	var b strings.Builder
+	for _, d := range diags {
+		suffix := ""
+		if d.Suppressed {
+			suffix = " [suppressed]"
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s%s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message, suffix)
+	}
+	return b.String()
+}
+
+// loadFixture parses and type-checks one fixture package.
+func loadFixture(t *testing.T, fixture string) *analysis.Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("analysistest: parse fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("analysistest: fixture %s has no Go files", fixture)
+	}
+	imp := analysis.NewImporter(fset, moduleExports(t))
+	pkg, err := analysis.CheckFiles(fset, imp, "gowren-fixtures/"+fixture, files)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck fixture: %v", err)
+	}
+	return pkg
+}

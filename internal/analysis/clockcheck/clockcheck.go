@@ -1,0 +1,63 @@
+// Package clockcheck forbids direct use of the wall clock.
+//
+// Everything in GoWren that needs time must take a vclock.Clock: on the
+// virtual clock a single time.Now or time.Sleep reads real wall time into
+// a simulation that is supposed to be bit-identical across same-seed runs,
+// and a real sleep stalls the cooperative scheduler. The only packages
+// allowed to touch the time package's clock are internal/vclock itself
+// (it *is* the wrapper) and real-mode cmd/ entry points, which annotate
+// their sites with //gowren:allow clockcheck.
+package clockcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"gowren/internal/analysis"
+)
+
+// banned lists the time-package functions that read or schedule against
+// the wall clock. Constructors of pure values (time.Date, time.Unix,
+// time.Duration arithmetic, time.Parse) are fine.
+var banned = map[string]string{
+	"Now":       "read simulated time from the injected vclock.Clock",
+	"Sleep":     "block through vclock.Clock.Sleep so virtual time can advance",
+	"After":     "poll with vclock.Poll or sleep on the injected Clock",
+	"AfterFunc": "schedule through the injected vclock.Clock",
+	"NewTimer":  "schedule through the injected vclock.Clock",
+	"NewTicker": "poll with vclock.Poll on the injected Clock",
+	"Tick":      "poll with vclock.Poll on the injected Clock",
+	"Since":     "use vclock.Since with the injected Clock",
+	"Until":     "compute against Clock.Now instead",
+}
+
+// Analyzer is the clockcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockcheck",
+	Doc:  "direct wall-clock use (time.Now, time.Sleep, ...) outside internal/vclock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	if strings.HasSuffix(pass.Pkg.Path, "internal/vclock") {
+		return // the clock substrate itself wraps the time package
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn := analysis.PkgFuncUse(pass.Pkg.Info, sel)
+			if pkgPath != "time" || fn == nil {
+				return true
+			}
+			fix, bad := banned[fn.Name()]
+			if !bad {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "time.%s bypasses the virtual clock; %s", fn.Name(), fix)
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/analysistest"
+	"gowren/internal/analysis/clockcheck"
+)
+
+func TestClockcheckFixture(t *testing.T) {
+	analysistest.Run(t, clockcheck.Analyzer, "clockfixture")
+}

@@ -1,0 +1,124 @@
+// Package errsink flags discarded errors from the storage, platform and
+// retry layers.
+//
+// Calls into internal/cos, internal/faas and internal/retry are exactly
+// the calls that fail under chaos plans — lost requests, throttles, open
+// breakers. An error from one of them that is dropped with `_` or a bare
+// expression statement turns an injected fault into silent corruption
+// (PR 1 fixed a swallowed sweepStatuses error of precisely this shape by
+// hand). This analyzer makes that class of bug a lint failure.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"gowren/internal/analysis"
+)
+
+// targetPkgs are the failure-bearing layers whose errors must not be
+// dropped. Matching is by import-path suffix so the check also applies to
+// fixture stand-ins under testdata.
+var targetPkgs = []string{"internal/cos", "internal/faas", "internal/retry"}
+
+// Analyzer is the errsink analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "errsink",
+	Doc:  "discarded error results from internal/cos, internal/faas, internal/retry calls",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					reportDiscard(pass, call, "a bare statement")
+				}
+			case *ast.GoStmt:
+				reportDiscard(pass, stmt.Call, "go")
+			case *ast.DeferStmt:
+				reportDiscard(pass, stmt.Call, "defer")
+			case *ast.AssignStmt:
+				checkAssign(pass, stmt)
+			}
+			return true
+		})
+	}
+}
+
+// reportDiscard flags call if its callee belongs to a target package and
+// returns an error that the surrounding context throws away entirely.
+func reportDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	fn := targetCallee(pass.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	if len(analysis.ErrorResultIndexes(sig)) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(), "error from %s is discarded by %s; handle it or //gowren:allow errsink with a justification",
+		calleeLabel(fn), how)
+}
+
+// checkAssign flags `_`-discarded error positions in assignments whose
+// right-hand side is a single call into a target package.
+func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
+	if len(stmt.Rhs) != 1 {
+		return
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	fn := targetCallee(pass.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	errIdxs := analysis.ErrorResultIndexes(sig)
+	if len(errIdxs) == 0 || len(stmt.Lhs) != sig.Results().Len() {
+		return
+	}
+	for _, i := range errIdxs {
+		if ident, ok := stmt.Lhs[i].(*ast.Ident); ok && ident.Name == "_" {
+			pass.Reportf(ident.Pos(), "error from %s is discarded with _; handle it or //gowren:allow errsink with a justification",
+				calleeLabel(fn))
+		}
+	}
+}
+
+// targetCallee resolves call's callee and returns it only when it is
+// defined in one of the failure-bearing packages.
+func targetCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fn := analysis.CalleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	for _, t := range targetPkgs {
+		if path == t || strings.HasSuffix(path, "/"+t) || strings.HasSuffix(path, t) {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeLabel renders pkg.Func or pkg.Type.Method for diagnostics.
+func calleeLabel(fn *types.Func) string {
+	sig := fn.Type().(*types.Signature)
+	pkg := fn.Pkg().Name()
+	if recv := sig.Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return pkg + "." + named.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkg + "." + fn.Name()
+}

@@ -1,0 +1,12 @@
+package errsink_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/analysistest"
+	"gowren/internal/analysis/errsink"
+)
+
+func TestErrsinkFixture(t *testing.T) {
+	analysistest.Run(t, errsink.Analyzer, "errsinkfixture")
+}

@@ -1,0 +1,49 @@
+// Package errsinkfixture exercises errsink: discarded errors from the
+// storage/platform/retry layers must be flagged; handled ones must pass.
+package errsinkfixture
+
+import (
+	"fmt"
+
+	"gowren/internal/cos"
+	"gowren/internal/retry"
+)
+
+// bad discards failure-bearing errors four different ways.
+func bad(c cos.Client, r *retry.Retrier) {
+	c.Delete("bucket", "key")
+	_, _ = c.Put("bucket", "key", nil)
+	_, _, _ = c.Get("bucket", "key")
+	r.Do(func() error { return nil })
+	defer c.Delete("bucket", "key")
+	go c.Delete("bucket", "key")
+}
+
+// good propagates or inspects every error.
+func good(c cos.Client, r *retry.Retrier) error {
+	if err := c.Delete("bucket", "key"); err != nil {
+		return err
+	}
+	meta, err := c.Put("bucket", "key", nil)
+	if err != nil {
+		return fmt.Errorf("put: %w", err)
+	}
+	_ = meta
+	data, _, err := c.Get("bucket", "key")
+	_ = data
+	if err != nil {
+		return err
+	}
+	return r.Do(func() error { return nil })
+}
+
+// goodOtherPkg: discarding errors from packages outside the target set is
+// not errsink's business (gofmt-style printing below returns (int, error)).
+func goodOtherPkg() {
+	fmt.Println("not a cos/faas/retry call")
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(c cos.Client) {
+	c.Delete("bucket", "key") //gowren:allow errsink — fixture: best-effort cleanup
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Load parses and type-checks the packages matched by patterns (e.g.
+// "./...") in the module rooted at or above dir. Test files are excluded:
+// tests run in wall-clock time on purpose and are free to use time and
+// rand directly.
+//
+// Loading works in two steps, both deterministic and offline:
+//
+//  1. `go list -export -deps -json <patterns>` enumerates the matched
+//     packages and compiles export data for every dependency (stdlib
+//     included) into the build cache.
+//  2. Each matched package is re-parsed from source (with comments, so
+//     //gowren:allow directives survive) and type-checked against that
+//     export data through the standard gc importer.
+//
+// Step 2 gives analyzers full types.Info for the source under review
+// without type-checking the transitive closure from source.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+
+	exports := make(map[string]string, len(metas))
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var pkgs []*Package
+	var loadErrs []error
+	for _, m := range metas {
+		if m.DepOnly || m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		if m.Error != nil {
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %s", m.ImportPath, m.Error.Err))
+			continue
+		}
+		pkg, err := checkPackage(fset, imp, m)
+		if err != nil {
+			loadErrs = append(loadErrs, err)
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	if len(loadErrs) > 0 {
+		return nil, errors.Join(loadErrs...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// ExportIndex returns the import-path → export-data-file mapping for the
+// transitive closure of patterns, compiling as needed. The analysistest
+// harness uses it to type-check fixture packages living under testdata
+// (which the go command deliberately ignores) against real dependencies.
+func ExportIndex(dir string, patterns ...string) (map[string]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(metas))
+	for _, m := range metas {
+		if m.Export != "" {
+			exports[m.ImportPath] = m.Export
+		}
+	}
+	return exports, nil
+}
+
+// listMeta is the subset of `go list -json` output the loader consumes.
+type listMeta struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Standard   bool
+	Error      *struct{ Err string }
+}
+
+// goList shells out to the go command for package metadata and export data.
+func goList(dir string, patterns []string) ([]listMeta, error) {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Standard,Error", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list failed: %v\n%s", err, strings.TrimSpace(stderr.String()))
+	}
+	var metas []listMeta
+	dec := json.NewDecoder(&stdout)
+	for {
+		var m listMeta
+		if err := dec.Decode(&m); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decode go list output: %w", err)
+		}
+		metas = append(metas, m)
+	}
+	return metas, nil
+}
+
+// checkPackage parses one package's files and type-checks them against the
+// export data of their imports.
+func checkPackage(fset *token.FileSet, imp types.Importer, m listMeta) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(m.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: parse %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return CheckFiles(fset, imp, m.ImportPath, files)
+}
+
+// CheckFiles type-checks an already-parsed file set as one package. It is
+// exported for the analysistest fixture harness, which parses fixture
+// packages out of testdata directories the go command does not see.
+func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// NewImporter returns a types.Importer resolving imports from the export
+// data produced by a prior Load-style `go list -export` run. Exported for
+// the analysistest harness.
+func NewImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return newExportImporter(fset, exports)
+}
+
+// exportImporter resolves imports through compiled export data, with the
+// one special case the gc importer's lookup path does not cover: package
+// unsafe has no export file.
+type exportImporter struct {
+	gc types.ImporterFrom
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) *exportImporter {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)}
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	return e.ImportFrom(path, "", 0)
+}
+
+func (e *exportImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return e.gc.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,12 @@
+package lockhold_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/analysistest"
+	"gowren/internal/analysis/lockhold"
+)
+
+func TestLockholdFixture(t *testing.T) {
+	analysistest.Run(t, lockhold.Analyzer, "lockholdfixture")
+}

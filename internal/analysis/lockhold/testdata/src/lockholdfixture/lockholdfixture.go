@@ -1,0 +1,87 @@
+// Package lockholdfixture exercises lockhold: blocking while holding a
+// mutex must be flagged; collect-then-release must pass.
+package lockholdfixture
+
+import (
+	"sync"
+	"time"
+
+	"gowren/internal/vclock"
+)
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	clk vclock.Clock
+	n   int
+}
+
+// badSleep holds the mutex across a clock sleep.
+func (g *guarded) badSleep() {
+	g.mu.Lock()
+	g.clk.Sleep(time.Second)
+	g.mu.Unlock()
+}
+
+// badDeferPoll holds (via defer) across a poll loop.
+func (g *guarded) badDeferPoll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	vclock.Poll(g.clk, func() bool { return g.n > 0 }, time.Millisecond, time.Time{})
+}
+
+// badChan blocks on a channel receive under an RLock.
+func (g *guarded) badChan(ch chan int) int {
+	g.rw.RLock()
+	defer g.rw.RUnlock()
+	return <-ch
+}
+
+// badWaitGroup waits for a group while holding the lock.
+func (g *guarded) badWaitGroup(wg *sync.WaitGroup) {
+	g.mu.Lock()
+	wg.Wait()
+	g.mu.Unlock()
+}
+
+// badSend blocks on a channel send in a branch entered while held.
+func (g *guarded) badSend(ch chan int) {
+	g.mu.Lock()
+	if g.n > 0 {
+		ch <- g.n
+	}
+	g.mu.Unlock()
+}
+
+// goodCollectThenBlock releases before blocking — the required shape.
+func (g *guarded) goodCollectThenBlock() {
+	g.mu.Lock()
+	n := g.n
+	g.mu.Unlock()
+	g.clk.Sleep(time.Duration(n))
+}
+
+// goodDeferNoBlock holds via defer but never blocks.
+func (g *guarded) goodDeferNoBlock() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// goodClosure: the spawned goroutine does not run under the caller's
+// lock, and its body is checked independently with fresh state.
+func (g *guarded) goodClosure(ch chan int) {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.clk.Go(func() {
+		<-ch
+	})
+}
+
+// allowed demonstrates the escape hatch.
+func (g *guarded) allowed() {
+	g.mu.Lock()
+	g.clk.Sleep(time.Millisecond) //gowren:allow lockhold — fixture: bounded one-tick hold
+	g.mu.Unlock()
+}

@@ -1,0 +1,208 @@
+// Package mapiter flags map iteration that feeds order-sensitive code.
+//
+// Go randomizes map iteration order per run, so a `for range` over a map
+// whose body appends to a slice, writes wire records, issues network
+// calls, or returns early produces a different observable order — and on
+// the simulated network a different *sequence of RNG draws* — every run.
+// That is the exact failure mode that breaks GoWren's bit-identical
+// same-seed contract. Bodies that only perform commutative accumulation
+// (counters, map inserts, deletes) are order-independent and pass; so
+// does the collect-keys-then-sort idiom. Everything else must iterate
+// sorted keys (slices.Sorted(maps.Keys(m))) or carry an annotation.
+package mapiter
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"gowren/internal/analysis"
+)
+
+// Analyzer is the mapiter analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "mapiter",
+	Doc:  "map iteration with an order-sensitive body (append, calls, returns, sends)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch blk := n.(type) {
+			case *ast.BlockStmt:
+				checkList(pass, blk.List)
+			case *ast.CaseClause:
+				checkList(pass, blk.Body)
+			case *ast.CommClause:
+				checkList(pass, blk.Body)
+			}
+			return true
+		})
+	}
+}
+
+// checkList examines one statement list; list context matters because the
+// collect-keys idiom is excused by the sort on the *following* statement.
+func checkList(pass *analysis.Pass, list []ast.Stmt) {
+	for i, s := range list {
+		if lab, ok := s.(*ast.LabeledStmt); ok {
+			s = lab.Stmt
+		}
+		rng, ok := s.(*ast.RangeStmt)
+		if !ok {
+			continue
+		}
+		tv, ok := pass.Pkg.Info.Types[rng.X]
+		if !ok || !analysis.IsMapType(tv.Type) {
+			continue
+		}
+		if commutativeBody(rng.Body.List) {
+			continue
+		}
+		if slice, ok := keyCollectOnly(rng); ok && sortedNext(pass.Pkg.Info, list, i, slice) {
+			continue
+		}
+		pass.Reportf(rng.Pos(), "map iteration order feeds order-sensitive code; iterate sorted keys (slices.Sorted(maps.Keys(m))) or //gowren:allow mapiter with a justification")
+	}
+}
+
+// commutativeBody reports whether every statement in body is order-
+// independent: counters, commutative compound assignment, writes keyed by
+// map index, deletes, and control flow over only those.
+func commutativeBody(body []ast.Stmt) bool {
+	for _, s := range body {
+		if !commutativeStmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func commutativeStmt(s ast.Stmt) bool {
+	switch stmt := s.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.BranchStmt:
+		return stmt.Tok == token.CONTINUE
+	case *ast.EmptyStmt:
+		return true
+	case *ast.AssignStmt:
+		switch stmt.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+			return true // commutative accumulation
+		case token.ASSIGN, token.DEFINE:
+			// Allowed only when every target is a map/set insert or the
+			// blank identifier: with unique range keys those commute.
+			for _, lhs := range stmt.Lhs {
+				if _, isIndex := lhs.(*ast.IndexExpr); isIndex {
+					continue // m[k] = v
+				}
+				if id, isIdent := lhs.(*ast.Ident); isIdent && id.Name == "_" {
+					continue
+				}
+				return false
+			}
+			return true
+		default:
+			return false
+		}
+	case *ast.ExprStmt:
+		// delete(m, k) commutes; any other call may observe order.
+		if call, ok := stmt.X.(*ast.CallExpr); ok {
+			if ident, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && ident.Name == "delete" {
+				return true
+			}
+		}
+		return false
+	case *ast.IfStmt:
+		if stmt.Init != nil && !commutativeStmt(stmt.Init) {
+			return false
+		}
+		if !commutativeBody(stmt.Body.List) {
+			return false
+		}
+		if stmt.Else != nil {
+			return commutativeStmt(stmt.Else)
+		}
+		return true
+	case *ast.BlockStmt:
+		return commutativeBody(stmt.List)
+	case *ast.SwitchStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); !ok || !commutativeBody(cc.Body) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}
+
+// keyCollectOnly matches the canonical pre-sort idiom
+//
+//	for k := range m { keys = append(keys, k) }
+//
+// returning the collecting slice's name. Collecting only keys is excused
+// when the very next statement sorts them (sortedNext); collecting values
+// or doing anything else stays order-sensitive.
+func keyCollectOnly(rng *ast.RangeStmt) (slice string, ok bool) {
+	key, isIdent := rng.Key.(*ast.Ident)
+	if !isIdent || key.Name == "_" || rng.Value != nil {
+		return "", false
+	}
+	if len(rng.Body.List) != 1 {
+		return "", false
+	}
+	asg, isAsg := rng.Body.List[0].(*ast.AssignStmt)
+	if !isAsg || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return "", false
+	}
+	target, isTarget := asg.Lhs[0].(*ast.Ident)
+	call, isCall := asg.Rhs[0].(*ast.CallExpr)
+	if !isTarget || !isCall || len(call.Args) != 2 {
+		return "", false
+	}
+	fun, isFun := ast.Unparen(call.Fun).(*ast.Ident)
+	if !isFun || fun.Name != "append" {
+		return "", false
+	}
+	arg0, ok0 := call.Args[0].(*ast.Ident)
+	arg1, ok1 := call.Args[1].(*ast.Ident)
+	if !ok0 || !ok1 || arg0.Name != target.Name || arg1.Name != key.Name {
+		return "", false
+	}
+	return target.Name, true
+}
+
+// sortedNext reports whether the statement after index i sorts the named
+// slice via the sort or slices packages.
+func sortedNext(info *types.Info, list []ast.Stmt, i int, slice string) bool {
+	if i+1 >= len(list) {
+		return false
+	}
+	expr, ok := list[i+1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := expr.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkgPath, _ := analysis.PkgFuncUse(info, sel)
+	if pkgPath != "sort" && pkgPath != "slices" {
+		return false
+	}
+	for _, arg := range call.Args {
+		if ident, ok := ast.Unparen(arg).(*ast.Ident); ok && ident.Name == slice {
+			return true
+		}
+	}
+	return false
+}

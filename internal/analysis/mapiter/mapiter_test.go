@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/analysistest"
+	"gowren/internal/analysis/mapiter"
+)
+
+func TestMapiterFixture(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "mapiterfixture")
+}

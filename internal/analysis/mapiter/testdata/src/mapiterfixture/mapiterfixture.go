@@ -1,0 +1,92 @@
+// Package mapiterfixture exercises mapiter: order-sensitive map ranges
+// must be flagged; commutative bodies and the sort idioms must pass.
+package mapiterfixture
+
+import (
+	"fmt"
+	"maps"
+	"slices"
+	"sort"
+)
+
+// badAppend leaks iteration order into a slice.
+func badAppend(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// badEmit leaks iteration order into output.
+func badEmit(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// badFirst returns whichever key the runtime happens to yield first.
+func badFirst(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// goodCount only accumulates commutatively — order cannot be observed.
+func goodCount(m map[string]int) (n, sum int) {
+	for _, v := range m {
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// goodInsert writes into another map keyed by the (unique) range keys.
+func goodInsert(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		if v > 0 {
+			out[k] = v * 2
+		}
+	}
+	return out
+}
+
+// goodDelete prunes in place; deletes commute.
+func goodDelete(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// goodCollectSort is the classic collect-keys-then-sort idiom.
+func goodCollectSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// goodSortedRange iterates sorted keys — a slice range, never flagged.
+func goodSortedRange(m map[string]int) []int {
+	var out []int
+	for _, k := range slices.Sorted(maps.Keys(m)) {
+		out = append(out, m[k])
+	}
+	return out
+}
+
+// allowed demonstrates the escape hatch.
+func allowed(m map[string]int) []int {
+	var out []int
+	//gowren:allow mapiter — fixture: consumer is order-insensitive
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

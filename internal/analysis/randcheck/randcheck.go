@@ -1,0 +1,59 @@
+// Package randcheck forbids randomness that does not derive from the job
+// seed.
+//
+// Every random draw in a GoWren simulation must come from a *rand.Rand
+// seeded (directly or transitively) from the configuration seed — that is
+// what makes same-seed runs bit-identical. The global math/rand source is
+// process-wide, racy across tasks, and (since Go 1.20) auto-seeded from
+// entropy, so any use of the package-level functions is nondeterminism by
+// construction. Methods on an explicitly constructed *rand.Rand are fine;
+// constructing one is fine too (the seed's provenance is clockcheck's and
+// code review's problem, typically cfg.Seed).
+package randcheck
+
+import (
+	"go/ast"
+
+	"gowren/internal/analysis"
+)
+
+// globalSource lists the math/rand (and math/rand/v2) package-level
+// functions that draw from the shared global source. Constructors (New,
+// NewSource, NewZipf, NewPCG, NewChaCha8) are deliberately absent.
+var globalSource = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+// Analyzer is the randcheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "randcheck",
+	Doc:  "global math/rand functions (process-wide, auto-seeded) instead of a job-seeded *rand.Rand",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn := analysis.PkgFuncUse(pass.Pkg.Info, sel)
+			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+				return true
+			}
+			if fn == nil || !globalSource[fn.Name()] {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "rand.%s draws from the global auto-seeded source; use a *rand.Rand seeded from the job seed", fn.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package randcheck_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/analysistest"
+	"gowren/internal/analysis/randcheck"
+)
+
+func TestRandcheckFixture(t *testing.T) {
+	analysistest.Run(t, randcheck.Analyzer, "randfixture")
+}

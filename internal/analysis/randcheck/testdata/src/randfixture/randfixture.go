@@ -1,0 +1,26 @@
+// Package randfixture exercises randcheck: global math/rand draws must
+// be flagged, seeded *rand.Rand usage must pass.
+package randfixture
+
+import "math/rand"
+
+// bad draws from the process-global, auto-seeded source.
+func bad() float64 {
+	n := rand.Intn(10)
+	rand.Shuffle(n, func(i, j int) {})
+	p := rand.Perm(4)
+	_ = p
+	return rand.Float64() + rand.NormFloat64()
+}
+
+// good derives all randomness from an explicit job seed.
+func good(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(rng.Intn(10), func(i, j int) {})
+	return rng.Float64()
+}
+
+// allowed demonstrates the escape hatch.
+func allowed() int {
+	return rand.Int() //gowren:allow randcheck — fixture: justified global draw
+}

@@ -1,0 +1,34 @@
+// Package suite assembles the full gowren-vet analyzer suite. It exists
+// as its own package (rather than a registry in internal/analysis) so the
+// framework does not import its own analyzers.
+package suite
+
+import (
+	"gowren/internal/analysis"
+	"gowren/internal/analysis/clockcheck"
+	"gowren/internal/analysis/errsink"
+	"gowren/internal/analysis/lockhold"
+	"gowren/internal/analysis/mapiter"
+	"gowren/internal/analysis/randcheck"
+)
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		clockcheck.Analyzer,
+		errsink.Analyzer,
+		lockhold.Analyzer,
+		mapiter.Analyzer,
+		randcheck.Analyzer,
+	}
+}
+
+// ByName returns the named analyzer, or nil.
+func ByName(name string) *analysis.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// allowDirective is the suppression comment prefix. Full form:
+//
+//	//gowren:allow clockcheck — one-line justification
+//
+// Several checks may be listed, comma-separated. The directive silences
+// matching diagnostics on its own line and on the line directly below it,
+// so it works both as a trailing comment and as a preceding one.
+const allowDirective = "//gowren:allow"
+
+// allowSet maps file → line → set of allowed check names for that line.
+type allowSet map[string]map[int]map[string]bool
+
+// allowedLines collects every //gowren:allow directive in pkg's files.
+func allowedLines(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				checks, ok := parseAllow(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				lines := set[pos.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					set[pos.Filename] = lines
+				}
+				// The directive covers its own line (trailing comment)
+				// and the next line (standalone comment above the code).
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					if lines[line] == nil {
+						lines[line] = map[string]bool{}
+					}
+					for _, name := range checks {
+						lines[line][name] = true
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseAllow extracts the check names from one comment's text, reporting
+// whether the comment is an allow directive at all.
+func parseAllow(text string) ([]string, bool) {
+	if !strings.HasPrefix(text, allowDirective) {
+		return nil, false
+	}
+	rest := text[len(allowDirective):]
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. //gowren:allowlist — not ours
+	}
+	// Everything after the check list is a free-form justification,
+	// conventionally introduced with "—" or "--".
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var checks []string
+	for _, name := range strings.Split(fields[0], ",") {
+		if name != "" {
+			checks = append(checks, name)
+		}
+	}
+	return checks, len(checks) > 0
+}
+
+// matches reports whether d is silenced by a directive in the set.
+func (s allowSet) matches(d Diagnostic) bool {
+	lines, ok := s[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	checks, ok := lines[d.Pos.Line]
+	if !ok {
+		return false
+	}
+	return checks[d.Check] || checks["all"]
+}

@@ -108,7 +108,7 @@ func (e *Executor) ReplayDeadLetters() ([]*Future, error) {
 	// The replay owns these calls now; drop the persisted records
 	// best-effort (a leftover record is re-deleted by Clean).
 	for _, d := range letters {
-		_ = e.cfg.Storage.Delete(meta, deadLetterKey(d.ExecutorID, d.CallID))
+		_ = e.cfg.Storage.Delete(meta, deadLetterKey(d.ExecutorID, d.CallID)) //gowren:allow errsink — best-effort cleanup, Clean re-deletes leftovers
 	}
 	return futures, nil
 }

@@ -143,6 +143,30 @@ type Executor struct {
 	futures     []*Future
 	nextID      int
 	deadLetters []DeadLetter
+	// listFailures counts consecutive failed status LISTs per executor
+	// namespace; at sweepConsultThreshold the sweep falls back to
+	// consulting activation records (see sweepStatuses).
+	listFailures map[string]int
+}
+
+// noteListFailure records one more consecutive status-LIST failure for
+// execID and returns the updated count.
+func (e *Executor) noteListFailure(execID string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.listFailures == nil {
+		e.listFailures = make(map[string]int)
+	}
+	e.listFailures[execID]++
+	return e.listFailures[execID]
+}
+
+// resetListFailures clears execID's consecutive-failure count after a
+// successful LIST.
+func (e *Executor) resetListFailures(execID string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.listFailures, execID)
 }
 
 // classifyCallErr maps invocation-path errors onto the shared retry

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sync"
 	"time"
 
@@ -115,10 +117,20 @@ func (f *Future) Status() (wire.StatusRecord, error) {
 	return rec, nil
 }
 
+// sweepConsultThreshold is the number of consecutive failed status LISTs
+// (per executor namespace) after which sweepStatuses stops waiting for
+// the listing to recover and consults activation records directly. Low
+// enough that a permanently partitioned status prefix surfaces dead calls
+// within a few poll intervals, high enough that one lost request does not
+// trigger a consult storm.
+const sweepConsultThreshold = 3
+
 // sweepStatuses performs one LIST over the executor's status prefix
-// (grouped by executor namespace) and marks the matching futures done. It
-// also consults platform activation records to surface calls that died
-// without committing a status (crash, platform timeout).
+// (grouped by executor namespace, in sorted order so the simulated
+// network sees an identical request sequence every run) and marks the
+// matching futures done. It also consults platform activation records to
+// surface calls that died without committing a status (crash, platform
+// timeout).
 func sweepStatuses(e *Executor, futures []*Future) error {
 	byExec := make(map[string][]*Future)
 	for _, f := range futures {
@@ -127,19 +139,31 @@ func sweepStatuses(e *Executor, futures []*Future) error {
 		}
 	}
 	meta := e.cfg.Platform.MetaBucket()
-	for execID, fs := range byExec {
+	for _, execID := range slices.Sorted(maps.Keys(byExec)) {
+		fs := byExec[execID]
+		doneIDs := make(map[string]bool)
 		listed, err := cos.ListAll(e.cfg.Storage, meta, statusListPrefix(execID))
-		if err != nil {
-			if errors.Is(err, cos.ErrRequestFailed) {
-				continue // transient; next poll retries
+		switch {
+		case err == nil:
+			e.resetListFailures(execID)
+			for _, obj := range listed {
+				if id, ok := callIDFromStatusKey(obj.Key); ok {
+					doneIDs[id] = true
+				}
 			}
+		case errors.Is(err, cos.ErrRequestFailed):
+			// Transient LIST failure: normally just wait for the next poll.
+			// But a status prefix pinned to a partitioned region can stay
+			// unlistable for the whole outage, and skipping here forever
+			// would keep platform-dead calls invisible until the partition
+			// lifts. After enough consecutive failures, fall through with an
+			// empty done set so the activation-record consult below can
+			// still observe calls that died without committing a status.
+			if e.noteListFailure(execID) < sweepConsultThreshold {
+				continue
+			}
+		default:
 			return fmt.Errorf("core: status sweep: %w", err)
-		}
-		doneIDs := make(map[string]bool, len(listed))
-		for _, obj := range listed {
-			if id, ok := callIDFromStatusKey(obj.Key); ok {
-				doneIDs[id] = true
-			}
 		}
 		for _, f := range fs {
 			switch {

@@ -5,7 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
-	"sort"
+	"maps"
+	"slices"
 	"time"
 
 	"gowren/internal/cos"
@@ -183,15 +184,13 @@ func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload)
 		}
 	}
 
-	keys := make([]string, 0, len(groups))
-	for k := range groups {
+	keys := slices.Sorted(maps.Keys(groups))
+	for _, k := range keys {
 		// Defensive: a hash mismatch would silently double-count keys.
 		if reducerForKey(k, spec.NumReducers) != spec.Reducer {
 			return nil, fmt.Errorf("core: key %q shuffled to wrong reducer %d", k, spec.Reducer)
 		}
-		keys = append(keys, k)
 	}
-	sort.Strings(keys)
 
 	out := make([]wire.KeyResult, 0, len(keys))
 	for _, k := range keys {

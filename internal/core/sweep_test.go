@@ -1,0 +1,78 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/netsim"
+)
+
+// statusListBlackhole delegates to an inner client but permanently fails
+// every List over a status prefix with the transient ErrRequestFailed —
+// the shape of a partition that pins down exactly the status namespace
+// while the rest of the job traffic (payload puts, invoke path) still
+// flows.
+type statusListBlackhole struct {
+	cos.Client
+}
+
+func (c *statusListBlackhole) List(bucket, prefix, marker string, maxKeys int) (cos.ListResult, error) {
+	if strings.Contains(prefix, "/"+statusPrefix+"/") {
+		return cos.ListResult{}, cos.ErrRequestFailed
+	}
+	return c.Client.List(bucket, prefix, marker, maxKeys)
+}
+
+// TestDeadActivationSurfacedDuringListOutage is the regression test for
+// the sweepConsultThreshold fall-through: when the status LIST fails
+// transiently on every poll (a partitioned status prefix) and the
+// activation died without committing a status record, the sweep must
+// still consult activation records after a few consecutive failures and
+// surface ErrCallFailed — instead of skipping the consult forever and
+// spinning until the wait deadline.
+func TestDeadActivationSurfacedDuringListOutage(t *testing.T) {
+	e := newEnv(t, func(cfg *PlatformConfig) { cfg.CrashProb = 1.0 })
+	exec := e.executor(t, func(c *Config) {
+		c.Storage = &statusListBlackhole{Client: cos.NewLinked(e.store, e.clk, netsim.Loopback())}
+	})
+	e.clk.Run(func() {
+		if _, err := exec.Map("add7", []any{1}); err != nil {
+			t.Error(err)
+			return
+		}
+		start := e.clk.Now()
+		_, err := exec.GetResult(GetResultOptions{Timeout: time.Hour})
+		if !errors.Is(err, ErrCallFailed) {
+			t.Errorf("err = %v, want ErrCallFailed surfaced via activation records", err)
+		}
+		// The consult must kick in after sweepConsultThreshold polls, not
+		// ride the outage all the way to the one-hour deadline.
+		if waited := e.clk.Now().Sub(start); waited > 30*time.Minute {
+			t.Errorf("failure took %v of virtual time to surface — consult threshold did not engage", waited)
+		}
+	})
+}
+
+// TestListFailureCounterResets checks the consecutive-failure bookkeeping:
+// a successful LIST must clear the counter so isolated transient failures
+// never accumulate to the consult threshold.
+func TestListFailureCounterResets(t *testing.T) {
+	e := newEnv(t, nil)
+	exec := e.executor(t, nil)
+	if n := exec.noteListFailure("ex-a"); n != 1 {
+		t.Fatalf("first failure count = %d, want 1", n)
+	}
+	if n := exec.noteListFailure("ex-a"); n != 2 {
+		t.Fatalf("second failure count = %d, want 2", n)
+	}
+	if n := exec.noteListFailure("ex-b"); n != 1 {
+		t.Fatalf("counts must be per executor namespace, got %d for ex-b", n)
+	}
+	exec.resetListFailures("ex-a")
+	if n := exec.noteListFailure("ex-a"); n != 1 {
+		t.Fatalf("count after reset = %d, want 1", n)
+	}
+}

@@ -65,7 +65,9 @@ func (c *HTTPClient) do(method, rawURL string, body []byte, header http.Header) 
 	if err != nil {
 		return nil, fmt.Errorf("cos http: build %s %s: %w", method, rawURL, err)
 	}
-	for k, vs := range header {
+	// http.Header is itself a map: cross-key write order is unobservable,
+	// and per-key value order is preserved by the inner slice loop.
+	for k, vs := range header { //gowren:allow mapiter — writes into another map, order unobservable
 		for _, v := range vs {
 			req.Header.Add(k, v)
 		}

@@ -3,6 +3,8 @@ package cos
 import (
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -499,18 +501,16 @@ func (m *MultiRegion) list(pref int, bucket, prefix, marker string, maxKeys int)
 		return ListResult{}, fmt.Errorf("list %s: %w", bucket, fatalMiss)
 	}
 	_ = lastErr
-	keys := make([]string, 0, len(merged))
-	for k := range merged {
-		keys = append(keys, merged[k].meta.Key)
-	}
-	sort.Strings(keys)
+	// objKeys of one bucket share the bucket prefix, so sorting them orders
+	// the result by object key — and keeps the merged listing independent
+	// of map iteration order.
 	var res ListResult
-	for i, key := range keys {
+	for i, k := range slices.Sorted(maps.Keys(merged)) {
 		if i == maxKeys {
 			truncated = true
 			break
 		}
-		res.Objects = append(res.Objects, merged[objKey(bucket, key)].meta)
+		res.Objects = append(res.Objects, merged[k].meta)
 	}
 	if truncated && len(res.Objects) > 0 {
 		res.IsTruncated = true

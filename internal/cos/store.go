@@ -4,6 +4,8 @@ import (
 	"crypto/md5"
 	"encoding/hex"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -277,7 +279,7 @@ func (s *Store) List(bucketName, prefix, marker string, maxKeys int) (ListResult
 		return ListResult{}, fmt.Errorf("list %s: %w", bucketName, ErrNoSuchBucket)
 	}
 	keys := make([]string, 0, len(b.objects))
-	for k := range b.objects {
+	for _, k := range slices.Sorted(maps.Keys(b.objects)) {
 		if len(prefix) > 0 && (len(k) < len(prefix) || k[:len(prefix)] != prefix) {
 			continue
 		}
@@ -286,7 +288,6 @@ func (s *Store) List(bucketName, prefix, marker string, maxKeys int) (ListResult
 		}
 		keys = append(keys, k)
 	}
-	sort.Strings(keys)
 	var res ListResult
 	for i, k := range keys {
 		if i == maxKeys {
@@ -347,7 +348,9 @@ func (s *Store) now() time.Time {
 	if s.clock != nil {
 		return s.clock.Now()
 	}
-	return time.Now()
+	// Real-mode fallback: a Store constructed without a clock (integration
+	// tests, the HTTP server) stamps objects with wall time.
+	return time.Now() //gowren:allow clockcheck — real-mode fallback when no Clock is injected
 }
 
 func syntheticETag(bucket, key string, size int64) string {

@@ -17,6 +17,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 	"sync"
 	"time"
@@ -255,21 +257,11 @@ func (img *Image) Functions() []string {
 	img.mu.RLock()
 	defer img.mu.RUnlock()
 	names := make([]string, 0, len(img.plain)+len(img.mappers)+len(img.reducer)+len(img.kvMap)+len(img.kvReduce))
-	for n := range img.plain {
-		names = append(names, n)
-	}
-	for n := range img.mappers {
-		names = append(names, n)
-	}
-	for n := range img.reducer {
-		names = append(names, n)
-	}
-	for n := range img.kvMap {
-		names = append(names, n)
-	}
-	for n := range img.kvReduce {
-		names = append(names, n)
-	}
+	names = append(names, slices.Sorted(maps.Keys(img.plain))...)
+	names = append(names, slices.Sorted(maps.Keys(img.mappers))...)
+	names = append(names, slices.Sorted(maps.Keys(img.reducer))...)
+	names = append(names, slices.Sorted(maps.Keys(img.kvMap))...)
+	names = append(names, slices.Sorted(maps.Keys(img.kvReduce))...)
 	sort.Strings(names)
 	return names
 }

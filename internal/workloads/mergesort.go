@@ -105,9 +105,10 @@ func mergesortTask(ctx *gowren.Ctx, task SortTask) (Segment, error) {
 	if _, err := ctx.Storage().Put(task.OutBucket, outKey, encodeInt32s(merged)); err != nil {
 		return Segment{}, fmt.Errorf("workloads: mergesort write merge: %w", err)
 	}
-	// Children are no longer needed; free the storage.
-	_ = ctx.Storage().Delete(children[0].Bucket, children[0].Key)
-	_ = ctx.Storage().Delete(children[1].Bucket, children[1].Key)
+	// Children are no longer needed; free the storage. Best-effort: a
+	// failed delete leaks an intermediate object, never corrupts the sort.
+	_ = ctx.Storage().Delete(children[0].Bucket, children[0].Key) //gowren:allow errsink — best-effort cleanup of merged children
+	_ = ctx.Storage().Delete(children[1].Bucket, children[1].Key) //gowren:allow errsink — best-effort cleanup of merged children
 	return Segment{Bucket: task.OutBucket, Key: outKey, Count: task.Count}, nil
 }
 
