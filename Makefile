@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos verify
+.PHONY: all build vet lint test race chaos bench verify
 
 all: verify
 
@@ -30,6 +30,14 @@ race:
 # failover, and the recovery/dead-letter machinery.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestController|TestRecovery|TestRegion' .
+
+# bench profiles the client wait/collect hot path at 10k futures
+# (cmd/waitbench) and writes BENCH_waitpath.json: client-side storage
+# request counts and simulated wall-clock for the incremental
+# frontier-based status sweep vs the full-relist baseline. Fails unless
+# the incremental sweep lists at least 10× fewer objects per collection.
+bench: build
+	$(GO) run ./cmd/waitbench -n 10000 -out BENCH_waitpath.json -minreduction 10
 
 # verify is the tier-1 gate plus the race detector and the analyzer
 # suite — what CI runs.

@@ -1,0 +1,200 @@
+// Command waitbench profiles the client wait/collect hot path: it runs an
+// n-future map job (uniform task duration, the paper's Table-3 scale
+// regime) twice — once with the incremental frontier-based status sweep
+// and once with the pre-change full-relist baseline — and reports the
+// client-side storage request counts plus the simulated wall-clock of each
+// run as JSON.
+//
+//	waitbench [-n 10000] [-seconds 15] [-seed 1] [-out BENCH_waitpath.json] [-minreduction 0]
+//
+// With -minreduction r the command exits non-zero unless the incremental
+// sweep reduced the number of objects listed per collection by at least
+// r× — the acceptance gate CI runs at r=10.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"gowren/internal/core"
+	"gowren/internal/cos"
+	"gowren/internal/netsim"
+	"gowren/internal/runtime"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "waitbench:", err)
+		os.Exit(1)
+	}
+}
+
+// modeReport is one benchmark run's measurements.
+type modeReport struct {
+	// Client-side storage requests on the wire (retry attempts included).
+	ListOps       int64 `json:"listOps"`
+	ObjectsListed int64 `json:"objectsListed"`
+	GetOps        int64 `json:"getOps"`
+	HeadOps       int64 `json:"headOps"`
+	PutOps        int64 `json:"putOps"`
+	// SimElapsedSeconds is the job's virtual wall-clock, invoke→collect.
+	SimElapsedSeconds float64 `json:"simElapsedSeconds"`
+	// RealSeconds is host CPU time spent simulating the run.
+	RealSeconds float64 `json:"realSeconds"`
+}
+
+type report struct {
+	Futures     int                   `json:"futures"`
+	TaskSeconds int                   `json:"taskSeconds"`
+	Seed        int64                 `json:"seed"`
+	Modes       map[string]modeReport `json:"modes"`
+	// Reductions are full-relist ÷ incremental ratios (higher is better).
+	ObjectsListedReduction float64 `json:"objectsListedReduction"`
+	GetOpsReduction        float64 `json:"getOpsReduction"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("waitbench", flag.ContinueOnError)
+	n := fs.Int("n", 10000, "number of futures in the benchmark job")
+	seconds := fs.Int("seconds", 15, "uniform task duration in simulated seconds")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	out := fs.String("out", "BENCH_waitpath.json", "output JSON path")
+	minReduction := fs.Float64("minreduction", 0,
+		"fail unless objects-listed dropped at least this factor (0 disables the gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep := report{
+		Futures:     *n,
+		TaskSeconds: *seconds,
+		Seed:        *seed,
+		Modes:       make(map[string]modeReport),
+	}
+	for _, mode := range []struct {
+		name       string
+		fullRelist bool
+	}{
+		{"incremental", false},
+		{"fullRelist", true},
+	} {
+		m, err := runMode(*n, *seconds, *seed, mode.fullRelist)
+		if err != nil {
+			return fmt.Errorf("%s run: %w", mode.name, err)
+		}
+		rep.Modes[mode.name] = m
+		fmt.Printf("%-12s lists=%-6d objectsListed=%-9d gets=%-6d heads=%-4d puts=%-6d sim=%.1fs real=%.2fs\n",
+			mode.name, m.ListOps, m.ObjectsListed, m.GetOps, m.HeadOps, m.PutOps,
+			m.SimElapsedSeconds, m.RealSeconds)
+	}
+
+	inc, full := rep.Modes["incremental"], rep.Modes["fullRelist"]
+	rep.ObjectsListedReduction = ratio(full.ObjectsListed, inc.ObjectsListed)
+	rep.GetOpsReduction = ratio(full.GetOps, inc.GetOps)
+	fmt.Printf("objects-listed reduction: %.1f×\n", rep.ObjectsListedReduction)
+
+	body, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *minReduction > 0 && rep.ObjectsListedReduction < *minReduction {
+		return fmt.Errorf("objects-listed reduction %.1f× below required %.1f×",
+			rep.ObjectsListedReduction, *minReduction)
+	}
+	return nil
+}
+
+func ratio(full, inc int64) float64 {
+	if inc <= 0 {
+		return float64(full)
+	}
+	return float64(full) / float64(inc)
+}
+
+// runMode executes one n-future job on a fresh simulated cloud and returns
+// its measurements.
+func runMode(n, seconds int, seed int64, fullRelist bool) (modeReport, error) {
+	clk := vclock.NewVirtual()
+	reg := runtime.NewRegistry()
+	img := runtime.NewImage(runtime.DefaultImage, 100)
+	err := img.RegisterPlain("busy", func(ctx *runtime.Ctx, arg json.RawMessage) (any, error) {
+		var secs int
+		if err := wire.Unmarshal(arg, &secs); err != nil {
+			return nil, err
+		}
+		if err := ctx.ChargeCompute(time.Duration(secs) * time.Second); err != nil {
+			return nil, err
+		}
+		return secs, nil
+	})
+	if err != nil {
+		return modeReport{}, err
+	}
+	if err := reg.Publish(img); err != nil {
+		return modeReport{}, err
+	}
+	store := cos.NewStore()
+	platform, err := core.NewPlatform(core.PlatformConfig{
+		Clock:    clk,
+		Registry: reg,
+		Store:    store,
+		Seed:     seed,
+		// Admit the whole job at once: this benchmark profiles the client
+		// wait path, not the platform's concurrency ceiling.
+		MaxConcurrent: n,
+	})
+	if err != nil {
+		return modeReport{}, err
+	}
+	exec, err := core.NewExecutor(core.Config{
+		Platform:        platform,
+		Storage:         cos.NewLinked(store, clk, netsim.Loopback()),
+		FullRelistSweep: fullRelist,
+	})
+	if err != nil {
+		return modeReport{}, err
+	}
+
+	args := make([]any, n)
+	for i := range args {
+		args[i] = seconds
+	}
+	realStart := time.Now() //gowren:allow clockcheck — host CPU-time measurement of the simulation itself
+	var simElapsed time.Duration
+	var runErr error
+	clk.Run(func() {
+		start := clk.Now()
+		if _, err := exec.Map("busy", args); err != nil {
+			runErr = err
+			return
+		}
+		if _, err := exec.GetResult(core.GetResultOptions{}); err != nil {
+			runErr = err
+			return
+		}
+		simElapsed = clk.Now().Sub(start)
+	})
+	if runErr != nil {
+		return modeReport{}, runErr
+	}
+	ops := exec.StorageOps()
+	return modeReport{
+		ListOps:           ops.ListOps,
+		ObjectsListed:     ops.ObjectsListed,
+		GetOps:            ops.GetOps,
+		HeadOps:           ops.HeadOps,
+		PutOps:            ops.PutOps,
+		SimElapsedSeconds: simElapsed.Seconds(),
+		RealSeconds:       time.Since(realStart).Seconds(), //gowren:allow clockcheck — host CPU-time measurement of the simulation itself
+	}, nil
+}

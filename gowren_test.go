@@ -416,7 +416,9 @@ func TestCleanAndStatsPublicAPI(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if stats.Payloads != 2 || stats.Results != 2 {
+		// Results is 0: small outputs are inlined in status records, so no
+		// result objects are written.
+		if stats.Payloads != 2 || stats.Statuses != 2 || stats.Results != 0 {
 			t.Errorf("stats = %+v", stats)
 		}
 		if err := exec.Clean(); err != nil {

@@ -24,18 +24,18 @@ type env struct {
 
 // newEnv builds a platform with a default image preloaded with test
 // functions.
-func newEnv(t *testing.T, mutate func(*PlatformConfig)) *env {
+func newEnv(t testing.TB, mutate func(*PlatformConfig)) *env {
 	t.Helper()
 	return newEnvFull(t, mutate, nil)
 }
 
 // newEnvWith is newEnv plus an image hook for extra function registration.
-func newEnvWith(t *testing.T, mutateImage func(*runtime.Image)) *env {
+func newEnvWith(t testing.TB, mutateImage func(*runtime.Image)) *env {
 	t.Helper()
 	return newEnvFull(t, nil, mutateImage)
 }
 
-func newEnvFull(t *testing.T, mutate func(*PlatformConfig), mutateImage func(*runtime.Image)) *env {
+func newEnvFull(t testing.TB, mutate func(*PlatformConfig), mutateImage func(*runtime.Image)) *env {
 	t.Helper()
 	clk := vclock.NewVirtual()
 	reg := runtime.NewRegistry()
@@ -59,7 +59,7 @@ func newEnvFull(t *testing.T, mutate func(*PlatformConfig), mutateImage func(*ru
 	return &env{clk: clk, reg: reg, store: store, platform: p}
 }
 
-func registerTestFunctions(t *testing.T, img *runtime.Image) {
+func registerTestFunctions(t testing.TB, img *runtime.Image) {
 	t.Helper()
 	must := func(err error) {
 		if err != nil {
@@ -168,7 +168,7 @@ func registerTestFunctions(t *testing.T, img *runtime.Image) {
 }
 
 // executor builds a client-side executor with the given overrides.
-func (e *env) executor(t *testing.T, mutate func(*Config)) *Executor {
+func (e *env) executor(t testing.TB, mutate func(*Config)) *Executor {
 	t.Helper()
 	cfg := Config{
 		Platform: e.platform,

@@ -72,6 +72,13 @@ type Config struct {
 	// PollInterval is the status-polling granularity. Zero uses 50ms.
 	PollInterval time.Duration
 
+	// FullRelistSweep disables incremental status sweeps: every poll
+	// re-LISTs the whole status prefix instead of resuming at the sweep
+	// coordinator's done-frontier. It exists as the A/B baseline for the
+	// wait-path benchmark (cmd/waitbench); production use should leave it
+	// false.
+	FullRelistSweep bool
+
 	// RetryBudget caps the total retry volume this executor may generate
 	// across invocations and storage accesses (a token bucket refilled by
 	// successes; see retry.Budget). Zero uses 1024 tokens; negative
@@ -139,34 +146,35 @@ type Executor struct {
 	// recovery and straggler speculation (see respawn.go).
 	respawns *respawnLedger
 
+	// sweeps is the shared sweep coordinator: every waiter on this
+	// executor's view of storage (Wait, GetResult, composition resolvers)
+	// polls completion through it, so LISTs stay incremental and coalesce
+	// (see sweep.go).
+	sweeps *sweepCoordinator
+	// ops counts this executor's storage requests on the wire (below the
+	// retry layer), exposed through StorageOps.
+	ops *cos.Counting
+	// doneTracked counts tracked futures that have transitioned to done,
+	// making progress reporting O(1) per poll.
+	doneTracked atomic.Int64
+
 	mu          sync.Mutex
 	futures     []*Future
 	nextID      int
 	deadLetters []DeadLetter
-	// listFailures counts consecutive failed status LISTs per executor
-	// namespace; at sweepConsultThreshold the sweep falls back to
-	// consulting activation records (see sweepStatuses).
-	listFailures map[string]int
 }
 
 // noteListFailure records one more consecutive status-LIST failure for
-// execID and returns the updated count.
+// execID and returns the updated count. The counter lives in the sweep
+// coordinator; this is the executor-level view of it.
 func (e *Executor) noteListFailure(execID string) int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.listFailures == nil {
-		e.listFailures = make(map[string]int)
-	}
-	e.listFailures[execID]++
-	return e.listFailures[execID]
+	return e.sweeps.noteFailure(nsKey{bucket: e.cfg.Platform.MetaBucket(), execID: execID})
 }
 
 // resetListFailures clears execID's consecutive-failure count after a
 // successful LIST.
 func (e *Executor) resetListFailures(execID string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	delete(e.listFailures, execID)
+	e.sweeps.resetFailures(nsKey{bucket: e.cfg.Platform.MetaBucket(), execID: execID})
 }
 
 // classifyCallErr maps invocation-path errors onto the shared retry
@@ -196,9 +204,12 @@ func NewExecutor(cfg Config) (*Executor, error) {
 		return nil, err
 	}
 	clk := cfg.Platform.Clock()
-	// Every storage access gets SDK-style transient-failure retries, so
-	// one lost request cannot fail data discovery or a status sweep.
-	cfg.Storage = cos.NewRetrying(cfg.Storage, clk, 4, 150*time.Millisecond)
+	// Count requests as they hit the wire, then give every storage access
+	// SDK-style transient-failure retries, so one lost request cannot fail
+	// data discovery or a status sweep. The counter sits below the retry
+	// layer so StorageOps reports attempts, not logical operations.
+	counting := cos.NewCounting(cfg.Storage)
+	cfg.Storage = cos.NewRetrying(counting, clk, 4, 150*time.Millisecond)
 
 	n := execCounter.Add(1)
 	var budget *retry.Budget
@@ -220,12 +231,20 @@ func NewExecutor(cfg Config) (*Executor, error) {
 		clock:    clk,
 		gil:      newSerial(clk),
 		respawns: newRespawnLedger(),
+		sweeps:   newSweepCoordinator(cfg.Storage, clk, cfg.FullRelistSweep),
+		ops:      counting,
 		invokeRetry: retry.New(clk, policy, classifyCallErr,
 			retry.WithBudget(budget), retry.WithBreaker(breaker), retry.WithSeed(seed)),
 		storageRetry: retry.New(clk, policy, classifyStorageErr,
 			retry.WithBudget(budget), retry.WithSeed(seed+1)),
 	}, nil
 }
+
+// StorageOps returns a snapshot of the executor's client-side storage
+// request counters: every request this executor put on the wire (retry
+// attempts included), plus the total objects returned by its LISTs. The
+// wait-path benchmark and regression tests assert on these.
+func (e *Executor) StorageOps() cos.OpCounts { return e.ops.Counts() }
 
 // ID returns the executor ID used to namespace its jobs in storage.
 func (e *Executor) ID() string { return e.id }
@@ -253,8 +272,17 @@ func (e *Executor) reserveCallIDs(n int) []string {
 
 func (e *Executor) track(fs []*Future) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.futures = append(e.futures, fs...)
+	e.mu.Unlock()
+	for _, f := range fs {
+		f.mu.Lock()
+		f.tracked = true
+		done := f.done
+		f.mu.Unlock()
+		if done {
+			e.doneTracked.Add(1)
+		}
+	}
 }
 
 // untrack removes the futures matching the given (executorID, callID)
@@ -262,14 +290,26 @@ func (e *Executor) track(fs []*Future) {
 // terminally failed calls with freshly staged ones.
 func (e *Executor) untrack(ids map[[2]string]bool) {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	kept := e.futures[:0]
+	var removed []*Future
 	for _, f := range e.futures {
-		if !ids[[2]string{f.executorID, f.callID}] {
+		if ids[[2]string{f.executorID, f.callID}] {
+			removed = append(removed, f)
+		} else {
 			kept = append(kept, f)
 		}
 	}
 	e.futures = kept
+	e.mu.Unlock()
+	for _, f := range removed {
+		f.mu.Lock()
+		wasCounted := f.tracked && f.done
+		f.tracked = false
+		f.mu.Unlock()
+		if wasCounted {
+			e.doneTracked.Add(-1)
+		}
+	}
 }
 
 // CallAsync runs one function asynchronously in the cloud (Table 2:
@@ -373,6 +413,16 @@ func (e *Executor) stagePayloads(payloads []*wire.CallPayload) error {
 func (e *Executor) putWithRetry(bucket, key string, body []byte) error {
 	return e.storageRetry.Do(func() error {
 		_, err := e.cfg.Storage.Put(bucket, key, body)
+		return err
+	})
+}
+
+// headWithRetry probes an object's existence, retrying transient
+// simulated network failures under the shared policy. A missing key
+// surfaces as cos.ErrNoSuchKey without retries.
+func (e *Executor) headWithRetry(bucket, key string) error {
+	return e.storageRetry.Do(func() error {
+		_, err := e.cfg.Storage.Head(bucket, key)
 		return err
 	})
 }

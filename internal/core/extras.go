@@ -30,6 +30,9 @@ func (e *Executor) Clean() error {
 			return fmt.Errorf("core: clean %s: %w", e.id, err)
 		}
 	}
+	// The status objects the sweep state mirrors are gone; drop the state
+	// with them.
+	e.sweeps.forgetNamespace(nsKey{bucket: meta, execID: e.id})
 	return nil
 }
 
@@ -63,7 +66,7 @@ func (e *Executor) WaitThreshold(frac float64, deadline time.Time) (done, pendin
 	// would spin until the deadline and misreport it as ErrWaitTimeout.
 	var sweepErr error
 	ok := pollClock(e, func() bool {
-		if err := sweepStatuses(e, futures); err != nil {
+		if _, err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true
 		}
@@ -85,7 +88,7 @@ func (e *Executor) WaitThreshold(frac float64, deadline time.Time) (done, pendin
 // It sweeps first so the answer reflects current platform state.
 func (e *Executor) FailedFutures() ([]*Future, error) {
 	futures := e.Futures()
-	if err := sweepStatuses(e, futures); err != nil {
+	if _, err := sweepStatuses(e, futures); err != nil {
 		return nil, err
 	}
 	var failed []*Future
@@ -131,6 +134,12 @@ func (e *Executor) Respawn(futures []*Future) error {
 	})
 	if err := firstErr(errs); err != nil {
 		return fmt.Errorf("core: respawn reset: %w", err)
+	}
+	// The sweep coordinator may already have these calls behind its
+	// done-frontier; withdraw them so the next sweep re-observes the
+	// respawned run's status instead of trusting the deleted one.
+	for _, f := range futures {
+		e.sweeps.forget(nsKey{bucket: meta, execID: f.executorID}, f.callID)
 	}
 	errs = parallelFor(e.clock, e.cfg.InvokeConcurrency, len(futures), func(i int) error {
 		f := futures[i]
@@ -194,12 +203,17 @@ func pollClock(e *Executor, pred func() bool, deadline time.Time) bool {
 	}
 }
 
-// reset rearms a future for a respawned invocation.
+// reset rearms a future for a respawned invocation, giving back its slot
+// in the executor's done counter.
 func (f *Future) reset(activationID string) {
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	wasCounted := f.tracked && f.done
 	f.done = false
 	f.failed = nil
 	f.status = nil
 	f.activationID = activationID
+	f.mu.Unlock()
+	if wasCounted {
+		f.exec.doneTracked.Add(-1)
+	}
 }

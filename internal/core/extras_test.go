@@ -26,7 +26,9 @@ func TestCleanRemovesJobObjects(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if stats.Payloads != 3 || stats.Statuses != 3 || stats.Results != 3 {
+		// Results stay 0: small outputs ride inline in the status records,
+		// so no result objects are ever written.
+		if stats.Payloads != 3 || stats.Statuses != 3 || stats.Results != 0 {
 			t.Errorf("pre-clean stats = %+v", stats)
 		}
 		if err := exec.Clean(); err != nil {
@@ -74,7 +76,7 @@ func TestCleanIsPerExecutor(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if stats.Payloads != 1 || stats.Statuses != 1 || stats.Results != 1 {
+		if stats.Payloads != 1 || stats.Statuses != 1 {
 			t.Errorf("executor b lost objects to a's clean: %+v", stats)
 		}
 	})

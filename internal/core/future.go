@@ -28,10 +28,11 @@ type Future struct {
 	callID       string
 	activationID string // empty under massive spawning
 
-	mu     sync.Mutex
-	done   bool
-	status *wire.StatusRecord
-	failed error
+	mu      sync.Mutex
+	done    bool
+	tracked bool // counted in the executor's doneTracked when done
+	status  *wire.StatusRecord
+	failed  error
 }
 
 func newFuture(e *Executor, executorID, callID, activationID string) *Future {
@@ -49,19 +50,27 @@ func (f *Future) ExecutorID() string { return f.executorID }
 func (f *Future) ActivationID() string { return f.activationID }
 
 // markDone records a completed status sighting.
-func (f *Future) markDone() {
-	f.mu.Lock()
-	f.done = true
-	f.mu.Unlock()
-}
+func (f *Future) markDone() { f.complete(nil) }
 
 // markFailed records a platform-level failure (activation died without
 // writing a status object).
-func (f *Future) markFailed(err error) {
+func (f *Future) markFailed(err error) { f.complete(err) }
+
+// complete transitions the future to done, keeping the owning executor's
+// doneTracked counter in step so progress reporting stays O(1) per poll
+// instead of recounting every future.
+func (f *Future) complete(err error) {
 	f.mu.Lock()
+	first := !f.done
 	f.done = true
-	f.failed = err
+	if err != nil {
+		f.failed = err
+	}
+	tracked := f.tracked
 	f.mu.Unlock()
+	if first && tracked {
+		f.exec.doneTracked.Add(1)
+	}
 }
 
 // knownDone reports the cached completion state without any storage round
@@ -78,16 +87,33 @@ func (f *Future) failure() error {
 	return f.failed
 }
 
-// Done checks (against storage, via one status sweep of the owning
-// executor) whether the call has finished.
+// Done checks whether the call has finished. A single future needs no
+// prefix sweep: one HEAD of its status key answers the question in O(1)
+// regardless of how many siblings share the namespace, and a miss falls
+// back to the activation record so a platform-dead call still surfaces.
 func (f *Future) Done() (bool, error) {
 	if f.knownDone() {
 		return true, nil
 	}
-	if err := sweepStatuses(f.exec, []*Future{f}); err != nil {
-		return false, err
+	meta := f.exec.cfg.Platform.MetaBucket()
+	err := f.exec.headWithRetry(meta, statusKey(f.executorID, f.callID))
+	switch {
+	case err == nil:
+		f.markDone()
+		return true, nil
+	case errors.Is(err, cos.ErrNoSuchKey):
+		if f.activationID != "" {
+			rec, aerr := f.exec.cfg.Platform.Controller().Activation(f.activationID)
+			if aerr == nil && rec.Done() && !rec.OK {
+				f.markFailed(fmt.Errorf("core: call %s/%s activation %s: %s: %w",
+					f.executorID, f.callID, f.activationID, rec.Error, ErrCallFailed))
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return false, fmt.Errorf("core: probe status %s/%s: %w", f.executorID, f.callID, err)
 	}
-	return f.knownDone(), nil
 }
 
 // Status fetches the call's status record; it requires the call to be done.
@@ -112,8 +138,8 @@ func (f *Future) Status() (wire.StatusRecord, error) {
 	}
 	f.mu.Lock()
 	f.status = &rec
-	f.done = true
 	f.mu.Unlock()
+	f.complete(nil)
 	return rec, nil
 }
 
@@ -125,13 +151,18 @@ func (f *Future) Status() (wire.StatusRecord, error) {
 // trigger a consult storm.
 const sweepConsultThreshold = 3
 
-// sweepStatuses performs one LIST over the executor's status prefix
-// (grouped by executor namespace, in sorted order so the simulated
-// network sees an identical request sequence every run) and marks the
-// matching futures done. It also consults platform activation records to
-// surface calls that died without committing a status (crash, platform
-// timeout).
-func sweepStatuses(e *Executor, futures []*Future) error {
+// sweepStatuses advances completion state for the given futures through
+// the executor's shared sweep coordinator: one incremental LIST per
+// executor namespace (grouped in sorted order so the simulated network
+// sees an identical request sequence every run), marking the matching
+// futures done. It also consults platform activation records to surface
+// calls that died without committing a status (crash, platform timeout):
+// on every trustworthy sweep, and — when the LIST itself keeps failing —
+// after sweepConsultThreshold consecutive failures, because a status
+// prefix pinned to a partitioned region can stay unlistable for a whole
+// outage and skipping forever would keep platform-dead calls invisible.
+// It returns how many futures transitioned to done this sweep.
+func sweepStatuses(e *Executor, futures []*Future) (int, error) {
 	byExec := make(map[string][]*Future)
 	for _, f := range futures {
 		if !f.knownDone() {
@@ -139,46 +170,30 @@ func sweepStatuses(e *Executor, futures []*Future) error {
 		}
 	}
 	meta := e.cfg.Platform.MetaBucket()
+	asOf := e.clock.Now()
+	newlyDone := 0
 	for _, execID := range slices.Sorted(maps.Keys(byExec)) {
-		fs := byExec[execID]
-		doneIDs := make(map[string]bool)
-		listed, err := cos.ListAll(e.cfg.Storage, meta, statusListPrefix(execID))
-		switch {
-		case err == nil:
-			e.resetListFailures(execID)
-			for _, obj := range listed {
-				if id, ok := callIDFromStatusKey(obj.Key); ok {
-					doneIDs[id] = true
-				}
-			}
-		case errors.Is(err, cos.ErrRequestFailed):
-			// Transient LIST failure: normally just wait for the next poll.
-			// But a status prefix pinned to a partitioned region can stay
-			// unlistable for the whole outage, and skipping here forever
-			// would keep platform-dead calls invisible until the partition
-			// lifts. After enough consecutive failures, fall through with an
-			// empty done set so the activation-record consult below can
-			// still observe calls that died without committing a status.
-			if e.noteListFailure(execID) < sweepConsultThreshold {
-				continue
-			}
-		default:
-			return fmt.Errorf("core: status sweep: %w", err)
+		ns := nsKey{bucket: meta, execID: execID}
+		out := e.sweeps.sweep(ns, asOf)
+		if out.err != nil {
+			return newlyDone, fmt.Errorf("core: status sweep: %w", out.err)
 		}
-		for _, f := range fs {
+		for _, f := range byExec[execID] {
 			switch {
-			case doneIDs[f.callID]:
+			case e.sweeps.completed(ns, f.callID):
 				f.markDone()
-			case f.activationID != "":
+				newlyDone++
+			case out.consult() && f.activationID != "":
 				rec, err := e.cfg.Platform.Controller().Activation(f.activationID)
 				if err == nil && rec.Done() && !rec.OK {
 					f.markFailed(fmt.Errorf("core: call %s/%s activation %s: %s: %w",
 						f.executorID, f.callID, f.activationID, rec.Error, ErrCallFailed))
+					newlyDone++
 				}
 			}
 		}
 	}
-	return nil
+	return newlyDone, nil
 }
 
 // waitFutures implements the three §4.2 strategies over an explicit future
@@ -207,7 +222,7 @@ func waitFutures(e *Executor, futures []*Future, strategy WaitStrategy, deadline
 		}
 	}
 
-	if err := sweepStatuses(e, futures); err != nil {
+	if _, err := sweepStatuses(e, futures); err != nil {
 		return nil, nil, err
 	}
 	if strategy == WaitAlways {
@@ -221,7 +236,7 @@ func waitFutures(e *Executor, futures []*Future, strategy WaitStrategy, deadline
 		if satisfied() {
 			return true
 		}
-		if err := sweepStatuses(e, futures); err != nil {
+		if _, err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true
 		}
@@ -248,15 +263,16 @@ func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]js
 
 	total := len(futures)
 	last := -1
+	// Progress reads the executor's O(1) done counter instead of recounting
+	// every future each poll — at Table-3 scale the recount alone was an
+	// O(total) walk per tick.
 	report := func() {
 		if opts.Progress == nil {
 			return
 		}
-		done := 0
-		for _, f := range futures {
-			if f.knownDone() {
-				done++
-			}
+		done := int(e.doneTracked.Load())
+		if done > total {
+			done = total
 		}
 		if done != last {
 			last = done
@@ -267,7 +283,7 @@ func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]js
 	var sweepErr error
 	ok := vclock.Poll(e.clock, func() bool {
 		e.respawns.advance()
-		if err := sweepStatuses(e, futures); err != nil {
+		if _, err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true
 		}
@@ -334,6 +350,21 @@ func (r *resolver) resolveFuture(f *Future, depth int) (json.RawMessage, error) 
 	if !rec.OK {
 		return nil, fmt.Errorf("core: call %s/%s: %s: %w", f.executorID, f.callID, rec.Error, ErrCallFailed)
 	}
+	return r.resolveStatus(&rec, depth)
+}
+
+// resolveStatus resolves a successful status record's result: from the
+// envelope inlined in the record when the runner embedded it (small
+// results — no result object exists at all), otherwise from the spilled
+// result object.
+func (r *resolver) resolveStatus(rec *wire.StatusRecord, depth int) (json.RawMessage, error) {
+	if len(rec.Inline) > 0 {
+		var env wire.ResultEnvelope
+		if err := wire.Unmarshal(rec.Inline, &env); err != nil {
+			return nil, err
+		}
+		return r.resolveEnvelope(&env, depth)
+	}
 	return r.resolveResultObject(rec.ResultRef, depth)
 }
 
@@ -394,38 +425,36 @@ func (r *resolver) resolveFuturesRef(ref *wire.FuturesRef, depth int) (json.RawM
 	}
 }
 
-// awaitCalls polls the child executor's status prefix until every call ID
-// in ref is present.
+// awaitCalls waits until every call ID in ref committed a status. It goes
+// through the executor's shared sweep coordinator, so the LISTs are
+// incremental and coalesce with the main collection sweep and with other
+// composition waits over the same child namespace — previously each
+// waiter re-listed the full prefix on every poll. It also consults
+// activation records (when ref carries them) so a composed call that died
+// without committing a status surfaces as ErrCallFailed instead of
+// hanging the wait until its deadline.
 func (r *resolver) awaitCalls(ref *wire.FuturesRef) error {
-	want := make(map[string]bool, len(ref.CallIDs))
-	for _, id := range ref.CallIDs {
-		want[id] = true
-	}
-	var sweepErr error
-	ok := vclock.Poll(r.exec.clock, func() bool {
-		listed, err := cos.ListAll(r.exec.cfg.Storage, ref.MetaBucket, statusListPrefix(ref.ExecutorID))
+	ns := nsKey{bucket: ref.MetaBucket, execID: ref.ExecutorID}
+	ctrl := r.exec.cfg.Platform.Controller()
+	lookup := func(actID string) (done, ok bool) {
+		rec, err := ctrl.Activation(actID)
 		if err != nil {
-			if errors.Is(err, cos.ErrRequestFailed) {
-				return false
-			}
-			sweepErr = err
-			return true
+			return false, false
 		}
-		seen := 0
-		for _, obj := range listed {
-			if id, idOK := callIDFromStatusKey(obj.Key); idOK && want[id] {
-				seen++
-			}
-		}
-		return seen == len(want)
-	}, r.exec.pollInterval(), r.deadline)
-	if sweepErr != nil {
-		return fmt.Errorf("core: await composition: %w", sweepErr)
+		return rec.Done(), rec.OK
 	}
-	if !ok {
+	err := r.exec.sweeps.awaitStatuses(ns, ref.CallIDs, ref.ActivationIDs, lookup,
+		r.exec.pollInterval(), r.deadline)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrWaitTimeout):
 		return fmt.Errorf("core: await composition %s: %w", ref.ExecutorID, ErrWaitTimeout)
+	case errors.Is(err, ErrCallFailed):
+		return err
+	default:
+		return fmt.Errorf("core: await composition: %w", err)
 	}
-	return nil
 }
 
 // resolveCall fetches a child call's status and resolves its result.
@@ -441,5 +470,5 @@ func (r *resolver) resolveCall(metaBucket, execID, callID string, depth int) (js
 	if !rec.OK {
 		return nil, fmt.Errorf("core: composed call %s/%s: %s: %w", execID, callID, rec.Error, ErrCallFailed)
 	}
-	return r.resolveResultObject(rec.ResultRef, depth)
+	return r.resolveStatus(&rec, depth)
 }

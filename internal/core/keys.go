@@ -18,6 +18,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"gowren/internal/wire"
@@ -60,6 +61,30 @@ func callIDFromStatusKey(key string) (string, bool) {
 		return "", false
 	}
 	return key[i+1:], true
+}
+
+// callIDWidth is the zero-padding width of call IDs (reserveCallIDs). The
+// padding makes lexicographic key order equal numeric call order, which is
+// what lets the status sweep keep a contiguous done-frontier and resume
+// LISTs there; the invariant holds for up to 10^callIDWidth calls per
+// executor namespace (beyond that, wider IDs sort after all padded ones
+// and the sweep degrades gracefully to re-listing the unpadded tail).
+const callIDWidth = 5
+
+// callIDForSeq formats a numeric call sequence as a call ID.
+func callIDForSeq(seq int) string { return fmt.Sprintf("%0*d", callIDWidth, seq) }
+
+// callSeq parses a call ID back into its numeric sequence. IDs not minted
+// by reserveCallIDs (wrong width or non-digits) report ok=false.
+func callSeq(callID string) (int, bool) {
+	if len(callID) != callIDWidth {
+		return 0, false
+	}
+	n, err := strconv.Atoi(callID)
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
 }
 
 // deadLetterKey is where a call's DeadLetter record is persisted when

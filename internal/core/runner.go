@@ -9,13 +9,21 @@ import (
 	"gowren/internal/cos"
 	"gowren/internal/faas"
 	"gowren/internal/runtime"
-	"gowren/internal/vclock"
 	"gowren/internal/wire"
 )
 
 // runnerRetries bounds storage retries inside functions; the in-cloud link
 // is reliable so a handful suffices.
 const runnerRetries = 5
+
+// inlineResultThreshold is the largest serialized ResultEnvelope the
+// runner embeds directly in the status record instead of spilling it to a
+// result object. Collecting an inlined result costs one status GET where
+// a spilled one costs a status GET plus a result GET — and the result PUT
+// never happens at all. 8 KiB keeps status records comfortably inside one
+// request while covering the paper's aggregate-style workloads, whose
+// per-call outputs are small.
+const inlineResultThreshold = 8 << 10
 
 // runnerHandler returns the generic action handler that executes staged
 // calls: the server side of the paper's Fig. 1. It loads the CallPayload
@@ -59,10 +67,16 @@ func (p *Platform) runnerHandler() faas.Handler {
 		} else {
 			env := envelopeFor(value)
 			envBody, err := wire.Marshal(env)
-			if err != nil {
+			switch {
+			case err != nil:
 				rec.OK = false
 				rec.Error = fmt.Sprintf("serialize result: %v", err)
-			} else {
+			case len(envBody) <= inlineResultThreshold:
+				// Small result: ride along in the status record; no result
+				// object is written or fetched for this call.
+				rec.OK = true
+				rec.Inline = envBody
+			default:
 				resRef := wire.ObjectRef{
 					Bucket: payload.MetaBucket,
 					Key:    resultKey(payload.ExecutorID, payload.CallID),
@@ -139,25 +153,17 @@ func (p *Platform) dispatch(ctx *runtime.Ctx, payload *wire.CallPayload) (any, e
 // values. This is the paper's §4.3 semantics: "The reduce function will
 // wait for all the partial results before processing them."
 func (p *Platform) awaitMapPartials(ctx *runtime.Ctx, spec *wire.ReduceSpec) ([]json.RawMessage, error) {
-	want := make(map[string]bool, len(spec.MapCallIDs))
-	for _, id := range spec.MapCallIDs {
-		want[id] = true
-	}
-	ok := vclock.Poll(ctx.Clock(), func() bool {
-		listed, err := cos.ListAll(ctx.Storage(), spec.MetaBucket, statusListPrefix(spec.ExecutorID))
-		if err != nil {
-			return false
+	// A per-activation coordinator keeps the reducer's status polling
+	// incremental too: each poll re-lists only keys past its done-frontier
+	// instead of the whole prefix. (No cross-activation sharing — separate
+	// containers do not share client state.)
+	sweeps := newSweepCoordinator(ctx.Storage(), ctx.Clock(), false)
+	ns := nsKey{bucket: spec.MetaBucket, execID: spec.ExecutorID}
+	if err := sweeps.awaitStatuses(ns, spec.MapCallIDs, nil, nil, 100*time.Millisecond, ctx.Deadline()); err != nil {
+		if errors.Is(err, ErrWaitTimeout) {
+			return nil, fmt.Errorf("core: reduce waiting for %d map results: %w", len(spec.MapCallIDs), runtime.ErrDeadlineExceeded)
 		}
-		seen := 0
-		for _, obj := range listed {
-			if id, idOK := callIDFromStatusKey(obj.Key); idOK && want[id] {
-				seen++
-			}
-		}
-		return seen == len(want)
-	}, 100*time.Millisecond, ctx.Deadline())
-	if !ok {
-		return nil, fmt.Errorf("core: reduce waiting for %d map results: %w", len(want), runtime.ErrDeadlineExceeded)
+		return nil, fmt.Errorf("core: reduce status sweep: %w", err)
 	}
 
 	partials := make([]json.RawMessage, len(spec.MapCallIDs))
@@ -173,13 +179,19 @@ func (p *Platform) awaitMapPartials(ctx *runtime.Ctx, spec *wire.ReduceSpec) ([]
 		if !rec.OK {
 			return nil, fmt.Errorf("core: map call %s failed: %s: %w", callID, rec.Error, ErrCallFailed)
 		}
-		resBody, err := p.getRetry(ctx, rec.ResultRef.Bucket, rec.ResultRef.Key)
-		if err != nil {
-			return nil, fmt.Errorf("core: reduce fetch map result %s: %w", callID, err)
-		}
 		var env wire.ResultEnvelope
-		if err := wire.Unmarshal(resBody, &env); err != nil {
-			return nil, err
+		if len(rec.Inline) > 0 {
+			if err := wire.Unmarshal(rec.Inline, &env); err != nil {
+				return nil, err
+			}
+		} else {
+			resBody, err := p.getRetry(ctx, rec.ResultRef.Bucket, rec.ResultRef.Key)
+			if err != nil {
+				return nil, fmt.Errorf("core: reduce fetch map result %s: %w", callID, err)
+			}
+			if err := wire.Unmarshal(resBody, &env); err != nil {
+				return nil, err
+			}
 		}
 		if env.Kind != wire.ResultValue {
 			return nil, fmt.Errorf("core: map call %s returned a %s envelope; reducers consume plain values", callID, env.Kind)
@@ -302,15 +314,28 @@ func (s *spawner) Spawn(function string, args []any) (*wire.FuturesRef, error) {
 		return nil, err
 	}
 	callIDs := make([]string, len(futures))
+	actIDs := make([]string, len(futures))
+	known := false
 	for i, f := range futures {
 		callIDs[i] = f.CallID()
+		actIDs[i] = f.ActivationID()
+		if actIDs[i] != "" {
+			known = true
+		}
 	}
-	return &wire.FuturesRef{
+	ref := &wire.FuturesRef{
 		MetaBucket: s.platform.MetaBucket(),
 		ExecutorID: sub.ID(),
 		CallIDs:    callIDs,
 		Combine:    wire.CombineList,
-	}, nil
+	}
+	// Carrying the activation IDs lets whoever awaits this ref consult
+	// activation records for spawned calls that die without committing a
+	// status, instead of hanging until its deadline.
+	if known {
+		ref.ActivationIDs = actIDs
+	}
+	return ref, nil
 }
 
 // Await blocks until every call in ref committed a status and returns their

@@ -9,9 +9,7 @@ import (
 	"slices"
 	"time"
 
-	"gowren/internal/cos"
 	"gowren/internal/runtime"
-	"gowren/internal/vclock"
 	"gowren/internal/wire"
 )
 
@@ -146,26 +144,16 @@ func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload)
 	spec := payload.Shuffle
 
 	// The shuffle files are committed before the map status, so awaiting
-	// statuses (same mechanism as plain reducers) is sufficient.
-	want := make(map[string]bool, len(spec.MapCallIDs))
-	for _, id := range spec.MapCallIDs {
-		want[id] = true
-	}
-	ok := vclock.Poll(ctx.Clock(), func() bool {
-		listed, err := cos.ListAll(ctx.Storage(), payload.MetaBucket, statusListPrefix(payload.ExecutorID))
-		if err != nil {
-			return false
+	// statuses (same mechanism as plain reducers) is sufficient. The
+	// per-activation coordinator keeps the polling incremental: each LIST
+	// resumes at the reducer's done-frontier.
+	sweeps := newSweepCoordinator(ctx.Storage(), ctx.Clock(), false)
+	ns := nsKey{bucket: payload.MetaBucket, execID: payload.ExecutorID}
+	if err := sweeps.awaitStatuses(ns, spec.MapCallIDs, nil, nil, 100*time.Millisecond, ctx.Deadline()); err != nil {
+		if errors.Is(err, ErrWaitTimeout) {
+			return nil, fmt.Errorf("core: shuffle reduce waiting for %d map calls: %w", len(spec.MapCallIDs), runtime.ErrDeadlineExceeded)
 		}
-		seen := 0
-		for _, obj := range listed {
-			if id, idOK := callIDFromStatusKey(obj.Key); idOK && want[id] {
-				seen++
-			}
-		}
-		return seen == len(want)
-	}, 100*time.Millisecond, ctx.Deadline())
-	if !ok {
-		return nil, fmt.Errorf("core: shuffle reduce waiting for %d map calls: %w", len(want), runtime.ErrDeadlineExceeded)
+		return nil, fmt.Errorf("core: shuffle reduce status sweep: %w", err)
 	}
 
 	groups := make(map[string][]json.RawMessage)

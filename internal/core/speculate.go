@@ -59,12 +59,13 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 		armAt      time.Time // when the threshold was reached
 		speculated bool
 	)
+	// The executor's done counter tracks completions as they are marked,
+	// so the per-tick progress read is O(1) instead of a walk over every
+	// future.
 	countDone := func() int {
-		done := 0
-		for _, f := range futures {
-			if f.knownDone() {
-				done++
-			}
+		done := int(e.doneTracked.Load())
+		if done > len(futures) {
+			done = len(futures)
 		}
 		return done
 	}
@@ -74,7 +75,7 @@ func (e *Executor) GetResultSpeculative(opts GetResultOptions, spec SpeculationO
 	var sweepErr error
 	ok := pollClock(e, func() bool {
 		e.respawns.advance()
-		if err := sweepStatuses(e, futures); err != nil {
+		if _, err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true
 		}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/vclock"
+)
+
+// Incremental status sweeps. The client discovers completion by polling a
+// per-executor status prefix in COS (paper §4.2); naively that is one LIST
+// of the *entire* prefix per poll per waiter, which at Table-3 scale makes
+// the poll loop O(total futures) per tick and the job O(futures × ticks)
+// in listed objects. The sweepCoordinator makes the poll loop O(newly
+// finished) instead:
+//
+//   - Call IDs are zero-padded, so status keys sort in call order. The
+//     coordinator keeps, per status namespace, a contiguous done-frontier
+//     (every call below it has committed a status) plus a cache of
+//     out-of-order completions above it, and starts each LIST strictly
+//     after the frontier key via cos.ListFrom. Keys behind the frontier
+//     are never listed again.
+//   - All waiters of one executor — Wait, GetResult, WaitThreshold, the
+//     composition resolver's awaitCalls running on many staging workers —
+//     share the coordinator, so concurrent polls of the same namespace
+//     coalesce into (at most) one LIST per tick: a caller that finds a
+//     sweep in flight, or one that completed at/after its own observation
+//     time, reuses the shared state instead of issuing its own LIST.
+//
+// The coordinator also owns the consecutive-LIST-failure counter that
+// arms the dead-call consult (see sweepConsultThreshold in future.go), so
+// composition waits get the same outage behavior as the main sweep.
+
+// nsKey identifies one status namespace: a meta bucket plus the executor
+// ID whose calls it holds.
+type nsKey struct {
+	bucket string
+	execID string
+}
+
+// sweepOutcome reports one coordinated sweep attempt.
+type sweepOutcome struct {
+	// listed is true when the namespace has at least one successful LIST
+	// behind it, i.e. the done-set reflects real storage state (possibly a
+	// tick old when the caller coalesced onto an in-flight sweep).
+	listed bool
+	// fails is the consecutive-failed-LIST count after this attempt.
+	fails int
+	// err is a non-transient sweep failure; the wait must abort.
+	err error
+}
+
+// consult reports whether callers should fall through to the
+// activation-record consult: either the done-set is trustworthy (a LIST
+// succeeded) or the listing has been failing long enough that waiting for
+// it to recover would hide platform-dead calls (see sweepStatuses).
+func (o sweepOutcome) consult() bool {
+	return o.listed || o.fails >= sweepConsultThreshold
+}
+
+// sweepState is the per-namespace sweep memory.
+type sweepState struct {
+	// nextSeq is the frontier: every call sequence below it has a
+	// committed status. The next LIST starts after callIDForSeq(nextSeq-1).
+	nextSeq int
+	// ahead caches committed sequences at or above the frontier
+	// (out-of-order completions, bounded by the job's completion skew).
+	ahead map[int]bool
+	// odd holds committed call IDs that do not parse as padded sequences
+	// (foreign writers); they never advance the frontier but still count
+	// as done.
+	odd map[string]bool
+
+	inflight  bool      // a LIST for this namespace is on the wire
+	swept     bool      // at least one LIST has ever succeeded
+	lastSweep time.Time // completion time of the last successful LIST
+	fails     int       // consecutive failed LISTs
+}
+
+// sweepCoordinator shares incremental sweep state between every waiter of
+// one storage view. It is safe for concurrent use; the LIST itself runs
+// outside the lock (it sleeps on the simulation clock).
+type sweepCoordinator struct {
+	storage cos.Client
+	clock   vclock.Clock
+	// fullRelist disables the frontier and re-LISTs the whole prefix on
+	// every sweep — the pre-coordinator behavior, kept as an A/B baseline
+	// for the wait-path benchmark (Config.FullRelistSweep).
+	fullRelist bool
+
+	mu     sync.Mutex
+	states map[nsKey]*sweepState
+}
+
+func newSweepCoordinator(storage cos.Client, clock vclock.Clock, fullRelist bool) *sweepCoordinator {
+	return &sweepCoordinator{
+		storage:    storage,
+		clock:      clock,
+		fullRelist: fullRelist,
+		states:     make(map[nsKey]*sweepState),
+	}
+}
+
+// stateLocked returns (creating if needed) the state for ns. Callers hold
+// c.mu.
+func (c *sweepCoordinator) stateLocked(ns nsKey) *sweepState {
+	s, ok := c.states[ns]
+	if !ok {
+		s = &sweepState{ahead: make(map[int]bool), odd: make(map[string]bool)}
+		c.states[ns] = s
+	}
+	return s
+}
+
+// sweep brings ns's done-set up to date with one incremental LIST,
+// coalescing with concurrent callers: if a sweep completed at or after
+// asOf the cached state is already fresh enough, and if one is in flight
+// this caller skips its own LIST entirely — it is polling and will
+// observe the in-flight sweep's harvest next tick.
+func (c *sweepCoordinator) sweep(ns nsKey, asOf time.Time) sweepOutcome {
+	c.mu.Lock()
+	s := c.stateLocked(ns)
+	if s.swept && !s.lastSweep.Before(asOf) {
+		out := sweepOutcome{listed: true, fails: s.fails}
+		c.mu.Unlock()
+		return out
+	}
+	if s.inflight {
+		out := sweepOutcome{listed: s.swept, fails: s.fails}
+		c.mu.Unlock()
+		return out
+	}
+	s.inflight = true
+	marker := ""
+	if !c.fullRelist && s.nextSeq > 0 {
+		marker = statusKey(ns.execID, callIDForSeq(s.nextSeq-1))
+	}
+	c.mu.Unlock()
+
+	// The LIST sleeps on the clock (link latency, retries); it must not
+	// run under c.mu.
+	listed, err := cos.ListFrom(c.storage, ns.bucket, statusListPrefix(ns.execID), marker)
+	now := c.clock.Now()
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s.inflight = false
+	if err != nil {
+		if errors.Is(err, cos.ErrRequestFailed) {
+			s.fails++
+			return sweepOutcome{listed: s.swept, fails: s.fails}
+		}
+		return sweepOutcome{err: err}
+	}
+	s.fails = 0
+	for _, obj := range listed {
+		id, ok := callIDFromStatusKey(obj.Key)
+		if !ok {
+			continue
+		}
+		if seq, numeric := callSeq(id); numeric {
+			if seq >= s.nextSeq {
+				s.ahead[seq] = true
+			}
+		} else {
+			s.odd[id] = true
+		}
+	}
+	for s.ahead[s.nextSeq] {
+		delete(s.ahead, s.nextSeq)
+		s.nextSeq++
+	}
+	s.swept = true
+	s.lastSweep = now
+	return sweepOutcome{listed: true}
+}
+
+// completed reports whether callID's status has been observed in ns.
+func (c *sweepCoordinator) completed(ns nsKey, callID string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.states[ns]
+	if !ok {
+		return false
+	}
+	if seq, numeric := callSeq(callID); numeric {
+		return seq < s.nextSeq || s.ahead[seq]
+	}
+	return s.odd[callID]
+}
+
+// forget withdraws callID from ns's done-set — called when a respawn
+// deletes the stale status object so the next sweep re-observes the call.
+// Forgetting a call below the frontier rolls the frontier back to it; the
+// completions in between stay cached, so only the forgotten key is
+// re-listed.
+func (c *sweepCoordinator) forget(ns nsKey, callID string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.states[ns]
+	if !ok {
+		return
+	}
+	seq, numeric := callSeq(callID)
+	if !numeric {
+		delete(s.odd, callID)
+		return
+	}
+	if seq >= s.nextSeq {
+		delete(s.ahead, seq)
+		return
+	}
+	for j := seq + 1; j < s.nextSeq; j++ {
+		s.ahead[j] = true
+	}
+	s.nextSeq = seq
+}
+
+// forgetNamespace drops all sweep state for ns — called by Clean, which
+// deletes the status objects the state mirrors.
+func (c *sweepCoordinator) forgetNamespace(ns nsKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.states, ns)
+}
+
+// noteFailure and resetFailures expose the consecutive-failure counter for
+// the executor's bookkeeping API (and its tests).
+func (c *sweepCoordinator) noteFailure(ns nsKey) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stateLocked(ns)
+	s.fails++
+	return s.fails
+}
+
+func (c *sweepCoordinator) resetFailures(ns nsKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.states[ns]; ok {
+		s.fails = 0
+	}
+}
+
+// awaitStatuses polls ns through the coordinator until every call ID in
+// want has a committed status, the deadline passes, or a dead activation
+// surfaces. It is the shared engine behind the resolver's composition
+// waits and the in-cloud reduce barriers. activations is index-aligned
+// with want when known ("" = unknown); lookup resolves an activation ID to
+// (done, ok) platform state and may be nil when no consult is possible.
+func (c *sweepCoordinator) awaitStatuses(ns nsKey, want, activations []string,
+	lookup func(string) (done, ok bool), interval time.Duration, deadline time.Time) error {
+
+	pending := make([]int, len(want))
+	for i := range want {
+		pending[i] = i
+	}
+	var deadErr error
+	var sweepErr error
+	ok := vclock.Poll(c.clock, func() bool {
+		out := c.sweep(ns, c.clock.Now())
+		if out.err != nil {
+			sweepErr = out.err
+			return true
+		}
+		kept := pending[:0]
+		for _, i := range pending {
+			if !c.completed(ns, want[i]) {
+				kept = append(kept, i)
+			}
+		}
+		pending = kept
+		if len(pending) == 0 {
+			return true
+		}
+		if out.consult() && lookup != nil {
+			// Same rationale as sweepStatuses: a call that died without
+			// committing a status is invisible to the listing forever;
+			// its activation record is the only witness.
+			for _, i := range pending {
+				if i >= len(activations) || activations[i] == "" {
+					continue
+				}
+				if done, okRun := lookup(activations[i]); done && !okRun {
+					deadErr = &deadCallError{execID: ns.execID, callID: want[i], activationID: activations[i]}
+					return true
+				}
+			}
+		}
+		return false
+	}, interval, deadline)
+	switch {
+	case sweepErr != nil:
+		return sweepErr
+	case deadErr != nil:
+		return deadErr
+	case !ok:
+		return ErrWaitTimeout
+	}
+	return nil
+}
+
+// deadCallError reports a composed call whose activation died without
+// committing a status; it unwraps to ErrCallFailed.
+type deadCallError struct {
+	execID, callID, activationID string
+}
+
+func (e *deadCallError) Error() string {
+	return "core: call " + e.execID + "/" + e.callID + " activation " + e.activationID +
+		" died without committing a status: " + ErrCallFailed.Error()
+}
+
+func (e *deadCallError) Unwrap() error { return ErrCallFailed }

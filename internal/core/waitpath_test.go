@@ -1,0 +1,432 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/netsim"
+	"gowren/internal/runtime"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// Tests for the high-throughput wait path: incremental frontier-based
+// status sweeps, the shared sweep coordinator, single-key Done probes,
+// and inline small results.
+
+func TestSweepCoordinatorFrontierAndForget(t *testing.T) {
+	store := cos.NewStore()
+	if err := store.CreateBucket("meta"); err != nil {
+		t.Fatal(err)
+	}
+	counting := cos.NewCounting(store)
+	clk := vclock.NewVirtual()
+	co := newSweepCoordinator(counting, clk, false)
+	ns := nsKey{bucket: "meta", execID: "ex"}
+
+	put := func(callID string) {
+		t.Helper()
+		if _, err := store.Put("meta", statusKey("ex", callID), []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Out-of-order completion: 00002 is still missing.
+	put("00000")
+	put("00001")
+	put("00003")
+
+	asOf := clk.Now()
+	if out := co.sweep(ns, asOf); out.err != nil || !out.listed {
+		t.Fatalf("sweep outcome = %+v", out)
+	}
+	for id, want := range map[string]bool{"00000": true, "00001": true, "00002": false, "00003": true} {
+		if got := co.completed(ns, id); got != want {
+			t.Errorf("completed(%s) = %v, want %v", id, got, want)
+		}
+	}
+	if n := counting.Counts().ObjectsListed; n != 3 {
+		t.Fatalf("objects listed = %d, want 3", n)
+	}
+
+	// Same observation time: the cached sweep answers, no second LIST.
+	if out := co.sweep(ns, asOf); out.err != nil || !out.listed {
+		t.Fatalf("cached sweep outcome = %+v", out)
+	}
+	if n := counting.Counts().ListOps; n != 1 {
+		t.Fatalf("list ops after cached sweep = %d, want 1", n)
+	}
+
+	// A later sweep resumes at the frontier (after 00001): only the keys
+	// past it are listed again, not the whole prefix.
+	put("00002")
+	if out := co.sweep(ns, asOf.Add(time.Second)); out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !co.completed(ns, "00002") {
+		t.Error("00002 not completed after gap filled")
+	}
+	if n := counting.Counts().ObjectsListed; n != 5 { // 3 + {00002, 00003}
+		t.Fatalf("objects listed = %d, want 5 (frontier-resumed LIST)", n)
+	}
+
+	// Forgetting a call below the frontier rolls back to it but keeps the
+	// completions in between cached.
+	co.forget(ns, "00001")
+	if co.completed(ns, "00001") {
+		t.Error("00001 still completed after forget")
+	}
+	for _, id := range []string{"00000", "00002", "00003"} {
+		if !co.completed(ns, id) {
+			t.Errorf("%s lost by forget of 00001", id)
+		}
+	}
+	// The re-sweep re-observes 00001 (still in storage here) and the
+	// frontier re-advances past the cached completions.
+	if out := co.sweep(ns, asOf.Add(2*time.Second)); out.err != nil {
+		t.Fatal(out.err)
+	}
+	if !co.completed(ns, "00001") {
+		t.Error("00001 not re-observed after forget + sweep")
+	}
+}
+
+// TestCollectionListingScalesWithCompletions is the O(newly finished)
+// regression test: collecting a 1000-future job must list each status
+// object a bounded number of times, where the full-relist baseline pays
+// for the whole prefix on every poll. It also checks that small results
+// never touch a result object.
+func TestCollectionListingScalesWithCompletions(t *testing.T) {
+	const n = 1000
+	run := func(fullRelist bool) (cos.OpCounts, JobStats) {
+		e := newEnv(t, nil)
+		exec := e.executor(t, func(c *Config) { c.FullRelistSweep = fullRelist })
+		var stats JobStats
+		e.clk.Run(func() {
+			// Uniform task duration: completions arrive in near-call order
+			// (invocation order plus platform jitter), the regime the
+			// done-frontier is designed for. Wildly skewed completion
+			// orders degrade toward the full re-list cost but never exceed
+			// it.
+			args := make([]any, n)
+			for i := range args {
+				args[i] = 15 // busy seconds
+			}
+			if _, err := exec.Map("busy", args); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := exec.GetResult(GetResultOptions{}); err != nil {
+				t.Error(err)
+				return
+			}
+			var err error
+			stats, err = exec.Stats()
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		return exec.StorageOps(), stats
+	}
+
+	inc, incStats := run(false)
+	full, _ := run(true)
+
+	// The acceptance bar: at least a 10× drop in objects listed per
+	// collection versus the pre-change full-relist sweep.
+	if full.ObjectsListed < 10*inc.ObjectsListed {
+		t.Errorf("objects listed: full relist %d vs incremental %d — want ≥10× reduction",
+			full.ObjectsListed, inc.ObjectsListed)
+	}
+	// Incremental sweeps list each status O(1) times: n statuses plus a
+	// small re-list margin at the frontier for out-of-order completions.
+	if inc.ObjectsListed > 6*n {
+		t.Errorf("incremental sweep listed %d objects for %d futures — not O(new completions)", inc.ObjectsListed, n)
+	}
+	// busy returns an int: every result inlines, so the collection issues
+	// zero result-object GETs — there are no result objects at all.
+	if incStats.Results != 0 {
+		t.Errorf("result objects = %d, want 0 (small results must inline)", incStats.Results)
+	}
+	if incStats.Statuses != n {
+		t.Errorf("status objects = %d, want %d", incStats.Statuses, n)
+	}
+	// Beyond listing, the whole collection stays linear: one status GET per
+	// future plus staging-phase traffic.
+	if inc.GetOps > 3*n {
+		t.Errorf("incremental collection issued %d GETs for %d futures", inc.GetOps, n)
+	}
+}
+
+// TestInlineAndSpilledResultsResolveIdentically pins the inline threshold
+// semantics: a value under the threshold rides in the status record (no
+// result object), one over it spills to a result object, and both resolve
+// to the same bytes through GetResult.
+func TestInlineAndSpilledResultsResolveIdentically(t *testing.T) {
+	newBlobEnv := func() *env {
+		return newEnvWith(t, func(img *runtime.Image) {
+			if err := img.RegisterPlain("blob", func(_ *runtime.Ctx, arg json.RawMessage) (any, error) {
+				var size int
+				if err := wire.Unmarshal(arg, &size); err != nil {
+					return nil, err
+				}
+				return strings.Repeat("x", size), nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	run := func(size int) (string, JobStats) {
+		e := newBlobEnv()
+		exec := e.executor(t, nil)
+		var got string
+		var stats JobStats
+		e.clk.Run(func() {
+			if _, err := exec.Map("blob", []any{size}); err != nil {
+				t.Error(err)
+				return
+			}
+			results, err := exec.GetResult(GetResultOptions{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := wire.Unmarshal(results[0], &got); err != nil {
+				t.Error(err)
+				return
+			}
+			stats, err = exec.Stats()
+			if err != nil {
+				t.Error(err)
+			}
+		})
+		return got, stats
+	}
+
+	small, smallStats := run(256)
+	if small != strings.Repeat("x", 256) {
+		t.Errorf("inlined result corrupted: %d bytes", len(small))
+	}
+	if smallStats.Results != 0 {
+		t.Errorf("small result wrote %d result objects, want 0 (inlined)", smallStats.Results)
+	}
+
+	bigSize := 4 * inlineResultThreshold
+	big, bigStats := run(bigSize)
+	if big != strings.Repeat("x", bigSize) {
+		t.Errorf("spilled result corrupted: %d bytes, want %d", len(big), bigSize)
+	}
+	if bigStats.Results != 1 {
+		t.Errorf("large result wrote %d result objects, want 1 (spilled)", bigStats.Results)
+	}
+}
+
+// TestFutureDoneProbesSingleKey checks Future.Done's fast path: one HEAD
+// of the status key, never a namespace LIST.
+func TestFutureDoneProbesSingleKey(t *testing.T) {
+	e := newEnv(t, nil)
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		fut, err := exec.CallAsync("busy", 30)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		before := exec.StorageOps()
+		done, err := fut.Done()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if done {
+			t.Error("30s task done immediately")
+		}
+		after := exec.StorageOps()
+		if after.HeadOps != before.HeadOps+1 {
+			t.Errorf("Done() issued %d HEADs, want 1", after.HeadOps-before.HeadOps)
+		}
+		if after.ListOps != before.ListOps {
+			t.Errorf("Done() issued %d LISTs, want 0", after.ListOps-before.ListOps)
+		}
+		for i := 0; i < 40 && !done; i++ {
+			e.clk.Sleep(2 * time.Second)
+			done, err = fut.Done()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		if !done {
+			t.Error("future never completed")
+		}
+		if got := exec.StorageOps(); got.ListOps != before.ListOps {
+			t.Errorf("Done() polling issued %d LISTs, want 0", got.ListOps-before.ListOps)
+		}
+	})
+}
+
+// TestCompositionWaitSurfacesDeadCalls: a composition wait whose ref
+// carries activation IDs must surface a spawned call that died without
+// committing a status as ErrCallFailed, instead of polling until its
+// deadline.
+func TestCompositionWaitSurfacesDeadCalls(t *testing.T) {
+	e := newEnv(t, func(cfg *PlatformConfig) { cfg.CrashProb = 1.0 })
+	exec := e.executor(t, nil)
+	e.clk.Run(func() {
+		fs, err := exec.Map("add7", []any{1})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f := fs[0]
+		if f.ActivationID() == "" {
+			t.Error("direct invocation produced no activation id")
+			return
+		}
+		ref := &wire.FuturesRef{
+			MetaBucket:    e.platform.MetaBucket(),
+			ExecutorID:    f.ExecutorID(),
+			CallIDs:       []string{f.CallID()},
+			ActivationIDs: []string{f.ActivationID()},
+			Combine:       wire.CombineList,
+		}
+		r := &resolver{exec: exec, deadline: e.clk.Now().Add(time.Hour)}
+		start := e.clk.Now()
+		err = r.awaitCalls(ref)
+		if !errors.Is(err, ErrCallFailed) {
+			t.Errorf("awaitCalls err = %v, want ErrCallFailed via activation consult", err)
+		}
+		if waited := e.clk.Now().Sub(start); waited > 10*time.Minute {
+			t.Errorf("dead composed call took %v of virtual time to surface", waited)
+		}
+	})
+}
+
+// recordingClient captures the executor's client-side request sequence for
+// the determinism test.
+type recordingClient struct {
+	cos.Client
+	mu  sync.Mutex
+	ops []string
+}
+
+func (c *recordingClient) note(op, bucket, key string) {
+	c.mu.Lock()
+	c.ops = append(c.ops, op+" "+bucket+" "+key)
+	c.mu.Unlock()
+}
+
+func (c *recordingClient) Put(bucket, key string, data []byte) (cos.ObjectMeta, error) {
+	c.note("PUT", bucket, key)
+	return c.Client.Put(bucket, key, data)
+}
+
+func (c *recordingClient) Get(bucket, key string) ([]byte, cos.ObjectMeta, error) {
+	c.note("GET", bucket, key)
+	return c.Client.Get(bucket, key)
+}
+
+func (c *recordingClient) GetRange(bucket, key string, offset, length int64) ([]byte, cos.ObjectMeta, error) {
+	c.note("GETRANGE", bucket, key)
+	return c.Client.GetRange(bucket, key, offset, length)
+}
+
+func (c *recordingClient) Head(bucket, key string) (cos.ObjectMeta, error) {
+	c.note("HEAD", bucket, key)
+	return c.Client.Head(bucket, key)
+}
+
+func (c *recordingClient) List(bucket, prefix, marker string, maxKeys int) (cos.ListResult, error) {
+	c.note("LIST", bucket, prefix+" after="+marker)
+	return c.Client.List(bucket, prefix, marker, maxKeys)
+}
+
+func (c *recordingClient) Delete(bucket, key string) error {
+	c.note("DELETE", bucket, key)
+	return c.Client.Delete(bucket, key)
+}
+
+// TestSameSeedIdenticalRequestSequences: with a fixed platform seed and
+// serialized client pools, two fresh runs must put byte-identical request
+// sequences on the wire — the incremental sweep state (frontier markers in
+// LIST requests) must be as deterministic as the rest of the client.
+func TestSameSeedIdenticalRequestSequences(t *testing.T) {
+	run := func() string {
+		e := newEnv(t, func(cfg *PlatformConfig) { cfg.Seed = 42 })
+		rec := &recordingClient{Client: cos.NewLinked(e.store, e.clk, netsim.Loopback())}
+		exec := e.executor(t, func(c *Config) {
+			c.Storage = rec
+			c.InvokeConcurrency = 1
+			c.StageConcurrency = 1
+		})
+		e.clk.Run(func() {
+			if _, err := exec.Map("busy", []any{3, 1, 2, 5, 4}); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := exec.GetResult(GetResultOptions{}); err != nil {
+				t.Error(err)
+			}
+		})
+		// Executor IDs are process-unique, so normalize them out before
+		// comparing runs.
+		return strings.ReplaceAll(strings.Join(rec.ops, "\n"), exec.ID(), "EXEC")
+	}
+	first := run()
+	second := run()
+	if first != second {
+		a := strings.Split(first, "\n")
+		b := strings.Split(second, "\n")
+		limit := len(a)
+		if len(b) < limit {
+			limit = len(b)
+		}
+		for i := 0; i < limit; i++ {
+			if a[i] != b[i] {
+				t.Fatalf("request sequences diverge at op %d:\n  run1: %s\n  run2: %s", i, a[i], b[i])
+			}
+		}
+		t.Fatalf("request sequences differ in length: %d vs %d ops", len(a), len(b))
+	}
+}
+
+// BenchmarkWaitPathCollect benchmarks the full invoke→poll→collect loop at
+// 10k futures in both sweep modes. Run with -bench to profile the poll
+// loop; cmd/waitbench emits the same comparison as JSON for CI.
+func BenchmarkWaitPathCollect(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		fullRelist bool
+	}{
+		{"incremental", false},
+		{"fullRelist", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e := newEnv(b, nil)
+				exec := e.executor(b, func(c *Config) { c.FullRelistSweep = mode.fullRelist })
+				e.clk.Run(func() {
+					const n = 10000
+					args := make([]any, n)
+					for j := range args {
+						args[j] = 15
+					}
+					if _, err := exec.Map("busy", args); err != nil {
+						b.Error(err)
+						return
+					}
+					if _, err := exec.GetResult(GetResultOptions{}); err != nil {
+						b.Error(err)
+					}
+				})
+				ops := exec.StorageOps()
+				b.ReportMetric(float64(ops.ObjectsListed), "objectsListed/op")
+				b.ReportMetric(float64(ops.ListOps), "lists/op")
+			}
+		})
+	}
+}

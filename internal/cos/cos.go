@@ -95,12 +95,21 @@ func (f GeneratorFunc) FillAt(off int64, p []byte) { f(off, p) }
 // ListAll drains every page of a listing. It is a convenience for data
 // discovery over buckets with more keys than one page.
 func ListAll(c Client, bucket, prefix string) ([]ObjectMeta, error) {
+	return ListFrom(c, bucket, prefix, "")
+}
+
+// ListFrom drains every page of a listing starting strictly after
+// startAfter (the marker semantics of List). It is the primitive behind
+// incremental sweeps: a poller that remembers the last key of a contiguous
+// already-seen range can resume the listing there instead of re-walking
+// the whole prefix, paying O(new keys) per call instead of O(all keys).
+func ListFrom(c Client, bucket, prefix, startAfter string) ([]ObjectMeta, error) {
 	var out []ObjectMeta
-	marker := ""
+	marker := startAfter
 	for {
 		page, err := c.List(bucket, prefix, marker, 0)
 		if err != nil {
-			return nil, fmt.Errorf("list %s/%s: %w", bucket, prefix, err)
+			return nil, fmt.Errorf("list %s/%s after %q: %w", bucket, prefix, startAfter, err)
 		}
 		out = append(out, page.Objects...)
 		if !page.IsTruncated {

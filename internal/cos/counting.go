@@ -1,0 +1,122 @@
+package cos
+
+import "sync/atomic"
+
+// Counting wraps a Client and counts every request that passes through it,
+// including the number of objects returned by LIST pages. It is the
+// client-side twin of Store.Stats: where the store counts what the service
+// served, Counting counts what one particular consumer asked for, which is
+// what wait-path regression tests and the wait-path benchmark assert on.
+// Wrapped below a retry layer it counts individual attempts (requests on
+// the wire); wrapped above, logical operations.
+//
+// The counters double as the seed of an observability layer: an executor
+// exposes its Counting view through Executor.StorageOps, so tooling can
+// report per-client storage traffic without touching the store.
+type Counting struct {
+	inner Client
+
+	putOps        atomic.Int64
+	getOps        atomic.Int64
+	headOps       atomic.Int64
+	listOps       atomic.Int64
+	deleteOps     atomic.Int64
+	bucketOps     atomic.Int64
+	objectsListed atomic.Int64
+}
+
+var _ Client = (*Counting)(nil)
+
+// OpCounts is a point-in-time snapshot of a Counting client's counters.
+type OpCounts struct {
+	// PutOps..DeleteOps count object-level requests.
+	PutOps, GetOps, HeadOps, ListOps, DeleteOps int64
+	// BucketOps counts bucket-level requests (create/delete/exists/list).
+	BucketOps int64
+	// ObjectsListed is the total number of object entries returned across
+	// every LIST page — the quantity an incremental sweep keeps O(new
+	// completions) where a full re-list pays O(total) per poll.
+	ObjectsListed int64
+}
+
+// NewCounting wraps inner with request counters.
+func NewCounting(inner Client) *Counting {
+	return &Counting{inner: inner}
+}
+
+// Counts returns a snapshot of the counters.
+func (c *Counting) Counts() OpCounts {
+	return OpCounts{
+		PutOps:        c.putOps.Load(),
+		GetOps:        c.getOps.Load(),
+		HeadOps:       c.headOps.Load(),
+		ListOps:       c.listOps.Load(),
+		DeleteOps:     c.deleteOps.Load(),
+		BucketOps:     c.bucketOps.Load(),
+		ObjectsListed: c.objectsListed.Load(),
+	}
+}
+
+// CreateBucket implements Client.
+func (c *Counting) CreateBucket(bucket string) error {
+	c.bucketOps.Add(1)
+	return c.inner.CreateBucket(bucket)
+}
+
+// DeleteBucket implements Client.
+func (c *Counting) DeleteBucket(bucket string) error {
+	c.bucketOps.Add(1)
+	return c.inner.DeleteBucket(bucket)
+}
+
+// BucketExists implements Client.
+func (c *Counting) BucketExists(bucket string) (bool, error) {
+	c.bucketOps.Add(1)
+	return c.inner.BucketExists(bucket)
+}
+
+// Put implements Client.
+func (c *Counting) Put(bucket, key string, data []byte) (ObjectMeta, error) {
+	c.putOps.Add(1)
+	return c.inner.Put(bucket, key, data)
+}
+
+// Get implements Client.
+func (c *Counting) Get(bucket, key string) ([]byte, ObjectMeta, error) {
+	c.getOps.Add(1)
+	return c.inner.Get(bucket, key)
+}
+
+// GetRange implements Client.
+func (c *Counting) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+	c.getOps.Add(1)
+	return c.inner.GetRange(bucket, key, offset, length)
+}
+
+// Head implements Client.
+func (c *Counting) Head(bucket, key string) (ObjectMeta, error) {
+	c.headOps.Add(1)
+	return c.inner.Head(bucket, key)
+}
+
+// List implements Client.
+func (c *Counting) List(bucket, prefix, marker string, maxKeys int) (ListResult, error) {
+	c.listOps.Add(1)
+	res, err := c.inner.List(bucket, prefix, marker, maxKeys)
+	if err == nil {
+		c.objectsListed.Add(int64(len(res.Objects)))
+	}
+	return res, err
+}
+
+// ListBuckets implements Client.
+func (c *Counting) ListBuckets() ([]string, error) {
+	c.bucketOps.Add(1)
+	return c.inner.ListBuckets()
+}
+
+// Delete implements Client.
+func (c *Counting) Delete(bucket, key string) error {
+	c.deleteOps.Add(1)
+	return c.inner.Delete(bucket, key)
+}

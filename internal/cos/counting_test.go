@@ -1,0 +1,84 @@
+package cos
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCountingCountsRequestsAndListedObjects(t *testing.T) {
+	store := NewStore()
+	c := NewCounting(store)
+	if err := c.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Put("b", fmt.Sprintf("k/%05d", i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := c.Get("b", "k/00000"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Head("b", "k/00001"); err != nil {
+		t.Fatal(err)
+	}
+	listed, err := ListAll(c, "b", "k/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(listed) != 5 {
+		t.Fatalf("listed %d objects, want 5", len(listed))
+	}
+	got := c.Counts()
+	want := OpCounts{PutOps: 5, GetOps: 1, HeadOps: 1, ListOps: 1, BucketOps: 1, ObjectsListed: 5}
+	if got != want {
+		t.Fatalf("counts = %+v, want %+v", got, want)
+	}
+}
+
+func TestListFromResumesAfterMarker(t *testing.T) {
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := store.Put("b", fmt.Sprintf("k/%05d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCounting(store)
+	out, err := ListFrom(c, "b", "k/", "k/00006")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d keys after marker, want 3", len(out))
+	}
+	if out[0].Key != "k/00007" || out[2].Key != "k/00009" {
+		t.Fatalf("unexpected range: %s .. %s", out[0].Key, out[len(out)-1].Key)
+	}
+	if n := c.Counts().ObjectsListed; n != 3 {
+		t.Fatalf("objects listed = %d, want 3", n)
+	}
+}
+
+func TestListFromPaginates(t *testing.T) {
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	// More keys than one default page so ListFrom must follow NextMarker.
+	n := DefaultMaxKeys + 7
+	for i := 0; i < n; i++ {
+		if _, err := store.Put("b", fmt.Sprintf("k/%06d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ListFrom(store, "b", "k/", fmt.Sprintf("k/%06d", 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != n-3 {
+		t.Fatalf("got %d keys, want %d", len(out), n-3)
+	}
+}

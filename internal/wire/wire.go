@@ -196,6 +196,12 @@ type FuturesRef struct {
 	MetaBucket string   `json:"metaBucket"`
 	ExecutorID string   `json:"executorId"`
 	CallIDs    []string `json:"callIds"`
+	// ActivationIDs are the platform activation IDs of the referenced
+	// calls, index-aligned with CallIDs when known (direct invocation).
+	// They let a composition wait consult activation records for calls
+	// that died without committing a status, exactly as the client's own
+	// status sweep does. Empty or missing entries mean unknown.
+	ActivationIDs []string `json:"activationIds,omitempty"`
 	// Combine declares how the downstream results collapse into one value:
 	// "list" returns them as a JSON array (nested map), "single" expects
 	// exactly one call and returns its value (sequences).
@@ -243,6 +249,16 @@ type StatusRecord struct {
 	StartUnixNs  int64 `json:"startUnixNs"`
 	EndUnixNs    int64 `json:"endUnixNs"`
 
+	// Inline, when non-empty, is the call's serialized ResultEnvelope
+	// embedded directly in the status record. The runner inlines results
+	// whose envelope serializes under its threshold, so collecting a small
+	// result costs one status GET instead of a status GET plus a result
+	// GET (and the result object is never written at all). Large results
+	// spill to the object named by ResultRef, which is then authoritative.
+	Inline json.RawMessage `json:"inline,omitempty"`
+
+	// ResultRef names the spilled result object; it is the zero value when
+	// the result is inlined (or the call failed).
 	ResultRef ObjectRef `json:"resultRef"`
 }
 
