@@ -11,9 +11,10 @@ vet:
 	$(GO) vet ./...
 
 # lint runs the in-repo determinism & correctness analyzer suite
-# (cmd/gowren-vet: clockcheck, randcheck, errsink, mapiter, lockhold)
-# plus a gofmt check. Suppress a finding with a justified
+# (cmd/gowren-vet: allowaudit, clockcheck, randcheck, errsink, mapiter,
+# lockhold) plus a gofmt check. Suppress a finding with a justified
 # `//gowren:allow <check>` comment; see DESIGN.md "Determinism rules".
+# allowaudit fails the build on allow comments with no justification.
 lint: build
 	$(GO) run ./cmd/gowren-vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
@@ -36,8 +37,13 @@ chaos:
 # request counts and simulated wall-clock for the incremental
 # frontier-based status sweep vs the full-relist baseline. Fails unless
 # the incremental sweep lists at least 10× fewer objects per collection.
+# It then A/Bs the multi-region knobs (cmd/regionbench) and writes
+# BENCH_regions.json: sync vs async PUT ack latency at 3 regions under
+# WAN latency (gate: async p50 ≥2× faster) and region-zero vs placed
+# cross-region reads on a 500-call map (gate: ≥5× fewer).
 bench: build
 	$(GO) run ./cmd/waitbench -n 10000 -out BENCH_waitpath.json -minreduction 10
+	$(GO) run ./cmd/regionbench -out BENCH_regions.json -minackspeedup 2 -minreadreduction 5
 
 # verify is the tier-1 gate plus the race detector and the analyzer
 # suite — what CI runs.

@@ -95,6 +95,27 @@ const (
 	ChaosSlowContainers = chaos.SlowContainers
 )
 
+// ReplicationMode selects how a multi-region cloud propagates writes (see
+// DESIGN.md, "Replication modes").
+type ReplicationMode = cos.ReplicationMode
+
+// MultiRegionSnapshot is a point-in-time copy of the multi-region facade's
+// counters (failovers, read-repairs, cross-region traffic, async-replication
+// queue activity), as returned by Cloud.MultiRegion().Stats().
+type MultiRegionSnapshot = cos.MultiRegionSnapshot
+
+const (
+	// ReplicationSync acks a PUT only after every reachable region has the
+	// object — the strongest durability, paid for on the write critical
+	// path. The default.
+	ReplicationSync = cos.ReplicationSync
+	// ReplicationAsync acks a PUT as soon as the preferred region durably
+	// accepts it; replica fan-out happens off the critical path through a
+	// bounded catch-up queue, with versioned failover and read-repair as
+	// the backstop (a stale replica is never served as current).
+	ReplicationAsync = cos.ReplicationAsync
+)
+
 // LinkPhase is one scripted WAN degradation window on a network link
 // (latency inflation, brownout, or full partition), driven by the
 // simulation clock. Use it in RegionSpec.Degrade to script a region's
@@ -182,6 +203,20 @@ type SimConfig struct {
 	// read-repaired on the next full read. See DESIGN.md, "Failure
 	// domains".
 	Regions []RegionSpec
+	// Replication selects sync (default) or async write propagation across
+	// Regions. Ignored for single-region clouds.
+	Replication ReplicationMode
+	// ReplicationQueueLimit bounds the async catch-up queue per region;
+	// writers block (backpressure) when a queue is full. Zero selects
+	// cos.DefaultReplicationQueueLimit. Ignored under ReplicationSync.
+	ReplicationQueueLimit int
+	// RegionZeroPlacement restores the legacy placement policy: in-cloud
+	// functions read and write through the first region regardless of
+	// where their call was placed. By default calls are spread across
+	// regions by a seeded hash and each function uses its own region's
+	// view, which removes almost all cross-region traffic (see
+	// DESIGN.md, "Replication modes").
+	RegionZeroPlacement bool
 	// DisableRegionFailover pins all storage traffic to the preferred
 	// region with no replica failover or read-repair — the control knob
 	// for measuring what the resilience layer buys: with it set, a
@@ -308,6 +343,9 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		if cfg.DisableRegionFailover {
 			mopts = append(mopts, cos.WithoutFailover())
 		}
+		if cfg.Replication == ReplicationAsync {
+			mopts = append(mopts, cos.WithAsyncReplication(clk, cfg.ReplicationQueueLimit))
+		}
 		var err error
 		multi, err = cos.NewMultiRegion(backends, mopts...)
 		if err != nil {
@@ -328,6 +366,7 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 	}
 	if multi != nil {
 		pcfg.Backend = multi
+		pcfg.RegionZeroPlacement = cfg.RegionZeroPlacement
 	}
 	if cfg.Jitter {
 		sigma, cap := 0.8, 5*time.Second

@@ -1,0 +1,44 @@
+// Package allowaudit audits the //gowren:allow suppression comments
+// themselves.
+//
+// Every suppression is a hole punched in a whole-codebase invariant (no
+// wall-clock reads, no global rand, ...), so each one must say why the
+// flagged site is safe:
+//
+//	//gowren:allow clockcheck — host CPU-time measurement of the simulation
+//
+// A directive with a check list but no justification text silences a
+// diagnostic while recording nothing for the reviewer who finds it two
+// years later. This analyzer flags those bare directives, making an
+// undocumented allow fail make lint exactly like the finding it hides
+// would have. Audit findings cannot themselves be suppressed.
+package allowaudit
+
+import (
+	"strings"
+
+	"gowren/internal/analysis"
+)
+
+// Analyzer is the allowaudit analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: analysis.AuditCheck,
+	Doc:  "//gowren:allow directives that carry no justification text",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				checks, justification, ok := analysis.ParseAllow(c.Text)
+				if !ok || justification != "" {
+					continue
+				}
+				pass.Reportf(c.Pos(),
+					"//gowren:allow %s has no justification; state why the site is safe (e.g. //gowren:allow %s — <reason>)",
+					strings.Join(checks, ","), checks[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package allowaudit_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/allowaudit"
+	"gowren/internal/analysis/analysistest"
+)
+
+func TestAllowauditFixture(t *testing.T) {
+	analysistest.Run(t, allowaudit.Analyzer, "allowfixture")
+}

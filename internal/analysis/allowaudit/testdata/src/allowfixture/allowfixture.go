@@ -1,0 +1,32 @@
+// Package allowfixture exercises allowaudit: bare //gowren:allow
+// directives must be flagged, justified ones must pass, and the audit
+// must not be suppressible by an allow comment of its own.
+package allowfixture
+
+import "time"
+
+// justified carries proper justifications in both comment positions —
+// no findings.
+func justified() time.Duration {
+	start := time.Now() //gowren:allow clockcheck — fixture measures host time on purpose
+	//gowren:allow clockcheck — standalone form with a justification
+	return time.Since(start)
+}
+
+// bare suppresses without saying why — both directive styles are flagged.
+func bare() time.Duration {
+	start := time.Now() //gowren:allow clockcheck
+	//gowren:allow clockcheck,randcheck
+	return time.Since(start)
+}
+
+// separatorOnly punctuates but still says nothing.
+func separatorOnly() {
+	_ = time.Now() //gowren:allow clockcheck —
+}
+
+// selfVouching tries to allow the audit itself; the audit is exempt from
+// suppression, so this is still a finding.
+func selfVouching() {
+	_ = time.Now() //gowren:allow clockcheck,allowaudit
+}

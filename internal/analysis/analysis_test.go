@@ -10,31 +10,39 @@ import (
 
 func TestParseAllow(t *testing.T) {
 	cases := []struct {
-		text   string
-		checks []string
-		ok     bool
+		text          string
+		checks        []string
+		justification string
+		ok            bool
 	}{
-		{"//gowren:allow clockcheck — real-mode timing", []string{"clockcheck"}, true},
-		{"//gowren:allow clockcheck,mapiter — two at once", []string{"clockcheck", "mapiter"}, true},
-		{"//gowren:allow all — blanket", []string{"all"}, true},
-		{"//gowren:allow", nil, false},
-		{"//gowren:allowance is different", nil, false},
-		{"// gowren:allow clockcheck", nil, false}, // space breaks the directive
-		{"//plain comment", nil, false},
+		{"//gowren:allow clockcheck — real-mode timing", []string{"clockcheck"}, "real-mode timing", true},
+		{"//gowren:allow clockcheck,mapiter — two at once", []string{"clockcheck", "mapiter"}, "two at once", true},
+		{"//gowren:allow all — blanket", []string{"all"}, "blanket", true},
+		{"//gowren:allow clockcheck -- double-dash separator", []string{"clockcheck"}, "double-dash separator", true},
+		{"//gowren:allow clockcheck plain words", []string{"clockcheck"}, "plain words", true},
+		{"//gowren:allow clockcheck", []string{"clockcheck"}, "", true},
+		{"//gowren:allow clockcheck —", []string{"clockcheck"}, "", true},
+		{"//gowren:allow", nil, "", false},
+		{"//gowren:allowance is different", nil, "", false},
+		{"// gowren:allow clockcheck", nil, "", false}, // space breaks the directive
+		{"//plain comment", nil, "", false},
 	}
 	for _, tc := range cases {
-		checks, ok := parseAllow(tc.text)
+		checks, justification, ok := ParseAllow(tc.text)
 		if ok != tc.ok {
-			t.Errorf("parseAllow(%q) ok = %v, want %v", tc.text, ok, tc.ok)
+			t.Errorf("ParseAllow(%q) ok = %v, want %v", tc.text, ok, tc.ok)
 			continue
 		}
+		if justification != tc.justification {
+			t.Errorf("ParseAllow(%q) justification = %q, want %q", tc.text, justification, tc.justification)
+		}
 		if len(checks) != len(tc.checks) {
-			t.Errorf("parseAllow(%q) = %v, want %v", tc.text, checks, tc.checks)
+			t.Errorf("ParseAllow(%q) = %v, want %v", tc.text, checks, tc.checks)
 			continue
 		}
 		for i := range checks {
 			if checks[i] != tc.checks[i] {
-				t.Errorf("parseAllow(%q)[%d] = %q, want %q", tc.text, i, checks[i], tc.checks[i])
+				t.Errorf("ParseAllow(%q)[%d] = %q, want %q", tc.text, i, checks[i], tc.checks[i])
 			}
 		}
 	}

@@ -5,6 +5,7 @@ package suite
 
 import (
 	"gowren/internal/analysis"
+	"gowren/internal/analysis/allowaudit"
 	"gowren/internal/analysis/clockcheck"
 	"gowren/internal/analysis/errsink"
 	"gowren/internal/analysis/lockhold"
@@ -15,6 +16,7 @@ import (
 // All returns every analyzer in the suite, in stable order.
 func All() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		allowaudit.Analyzer,
 		clockcheck.Analyzer,
 		errsink.Analyzer,
 		lockhold.Analyzer,

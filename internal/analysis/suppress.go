@@ -13,6 +13,11 @@ import (
 // so it works both as a trailing comment and as a preceding one.
 const allowDirective = "//gowren:allow"
 
+// AuditCheck names the allow-list audit analyzer. Its diagnostics flag
+// //gowren:allow directives themselves (missing justifications), so they are
+// exempt from suppression: an allow comment cannot vouch for itself.
+const AuditCheck = "allowaudit"
+
 // allowSet maps file → line → set of allowed check names for that line.
 type allowSet map[string]map[int]map[string]bool
 
@@ -22,7 +27,7 @@ func allowedLines(pkg *Package) allowSet {
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
-				checks, ok := parseAllow(c.Text)
+				checks, _, ok := ParseAllow(c.Text)
 				if !ok {
 					continue
 				}
@@ -48,33 +53,45 @@ func allowedLines(pkg *Package) allowSet {
 	return set
 }
 
-// parseAllow extracts the check names from one comment's text, reporting
-// whether the comment is an allow directive at all.
-func parseAllow(text string) ([]string, bool) {
+// ParseAllow extracts the check names and the free-form justification from
+// one comment's text, reporting whether the comment is an allow directive at
+// all. The justification is everything after the check list with the
+// conventional "—"/"--" separator stripped; an empty string means the
+// directive carries none (which the allowaudit analyzer flags).
+func ParseAllow(text string) (checks []string, justification string, ok bool) {
 	if !strings.HasPrefix(text, allowDirective) {
-		return nil, false
+		return nil, "", false
 	}
 	rest := text[len(allowDirective):]
 	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
-		return nil, false // e.g. //gowren:allowlist — not ours
+		return nil, "", false // e.g. //gowren:allowlist — not ours
 	}
 	// Everything after the check list is a free-form justification,
 	// conventionally introduced with "—" or "--".
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return nil, false
+		return nil, "", false
 	}
-	var checks []string
 	for _, name := range strings.Split(fields[0], ",") {
 		if name != "" {
 			checks = append(checks, name)
 		}
 	}
-	return checks, len(checks) > 0
+	justification = strings.Join(fields[1:], " ")
+	for _, sep := range []string{"—", "--", "-", ":"} {
+		justification = strings.TrimPrefix(justification, sep)
+	}
+	justification = strings.TrimSpace(justification)
+	return checks, justification, len(checks) > 0
 }
 
-// matches reports whether d is silenced by a directive in the set.
+// matches reports whether d is silenced by a directive in the set. Audit
+// findings are never silenced: a bare //gowren:allow allowaudit would
+// otherwise vouch for itself.
 func (s allowSet) matches(d Diagnostic) bool {
+	if d.Check == AuditCheck {
+		return false
+	}
 	lines, ok := s[d.Pos.Filename]
 	if !ok {
 		return false

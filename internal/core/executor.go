@@ -391,9 +391,15 @@ func (e *Executor) launch(payloads []*wire.CallPayload, trackFutures bool) ([]*F
 }
 
 // stagePayloads uploads the serialized calls with the staging pool,
-// retrying transient storage failures.
+// retrying transient storage failures. Every payload passes through here,
+// so this is also where calls get their region placement.
 func (e *Executor) stagePayloads(payloads []*wire.CallPayload) error {
 	meta := e.cfg.Platform.MetaBucket()
+	for _, p := range payloads {
+		if p.Region == "" {
+			p.Region = e.cfg.Platform.PlaceCall(p.CallID)
+		}
+	}
 	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(payloads), func(i int) error {
 		p := payloads[i]
 		if err := p.Validate(); err != nil {

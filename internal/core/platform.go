@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +51,12 @@ type PlatformConfig struct {
 	// controller outages reject invocations with 429s, and slow-container
 	// windows stretch activation jitter. Nil disables fault injection.
 	Chaos *chaos.Plan
+	// RegionZeroPlacement restores the legacy behaviour on a multi-region
+	// Backend: calls are still assigned a region (so cross-region traffic
+	// is measurable) but every function keeps reading and writing through
+	// region 0's view. The zero value — region-aware placement, functions
+	// use their own region's view — is the default.
+	RegionZeroPlacement bool
 
 	// FaaS platform knobs, forwarded to faas.Config.
 	MaxConcurrent int
@@ -74,6 +81,18 @@ type Platform struct {
 	metaBucket   string
 	seed         int64
 	chaos        *chaos.Plan
+
+	// multi is the Backend downcast to the multi-region facade (nil on
+	// single-region platforms); regionNames caches its region order for
+	// placement hashing, and regionZero pins function views to region 0.
+	multi       *cos.MultiRegion
+	regionNames []string
+	regionZero  bool
+
+	// regionViews caches the per-region storage stacks handed to placed
+	// functions, one per region name (built lazily under viewMu).
+	viewMu      sync.Mutex
+	regionViews map[string]cos.Client
 
 	// fnStorageRetry and fnInvokeRetry back the in-cloud helpers
 	// (runner/invoker handlers): the cloud link is reliable, so a short
@@ -156,7 +175,19 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		metaBucket:   cfg.MetaBucket,
 		seed:         cfg.Seed,
 		chaos:        cfg.Chaos,
+		regionZero:   cfg.RegionZeroPlacement,
+		regionViews:  make(map[string]cos.Client),
 		deployed:     make(map[string]string),
+	}
+	if multi, ok := backend.(*cos.MultiRegion); ok {
+		p.multi = multi
+		// Region placement depends on replication and failover to make a
+		// placed call's objects reachable everywhere; a facade running
+		// without them (the outage-cost control) keeps the legacy
+		// everything-through-region-0 behaviour, so placement stays off.
+		if multi.FailoverEnabled() {
+			p.regionNames = multi.RegionNames()
+		}
 	}
 	p.fnStorageRetry = retry.New(cfg.Clock, retry.Policy{
 		MaxAttempts: runnerRetries + 1,
@@ -260,10 +291,92 @@ func (p *Platform) EnsureRuntime(image string) (string, error) {
 // talks to storage and the controller over the cloud link. It backs both
 // the remote invoker and the composability spawner.
 func (p *Platform) InCloudExecutor(image string) (*Executor, error) {
+	return p.InCloudExecutorAt(image, "")
+}
+
+// InCloudExecutorAt is InCloudExecutor for a caller executing in a storage
+// region: the executor's own storage traffic (payload staging, status
+// sweeps, result collection) goes through that region's view. An empty
+// region or a single-region platform falls back to the default in-cloud
+// view.
+func (p *Platform) InCloudExecutorAt(image, region string) (*Executor, error) {
+	storage := p.cloudStorage
+	if s := p.regionStorage(region); s != nil {
+		storage = s
+	}
 	return NewExecutor(Config{
 		Platform:     p,
-		Storage:      p.cloudStorage,
+		Storage:      storage,
 		ControlLink:  p.cloudLink,
 		RuntimeImage: image,
 	})
+}
+
+// Regions returns the storage region names in facade order, nil on
+// single-region platforms.
+func (p *Platform) Regions() []string { return p.regionNames }
+
+// MultiRegion returns the multi-region facade behind the platform, or nil.
+func (p *Platform) MultiRegion() *cos.MultiRegion { return p.multi }
+
+// PlaceCall assigns a call to a storage region by hashing its call ID with
+// the platform seed. Executor identity deliberately stays out of the hash:
+// executor IDs come from a process-global counter, so including them would
+// make placement — and therefore the whole simulation — depend on how many
+// executors earlier tests created. Hashing only stable inputs keeps a
+// job's placement reproducible run to run and across respawns of the same
+// call. Single-region platforms place nothing (empty string).
+func (p *Platform) PlaceCall(callID string) string {
+	if len(p.regionNames) == 0 {
+		return ""
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", p.seed, callID)
+	return p.regionNames[int(h.Sum64()%uint64(len(p.regionNames)))]
+}
+
+// regionStorage returns the storage stack a function placed in region uses:
+// the region's facade view (home = region; preferred = region, or region 0
+// under legacy placement) behind the same chaos wrapper and retry layer as
+// the default in-cloud view. It returns nil — caller keeps the default
+// view — for an empty or unknown region or a single-region platform.
+func (p *Platform) regionStorage(region string) cos.Client {
+	if region == "" || p.multi == nil {
+		return nil
+	}
+	p.viewMu.Lock()
+	defer p.viewMu.Unlock()
+	if s, ok := p.regionViews[region]; ok {
+		return s
+	}
+	pref := region
+	if p.regionZero {
+		pref = p.regionNames[0]
+	}
+	view, err := p.multi.View(region, pref)
+	if err != nil {
+		return nil
+	}
+	s := cos.Client(cos.NewRetrying(chaos.WrapStorage(view, p.chaos), p.clock, 0, 0))
+	p.regionViews[region] = s
+	return s
+}
+
+// placementFor derives the execution context and spawner for a call placed
+// in a region: storage becomes the region's view and spawned children
+// inherit the placement. Unplaced calls keep their context.
+func (p *Platform) placementFor(ctx *runtime.Ctx, region string) *runtime.Ctx {
+	if region == "" || p.multi == nil {
+		return ctx
+	}
+	storage := p.regionStorage(region)
+	if storage == nil {
+		return ctx
+	}
+	image := ""
+	if img := ctx.Image(); img != nil {
+		image = img.Name()
+	}
+	sp := &spawner{platform: p, image: image, deadline: ctx.Deadline(), region: region}
+	return ctx.WithPlacement(storage, region, sp)
 }

@@ -47,6 +47,11 @@ func (p *Platform) runnerHandler() faas.Handler {
 		if err := payload.Validate(); err != nil {
 			return nil, err
 		}
+		// The payload carries the call's region placement; from here on the
+		// function reads and writes through its own region's view (the
+		// initial payload load above necessarily used the default view —
+		// the region is only known once the payload is decoded).
+		ctx = p.placementFor(ctx, payload.Region)
 
 		started := ctx.Clock().Now()
 		value, runErr := p.dispatch(ctx, &payload)
@@ -221,6 +226,7 @@ func (p *Platform) invokerHandler() faas.Handler {
 		if payload.Kind != wire.KindInvoker || payload.Invoker == nil {
 			return nil, errors.New("core: invoker payload of wrong kind")
 		}
+		ctx = p.placementFor(ctx, payload.Region)
 
 		fired := 0
 		for _, target := range payload.Invoker.Targets {
@@ -288,11 +294,15 @@ func (p *Platform) putRetry(ctx *runtime.Ctx, bucket, key string, body []byte) e
 }
 
 // spawner implements runtime.Spawner over an in-cloud executor, enabling
-// dynamic composition from inside functions (§4.4).
+// dynamic composition from inside functions (§4.4). region is the spawning
+// function's storage region ("" outside multi-region platforms): the
+// sub-executor's own traffic stays in that region, while the spawned calls
+// get their own placement.
 type spawner struct {
 	platform *Platform
 	image    string
 	deadline time.Time
+	region   string
 }
 
 var _ runtime.Spawner = (*spawner)(nil)
@@ -305,7 +315,7 @@ func (s *spawner) Spawn(function string, args []any) (*wire.FuturesRef, error) {
 	if image == "" {
 		image = runtime.DefaultImage
 	}
-	sub, err := s.platform.InCloudExecutor(image)
+	sub, err := s.platform.InCloudExecutorAt(image, s.region)
 	if err != nil {
 		return nil, err
 	}
@@ -345,7 +355,7 @@ func (s *spawner) Await(ref *wire.FuturesRef) ([]json.RawMessage, error) {
 	if image == "" {
 		image = runtime.DefaultImage
 	}
-	sub, err := s.platform.InCloudExecutor(image)
+	sub, err := s.platform.InCloudExecutorAt(image, s.region)
 	if err != nil {
 		return nil, err
 	}

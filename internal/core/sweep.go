@@ -77,6 +77,11 @@ type sweepState struct {
 	swept     bool      // at least one LIST has ever succeeded
 	lastSweep time.Time // completion time of the last successful LIST
 	fails     int       // consecutive failed LISTs
+	// gen counts forget calls. A sweep whose LIST was on the wire when a
+	// forget landed must discard its harvest: the listing may still show
+	// the status object a concurrent respawn just deleted, and marking
+	// that call done again would hand the waiter a dangling status key.
+	gen int
 }
 
 // sweepCoordinator shares incremental sweep state between every waiter of
@@ -133,6 +138,7 @@ func (c *sweepCoordinator) sweep(ns nsKey, asOf time.Time) sweepOutcome {
 		return out
 	}
 	s.inflight = true
+	gen := s.gen
 	marker := ""
 	if !c.fullRelist && s.nextSeq > 0 {
 		marker = statusKey(ns.execID, callIDForSeq(s.nextSeq-1))
@@ -155,6 +161,12 @@ func (c *sweepCoordinator) sweep(ns nsKey, asOf time.Time) sweepOutcome {
 		return sweepOutcome{err: err}
 	}
 	s.fails = 0
+	if s.gen != gen {
+		// A forget raced this LIST: its snapshot may predate the respawn's
+		// status delete. Drop the harvest; the next sweep re-lists from the
+		// rolled-back frontier and observes only real state.
+		return sweepOutcome{listed: s.swept, fails: s.fails}
+	}
 	for _, obj := range listed {
 		id, ok := callIDFromStatusKey(obj.Key)
 		if !ok {
@@ -203,6 +215,7 @@ func (c *sweepCoordinator) forget(ns nsKey, callID string) {
 	if !ok {
 		return
 	}
+	s.gen++
 	seq, numeric := callSeq(callID)
 	if !numeric {
 		delete(s.odd, callID)

@@ -95,6 +95,70 @@ func TestSweepCoordinatorFrontierAndForget(t *testing.T) {
 	}
 }
 
+// listHookClient runs a callback after the first List returns — the moment
+// a LIST's snapshot is on the wire but not yet harvested, which is where a
+// concurrent respawn can land.
+type listHookClient struct {
+	cos.Client
+	afterList func()
+}
+
+func (h *listHookClient) List(bucket, prefix, marker string, maxKeys int) (cos.ListResult, error) {
+	res, err := h.Client.List(bucket, prefix, marker, maxKeys)
+	if hook := h.afterList; hook != nil {
+		h.afterList = nil
+		hook()
+	}
+	return res, err
+}
+
+// TestSweepForgetRacesInflightSweep: a respawn that deletes a stale status
+// object and forgets the call while a LIST is in flight must not have the
+// call re-marked done by that LIST's (pre-delete) snapshot — the waiter
+// would chase a status key that no longer exists. The raced harvest is
+// discarded and the next sweep observes only real state.
+func TestSweepForgetRacesInflightSweep(t *testing.T) {
+	store := cos.NewStore()
+	if err := store.CreateBucket("meta"); err != nil {
+		t.Fatal(err)
+	}
+	clk := vclock.NewVirtual()
+	hooked := &listHookClient{Client: store}
+	co := newSweepCoordinator(hooked, clk, false)
+	ns := nsKey{bucket: "meta", execID: "ex"}
+
+	for _, id := range []string{"00000", "00001", "00002"} {
+		if _, err := store.Put("meta", statusKey("ex", id), []byte("{}")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The respawn lands between the LIST response and its harvest: the
+	// stale status is deleted from storage and withdrawn from the done-set,
+	// but the in-flight snapshot still contains it.
+	hooked.afterList = func() {
+		if err := store.Delete("meta", statusKey("ex", "00001")); err != nil {
+			t.Fatal(err)
+		}
+		co.forget(ns, "00001")
+	}
+	if out := co.sweep(ns, clk.Now()); out.err != nil {
+		t.Fatal(out.err)
+	}
+	if co.completed(ns, "00001") {
+		t.Fatal("raced sweep re-marked a forgotten call as done from its stale snapshot")
+	}
+	// The follow-up sweep sees the post-respawn truth: everything but the
+	// deleted status is done.
+	if out := co.sweep(ns, clk.Now().Add(time.Second)); out.err != nil || !out.listed {
+		t.Fatalf("follow-up sweep outcome = %+v", out)
+	}
+	for id, want := range map[string]bool{"00000": true, "00001": false, "00002": true} {
+		if got := co.completed(ns, id); got != want {
+			t.Errorf("completed(%s) = %v, want %v", id, got, want)
+		}
+	}
+}
+
 // TestCollectionListingScalesWithCompletions is the O(newly finished)
 // regression test: collecting a 1000-future job must list each status
 // object a bounded number of times, where the full-relist baseline pays

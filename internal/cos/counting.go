@@ -23,6 +23,8 @@ type Counting struct {
 	deleteOps     atomic.Int64
 	bucketOps     atomic.Int64
 	objectsListed atomic.Int64
+	bytesOut      atomic.Int64
+	bytesIn       atomic.Int64
 }
 
 var _ Client = (*Counting)(nil)
@@ -37,6 +39,12 @@ type OpCounts struct {
 	// every LIST page — the quantity an incremental sweep keeps O(new
 	// completions) where a full re-list pays O(total) per poll.
 	ObjectsListed int64
+	// BytesOut is the total payload bytes sent in PUT requests; BytesIn is
+	// the total body bytes received from successful GET/GetRange responses.
+	// Listing and metadata traffic is not included — the counters track
+	// object data moved, the quantity a placement change shifts between
+	// regions.
+	BytesOut, BytesIn int64
 }
 
 // NewCounting wraps inner with request counters.
@@ -54,6 +62,8 @@ func (c *Counting) Counts() OpCounts {
 		DeleteOps:     c.deleteOps.Load(),
 		BucketOps:     c.bucketOps.Load(),
 		ObjectsListed: c.objectsListed.Load(),
+		BytesOut:      c.bytesOut.Load(),
+		BytesIn:       c.bytesIn.Load(),
 	}
 }
 
@@ -78,19 +88,28 @@ func (c *Counting) BucketExists(bucket string) (bool, error) {
 // Put implements Client.
 func (c *Counting) Put(bucket, key string, data []byte) (ObjectMeta, error) {
 	c.putOps.Add(1)
+	c.bytesOut.Add(int64(len(data)))
 	return c.inner.Put(bucket, key, data)
 }
 
 // Get implements Client.
 func (c *Counting) Get(bucket, key string) ([]byte, ObjectMeta, error) {
 	c.getOps.Add(1)
-	return c.inner.Get(bucket, key)
+	data, meta, err := c.inner.Get(bucket, key)
+	if err == nil {
+		c.bytesIn.Add(int64(len(data)))
+	}
+	return data, meta, err
 }
 
 // GetRange implements Client.
 func (c *Counting) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
 	c.getOps.Add(1)
-	return c.inner.GetRange(bucket, key, offset, length)
+	data, meta, err := c.inner.GetRange(bucket, key, offset, length)
+	if err == nil {
+		c.bytesIn.Add(int64(len(data)))
+	}
+	return data, meta, err
 }
 
 // Head implements Client.

@@ -30,7 +30,8 @@ func TestCountingCountsRequestsAndListedObjects(t *testing.T) {
 		t.Fatalf("listed %d objects, want 5", len(listed))
 	}
 	got := c.Counts()
-	want := OpCounts{PutOps: 5, GetOps: 1, HeadOps: 1, ListOps: 1, BucketOps: 1, ObjectsListed: 5}
+	want := OpCounts{PutOps: 5, GetOps: 1, HeadOps: 1, ListOps: 1, BucketOps: 1, ObjectsListed: 5,
+		BytesOut: 5, BytesIn: 1}
 	if got != want {
 		t.Fatalf("counts = %+v, want %+v", got, want)
 	}
@@ -59,6 +60,64 @@ func TestListFromResumesAfterMarker(t *testing.T) {
 	}
 	if n := c.Counts().ObjectsListed; n != 3 {
 		t.Fatalf("objects listed = %d, want 3", n)
+	}
+}
+
+// TestListFromMarkerAtFrontier pins the sweep coordinator's contract: a
+// marker equal to an existing key — the done-frontier — yields exactly the
+// keys strictly after it, even when the marker sits on a page boundary.
+func TestListFromMarkerAtFrontier(t *testing.T) {
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	n := DefaultMaxKeys + 3
+	key := func(i int) string { return fmt.Sprintf("k/%06d", i) }
+	for i := 0; i < n; i++ {
+		if _, err := store.Put("b", key(i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Marker exactly on the last key of the first full page.
+	out, err := ListFrom(store, "b", "k/", key(DefaultMaxKeys-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("got %d keys after page-boundary marker, want 3", len(out))
+	}
+	if out[0].Key != key(DefaultMaxKeys) || out[2].Key != key(n-1) {
+		t.Fatalf("unexpected range: %s .. %s", out[0].Key, out[len(out)-1].Key)
+	}
+	// Marker exactly on the last key of the whole prefix: nothing after it.
+	out, err = ListFrom(store, "b", "k/", key(n-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d keys after final-key marker, want 0", len(out))
+	}
+}
+
+// TestListFromMarkerPastLastKey: a marker sorting beyond every key in the
+// prefix (a frontier that outran storage, e.g. after a Clean) is an empty
+// listing, not an error.
+func TestListFromMarkerPastLastKey(t *testing.T) {
+	store := NewStore()
+	if err := store.CreateBucket("b"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := store.Put("b", fmt.Sprintf("k/%06d", i), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := ListFrom(store, "b", "k/", "k/zzzzzz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("got %d keys after past-the-end marker, want 0", len(out))
 	}
 }
 

@@ -8,6 +8,9 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"gowren/internal/vclock"
 )
 
 // Multi-region object storage. The paper's executor treats COS as a single
@@ -19,9 +22,14 @@ import (
 //
 // Semantics:
 //
-//   - writes replicate synchronously to every region and succeed once at
-//     least one region accepts them; regions that missed a write are marked
-//     stale for that key;
+//   - in the default ReplicationSync mode, writes replicate synchronously to
+//     every region and succeed once at least one region accepts them;
+//     regions that missed a write are marked stale for that key;
+//   - in ReplicationAsync mode, a write acks as soon as one region (the
+//     preferred one when reachable) durably accepts it; the remaining
+//     regions catch up off the critical path through a bounded in-facade
+//     replication queue drained by per-region workers on the virtual clock
+//     (see putAsync); deletes always replicate synchronously;
 //   - reads try the preferred region first and fail over, in region order,
 //     to any region holding the latest version; a read never serves a stale
 //     replica;
@@ -41,14 +49,59 @@ import (
 type MultiRegion struct {
 	regions  []RegionBackend
 	failover bool
+	mode     ReplicationMode
+	clk      vclock.Clock // required in async mode (catch-up workers)
+	qlimit   int          // per-region replication queue bound
+	root     regionView   // default view: preferred region 0, no home region
 
 	mu       sync.Mutex
 	latest   map[string]objVersion // object key → latest committed version
 	replicas []map[string]uint64   // per-region committed version
 	buckets  map[string]bool       // buckets created through the facade
 
+	qmu     sync.Mutex
+	queues  [][]repTask // per-region pending catch-up writes
+	workers []bool      // per-region: a drain worker task is running
+
 	stats MultiRegionStats
 }
+
+// ReplicationMode selects how MultiRegion propagates writes to non-preferred
+// regions.
+type ReplicationMode int
+
+const (
+	// ReplicationSync (the zero value) replicates every write to every
+	// region before acking.
+	ReplicationSync ReplicationMode = iota
+	// ReplicationAsync acks once the primary region durably accepts the
+	// write and catches the remaining regions up off the critical path.
+	ReplicationAsync
+)
+
+// String implements fmt.Stringer.
+func (r ReplicationMode) String() string {
+	if r == ReplicationAsync {
+		return "async"
+	}
+	return "sync"
+}
+
+// repTask is one queued catch-up write: propagate version v of bucket/key to
+// a specific region. The task owns a reference to the committed bytes so
+// catch-up succeeds even if the primary region is lost before it drains.
+type repTask struct {
+	bucket, key string
+	k           string // objKey(bucket, key)
+	v           uint64
+	data        []byte
+}
+
+// DefaultReplicationQueueLimit bounds each region's catch-up queue when
+// WithAsyncReplication is given a non-positive limit. A full queue
+// backpressures writers (they block on the virtual clock until the region's
+// worker drains a slot), so the facade can never buffer unbounded bytes.
+const DefaultReplicationQueueLimit = 1024
 
 var _ Client = (*MultiRegion)(nil)
 
@@ -76,11 +129,39 @@ type MultiRegionStats struct {
 	// WriteMisses counts per-region write failures that left a replica
 	// stale (the write still succeeded elsewhere).
 	WriteMisses atomic.Int64
+	// CrossRegionReads counts GET/GetRange/Head requests issued through a
+	// region view that were served by a region other than the view's home
+	// region. CrossRegionReadBytes sums the body bytes of those reads.
+	// Merged listings are excluded: a LIST consults every region by design.
+	CrossRegionReads     atomic.Int64
+	CrossRegionReadBytes atomic.Int64
+	// CrossRegionWrites counts per-region object writes that landed in a
+	// region other than the issuing view's home region (replica fan-out in
+	// sync mode, primary failover in async mode). CrossRegionWriteBytes
+	// sums their payloads. Background catch-up and read-repair traffic is
+	// not attributed to any home region and is excluded.
+	CrossRegionWrites     atomic.Int64
+	CrossRegionWriteBytes atomic.Int64
+	// AsyncQueued counts catch-up writes enqueued by async-mode puts;
+	// AsyncReplicated counts those that landed, AsyncDropped those that
+	// failed (the replica stays stale until read-repair finds it), and
+	// AsyncSkipped those that were obsolete by the time the worker reached
+	// them — superseded by a newer version or already made current by
+	// read-repair. Queued = Replicated + Dropped + Skipped once drained.
+	AsyncQueued     atomic.Int64
+	AsyncReplicated atomic.Int64
+	AsyncDropped    atomic.Int64
+	AsyncSkipped    atomic.Int64
+	// AsyncBackpressure counts puts that had to wait for queue space.
+	AsyncBackpressure atomic.Int64
 }
 
 // MultiRegionSnapshot is a point-in-time copy of the facade counters.
 type MultiRegionSnapshot struct {
-	Failovers, Repairs, WriteMisses int64
+	Failovers, Repairs, WriteMisses                                                       int64
+	CrossRegionReads, CrossRegionReadBytes                                                int64
+	CrossRegionWrites, CrossRegionWriteBytes                                              int64
+	AsyncQueued, AsyncReplicated, AsyncDropped, AsyncSkipped, AsyncBackpressure, AsyncLag int64
 }
 
 // MultiRegionOption configures a MultiRegion.
@@ -92,6 +173,25 @@ type MultiRegionOption func(*MultiRegion)
 // without the resilience layer.
 func WithoutFailover() MultiRegionOption {
 	return func(m *MultiRegion) { m.failover = false }
+}
+
+// WithAsyncReplication switches the facade to ReplicationAsync: puts ack
+// after the primary region accepts them and per-region catch-up workers —
+// scheduled on clk, so they obey the virtual-clock contract — propagate the
+// committed bytes to the remaining regions off the critical path. Each
+// region's queue holds at most queueLimit pending writes
+// (DefaultReplicationQueueLimit if queueLimit <= 0); writers block on the
+// clock while their target queue is full. Deletes and bucket operations
+// still replicate synchronously.
+func WithAsyncReplication(clk vclock.Clock, queueLimit int) MultiRegionOption {
+	return func(m *MultiRegion) {
+		if queueLimit <= 0 {
+			queueLimit = DefaultReplicationQueueLimit
+		}
+		m.mode = ReplicationAsync
+		m.clk = clk
+		m.qlimit = queueLimit
+	}
 }
 
 // NewMultiRegion builds a facade over the given regions. Region order is
@@ -124,8 +224,23 @@ func NewMultiRegion(regions []RegionBackend, opts ...MultiRegionOption) (*MultiR
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.mode == ReplicationAsync {
+		if m.clk == nil {
+			return nil, errors.New("cos: async replication requires a clock")
+		}
+		m.queues = make([][]repTask, len(regions))
+		m.workers = make([]bool, len(regions))
+	}
+	m.root = regionView{m: m, pref: 0, home: -1}
 	return m, nil
 }
+
+// Mode returns the facade's replication mode.
+func (m *MultiRegion) Mode() ReplicationMode { return m.mode }
+
+// FailoverEnabled reports whether the facade replicates and fails over at
+// all (false under WithoutFailover).
+func (m *MultiRegion) FailoverEnabled() bool { return m.failover }
 
 // RegionNames returns the region names in failover order.
 func (m *MultiRegion) RegionNames() []string {
@@ -136,25 +251,58 @@ func (m *MultiRegion) RegionNames() []string {
 	return names
 }
 
-// Stats returns a snapshot of the cross-region counters.
+// Stats returns a snapshot of the cross-region counters. AsyncLag is the
+// number of catch-up writes still queued at snapshot time.
 func (m *MultiRegion) Stats() MultiRegionSnapshot {
 	return MultiRegionSnapshot{
-		Failovers:   m.stats.Failovers.Load(),
-		Repairs:     m.stats.Repairs.Load(),
-		WriteMisses: m.stats.WriteMisses.Load(),
+		Failovers:             m.stats.Failovers.Load(),
+		Repairs:               m.stats.Repairs.Load(),
+		WriteMisses:           m.stats.WriteMisses.Load(),
+		CrossRegionReads:      m.stats.CrossRegionReads.Load(),
+		CrossRegionReadBytes:  m.stats.CrossRegionReadBytes.Load(),
+		CrossRegionWrites:     m.stats.CrossRegionWrites.Load(),
+		CrossRegionWriteBytes: m.stats.CrossRegionWriteBytes.Load(),
+		AsyncQueued:           m.stats.AsyncQueued.Load(),
+		AsyncReplicated:       m.stats.AsyncReplicated.Load(),
+		AsyncDropped:          m.stats.AsyncDropped.Load(),
+		AsyncSkipped:          m.stats.AsyncSkipped.Load(),
+		AsyncBackpressure:     m.stats.AsyncBackpressure.Load(),
+		AsyncLag:              m.queueDepth(),
 	}
 }
 
 // Preferred returns a Client view of the facade whose reads start at the
-// named region. All views share one version map, so failover and
-// read-repair behave identically regardless of entry point.
+// named region and whose cross-region accounting treats that region as
+// home. All views share one version map, so failover and read-repair behave
+// identically regardless of entry point.
 func (m *MultiRegion) Preferred(name string) (Client, error) {
+	return m.View(name, name)
+}
+
+// View returns a Client view for a consumer located in region home whose
+// reads start at region pref. Requests the facade ends up serving from (or
+// writing to) a region other than home count toward the CrossRegion*
+// counters. Splitting home from pref exists to measure legacy placement —
+// a runner executing in one region but still reading through region 0.
+func (m *MultiRegion) View(home, pref string) (Client, error) {
+	hi, err := m.regionIndex(home)
+	if err != nil {
+		return nil, err
+	}
+	pi, err := m.regionIndex(pref)
+	if err != nil {
+		return nil, err
+	}
+	return &regionView{m: m, pref: pi, home: hi}, nil
+}
+
+func (m *MultiRegion) regionIndex(name string) (int, error) {
 	for i, r := range m.regions {
 		if r.Name == name {
-			return &regionView{m: m, pref: i}, nil
+			return i, nil
 		}
 	}
-	return nil, fmt.Errorf("cos: unknown region %q", name)
+	return 0, fmt.Errorf("cos: unknown region %q", name)
 }
 
 func objKey(bucket, key string) string { return bucket + "\x00" + key }
@@ -183,8 +331,13 @@ func transientRegionErr(err error) bool {
 // --- writes ---------------------------------------------------------------
 
 // put replicates one write. pref orders the attempts so the preferred
-// region's endpoint is tried first.
-func (m *MultiRegion) put(pref int, bucket, key string, data []byte) (ObjectMeta, error) {
+// region's endpoint is tried first; home attributes cross-region traffic
+// (-1 for client-side views outside any region). In async mode the write
+// acks after the primary region and the rest catch up via the queue.
+func (m *MultiRegion) put(home, pref int, bucket, key string, data []byte) (ObjectMeta, error) {
+	if m.mode == ReplicationAsync && m.failover {
+		return m.putAsync(home, pref, bucket, key, data)
+	}
 	k := objKey(bucket, key)
 	m.mu.Lock()
 	v := m.latest[k].v + 1
@@ -217,6 +370,7 @@ func (m *MultiRegion) put(pref int, bucket, key string, data []byte) (ObjectMeta
 		if !gotMeta {
 			meta, gotMeta = got, true
 		}
+		m.countCrossWrite(home, i, len(data))
 		wrote = append(wrote, i)
 	}
 	if !gotMeta {
@@ -238,6 +392,211 @@ func (m *MultiRegion) put(pref int, bucket, key string, data []byte) (ObjectMeta
 	}
 	m.mu.Unlock()
 	return meta, nil
+}
+
+// putAsync writes the primary copy synchronously — the first region in
+// failover order that accepts it — commits the version, and enqueues
+// catch-up tasks carrying the committed bytes for every other region. The
+// ack therefore costs one region's round-trip instead of all of them;
+// replicas are stale until their catch-up write lands (or, if it is
+// dropped, until read-repair finds them).
+func (m *MultiRegion) putAsync(home, pref int, bucket, key string, data []byte) (ObjectMeta, error) {
+	k := objKey(bucket, key)
+	m.mu.Lock()
+	v := m.latest[k].v + 1
+	m.mu.Unlock()
+
+	var (
+		meta         ObjectMeta
+		primary      = -1
+		lastErr      error
+		sawTransient bool
+	)
+	for _, i := range m.order(pref) {
+		got, err := m.regions[i].Client.Put(bucket, key, data)
+		if err != nil {
+			switch {
+			case transientRegionErr(err):
+				sawTransient = true
+			case errors.Is(err, ErrNoSuchBucket):
+				// Missed bucket creation; catch-up recreates it below.
+			default:
+				return ObjectMeta{}, err
+			}
+			m.stats.WriteMisses.Add(1)
+			lastErr = err
+			continue
+		}
+		meta, primary = got, i
+		m.countCrossWrite(home, i, len(data))
+		break
+	}
+	if primary < 0 {
+		if !sawTransient && lastErr != nil {
+			return ObjectMeta{}, fmt.Errorf("put %s/%s: %w", bucket, key, lastErr)
+		}
+		return ObjectMeta{}, fmt.Errorf("cos: put %s/%s failed in all %d regions: %w", bucket, key, len(m.regions), ErrRequestFailed)
+	}
+	m.mu.Lock()
+	if v > m.latest[k].v || m.latest[k].deleted {
+		m.latest[k] = objVersion{v: v}
+	}
+	if m.replicas[primary][k] < v {
+		m.replicas[primary][k] = v
+	}
+	m.mu.Unlock()
+	task := repTask{bucket: bucket, key: key, k: k, v: v, data: data}
+	for i := range m.regions {
+		if i != primary {
+			m.enqueue(i, task)
+		}
+	}
+	return meta, nil
+}
+
+// enqueue appends a catch-up task to region i's queue, blocking on the
+// clock while the queue is at its bound, and starts a drain worker for the
+// region if none is running. Workers are short-lived clock tasks: they
+// exit as soon as their queue empties, so an idle facade keeps no tasks
+// registered with the virtual clock.
+func (m *MultiRegion) enqueue(i int, t repTask) {
+	backpressured := false
+	vclock.Poll(m.clk, func() bool {
+		m.qmu.Lock()
+		defer m.qmu.Unlock()
+		if len(m.queues[i]) >= m.qlimit {
+			backpressured = true
+			return false
+		}
+		m.queues[i] = append(m.queues[i], t)
+		m.stats.AsyncQueued.Add(1)
+		if !m.workers[i] {
+			m.workers[i] = true
+			m.clk.Go(func() { m.drainRegion(i) })
+		}
+		return true
+	}, time.Millisecond, time.Time{})
+	if backpressured {
+		m.stats.AsyncBackpressure.Add(1)
+	}
+}
+
+// drainRegion is region i's catch-up worker: it pops queued writes in FIFO
+// order and lands them through the region's own client stack (so its link
+// latency and fault plan apply), then exits when the queue is empty. Each
+// task gets one attempt — a failed catch-up leaves the replica stale for
+// read-repair to fix — so a partitioned region can never wedge the queue.
+func (m *MultiRegion) drainRegion(i int) {
+	for {
+		m.qmu.Lock()
+		if len(m.queues[i]) == 0 {
+			m.workers[i] = false
+			m.qmu.Unlock()
+			return
+		}
+		t := m.queues[i][0]
+		m.queues[i] = m.queues[i][1:]
+		m.qmu.Unlock()
+		m.replicate(i, t)
+	}
+}
+
+// replicate lands one catch-up write in region i. Tasks superseded by a
+// newer committed version (or a tombstone) are skipped rather than risk
+// writing stale bytes over a newer replica; the newer version's own
+// catch-up task covers the region.
+func (m *MultiRegion) replicate(i int, t repTask) {
+	m.mu.Lock()
+	lv := m.latest[t.k]
+	stale := lv.v == t.v && !lv.deleted && m.replicas[i][t.k] < t.v
+	m.mu.Unlock()
+	if !stale {
+		m.stats.AsyncSkipped.Add(1)
+		return
+	}
+	if _, err := m.regions[i].Client.Put(t.bucket, t.key, t.data); err != nil {
+		if !errors.Is(err, ErrNoSuchBucket) {
+			m.stats.AsyncDropped.Add(1)
+			m.stats.WriteMisses.Add(1)
+			return
+		}
+		// The region also missed the bucket creation; repair that first,
+		// then retry the object once.
+		if cerr := m.regions[i].Client.CreateBucket(t.bucket); cerr != nil && !errors.Is(cerr, ErrBucketExists) {
+			m.stats.AsyncDropped.Add(1)
+			m.stats.WriteMisses.Add(1)
+			return
+		}
+		if _, err = m.regions[i].Client.Put(t.bucket, t.key, t.data); err != nil {
+			m.stats.AsyncDropped.Add(1)
+			m.stats.WriteMisses.Add(1)
+			return
+		}
+	}
+	m.mu.Lock()
+	if cur := m.latest[t.k]; cur.v == t.v && !cur.deleted && m.replicas[i][t.k] < t.v {
+		m.replicas[i][t.k] = t.v
+		m.stats.AsyncReplicated.Add(1)
+	} else {
+		// Superseded while the write was in flight; the newer version's own
+		// catch-up (or the delete's tombstone) covers this region.
+		m.stats.AsyncSkipped.Add(1)
+	}
+	m.mu.Unlock()
+}
+
+// queueDepth returns the number of catch-up writes still queued.
+func (m *MultiRegion) queueDepth() int64 {
+	if m.mode != ReplicationAsync {
+		return 0
+	}
+	m.qmu.Lock()
+	defer m.qmu.Unlock()
+	var n int64
+	for i := range m.queues {
+		n += int64(len(m.queues[i]))
+	}
+	return n
+}
+
+// Drain blocks on the clock until every queued catch-up write has been
+// attempted (landed or dropped). Call it before tearing a simulation down
+// or before comparing per-region state in tests; a facade in sync mode
+// returns immediately. The deadline (zero means none) bounds the wait.
+func (m *MultiRegion) Drain(deadline time.Time) bool {
+	if m.mode != ReplicationAsync {
+		return true
+	}
+	return vclock.Poll(m.clk, func() bool {
+		m.qmu.Lock()
+		defer m.qmu.Unlock()
+		for i := range m.queues {
+			if len(m.queues[i]) > 0 || m.workers[i] {
+				return false
+			}
+		}
+		return true
+	}, time.Millisecond, deadline)
+}
+
+// countCrossWrite attributes one landed object write to the issuing view's
+// home region. home < 0 (a client-side view) is never cross-region.
+func (m *MultiRegion) countCrossWrite(home, region, payload int) {
+	if home < 0 || home == region {
+		return
+	}
+	m.stats.CrossRegionWrites.Add(1)
+	m.stats.CrossRegionWriteBytes.Add(int64(payload))
+}
+
+// countCrossRead attributes one served read to the issuing view's home
+// region.
+func (m *MultiRegion) countCrossRead(home, region, body int) {
+	if home < 0 || home == region {
+		return
+	}
+	m.stats.CrossRegionReads.Add(1)
+	m.stats.CrossRegionReadBytes.Add(int64(body))
 }
 
 // delete_ tombstones one key across the regions. Regions that miss the
@@ -318,8 +677,9 @@ func (m *MultiRegion) tombstoned(k string) bool {
 }
 
 // getRange serves a ranged read with failover; full reads (offset 0,
-// length < 0) repair stale replicas with the bytes just fetched.
-func (m *MultiRegion) getRange(pref int, bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
+// length < 0) repair stale replicas with the bytes just fetched. home
+// attributes cross-region reads (-1 for client-side views).
+func (m *MultiRegion) getRange(home, pref int, bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
 	k := objKey(bucket, key)
 	if m.tombstoned(k) {
 		return nil, ObjectMeta{}, fmt.Errorf("get %s/%s: %w", bucket, key, ErrNoSuchKey)
@@ -351,6 +711,7 @@ func (m *MultiRegion) getRange(pref int, bucket, key string, offset, length int6
 		if n > 0 {
 			m.stats.Failovers.Add(1)
 		}
+		m.countCrossRead(home, i, len(data))
 		if offset == 0 && length < 0 {
 			m.repair(k, bucket, key, data)
 		}
@@ -411,7 +772,7 @@ func (m *MultiRegion) repair(k, bucket, key string, data []byte) {
 }
 
 // head serves metadata with failover, mirroring getRange without a body.
-func (m *MultiRegion) head(pref int, bucket, key string) (ObjectMeta, error) {
+func (m *MultiRegion) head(home, pref int, bucket, key string) (ObjectMeta, error) {
 	k := objKey(bucket, key)
 	if m.tombstoned(k) {
 		return ObjectMeta{}, fmt.Errorf("head %s/%s: %w", bucket, key, ErrNoSuchKey)
@@ -432,6 +793,7 @@ func (m *MultiRegion) head(pref int, bucket, key string) (ObjectMeta, error) {
 		if n > 0 {
 			m.stats.Failovers.Add(1)
 		}
+		m.countCrossRead(home, i, 0)
 		return meta, nil
 	}
 	if lastErr != nil && !transientRegionErr(lastErr) {
@@ -630,54 +992,63 @@ func (m *MultiRegion) listBuckets(pref int) ([]string, error) {
 	return out, nil
 }
 
-// --- Client implementation (preferred region 0) ---------------------------
+// --- Client implementation ------------------------------------------------
+
+// pref returns the facade's default view: preferred region 0, no home
+// region (the facade used directly is client-side traffic, never
+// cross-region). Every facade Client method delegates through it, so a
+// placement change in the view logic cannot miss a method.
+func (m *MultiRegion) pref() *regionView { return &m.root }
 
 // CreateBucket implements Client.
-func (m *MultiRegion) CreateBucket(bucket string) error { return m.createBucket(0, bucket) }
+func (m *MultiRegion) CreateBucket(bucket string) error { return m.pref().CreateBucket(bucket) }
 
 // DeleteBucket implements Client.
-func (m *MultiRegion) DeleteBucket(bucket string) error { return m.deleteBucket(0, bucket) }
+func (m *MultiRegion) DeleteBucket(bucket string) error { return m.pref().DeleteBucket(bucket) }
 
 // BucketExists implements Client.
 func (m *MultiRegion) BucketExists(bucket string) (bool, error) {
-	return m.bucketExists(0)(bucket)
+	return m.pref().BucketExists(bucket)
 }
 
 // Put implements Client.
 func (m *MultiRegion) Put(bucket, key string, data []byte) (ObjectMeta, error) {
-	return m.put(0, bucket, key, data)
+	return m.pref().Put(bucket, key, data)
 }
 
 // Get implements Client.
 func (m *MultiRegion) Get(bucket, key string) ([]byte, ObjectMeta, error) {
-	return m.getRange(0, bucket, key, 0, -1)
+	return m.pref().Get(bucket, key)
 }
 
 // GetRange implements Client.
 func (m *MultiRegion) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
-	return m.getRange(0, bucket, key, offset, length)
+	return m.pref().GetRange(bucket, key, offset, length)
 }
 
 // Head implements Client.
 func (m *MultiRegion) Head(bucket, key string) (ObjectMeta, error) {
-	return m.head(0, bucket, key)
+	return m.pref().Head(bucket, key)
 }
 
 // List implements Client.
 func (m *MultiRegion) List(bucket, prefix, marker string, maxKeys int) (ListResult, error) {
-	return m.list(0, bucket, prefix, marker, maxKeys)
+	return m.pref().List(bucket, prefix, marker, maxKeys)
 }
 
 // ListBuckets implements Client.
-func (m *MultiRegion) ListBuckets() ([]string, error) { return m.listBuckets(0) }
+func (m *MultiRegion) ListBuckets() ([]string, error) { return m.pref().ListBuckets() }
 
 // Delete implements Client.
-func (m *MultiRegion) Delete(bucket, key string) error { return m.delete_(0, bucket, key) }
+func (m *MultiRegion) Delete(bucket, key string) error { return m.pref().Delete(bucket, key) }
 
-// regionView is a Client whose reads prefer a specific region.
+// regionView is a Client whose reads prefer a specific region and whose
+// cross-region traffic is attributed to a home region (-1 for client-side
+// views outside any region).
 type regionView struct {
 	m    *MultiRegion
 	pref int
+	home int
 }
 
 var _ Client = (*regionView)(nil)
@@ -695,22 +1066,22 @@ func (v *regionView) BucketExists(bucket string) (bool, error) {
 
 // Put implements Client.
 func (v *regionView) Put(bucket, key string, data []byte) (ObjectMeta, error) {
-	return v.m.put(v.pref, bucket, key, data)
+	return v.m.put(v.home, v.pref, bucket, key, data)
 }
 
 // Get implements Client.
 func (v *regionView) Get(bucket, key string) ([]byte, ObjectMeta, error) {
-	return v.m.getRange(v.pref, bucket, key, 0, -1)
+	return v.m.getRange(v.home, v.pref, bucket, key, 0, -1)
 }
 
 // GetRange implements Client.
 func (v *regionView) GetRange(bucket, key string, offset, length int64) ([]byte, ObjectMeta, error) {
-	return v.m.getRange(v.pref, bucket, key, offset, length)
+	return v.m.getRange(v.home, v.pref, bucket, key, offset, length)
 }
 
 // Head implements Client.
 func (v *regionView) Head(bucket, key string) (ObjectMeta, error) {
-	return v.m.head(v.pref, bucket, key)
+	return v.m.head(v.home, v.pref, bucket, key)
 }
 
 // List implements Client.

@@ -340,6 +340,11 @@ type CtxConfig struct {
 	ColdStart    bool
 	MemoryMB     int
 	Spawner      Spawner
+	// Region names the storage region the invocation executes in; empty on
+	// single-region platforms. It is set after the runner decodes its call
+	// payload (via WithPlacement), not by the container, because placement
+	// travels in the payload.
+	Region string
 }
 
 // Ctx is the per-invocation execution context passed to user functions. It
@@ -352,11 +357,32 @@ type Ctx struct {
 // NewCtx builds a context from cfg.
 func NewCtx(cfg CtxConfig) *Ctx { return &Ctx{cfg: cfg} }
 
+// WithPlacement derives a context for a call placed in a storage region:
+// the same activation, clock, image and limits, but reading and writing
+// through storage (the region's view) and spawning through spawner (which
+// propagates the placement to child calls). A nil storage or spawner keeps
+// the parent's.
+func (c *Ctx) WithPlacement(storage cos.Client, region string, spawner Spawner) *Ctx {
+	cfg := c.cfg
+	if storage != nil {
+		cfg.Storage = storage
+	}
+	if spawner != nil {
+		cfg.Spawner = spawner
+	}
+	cfg.Region = region
+	return &Ctx{cfg: cfg}
+}
+
 // Clock returns the simulation clock.
 func (c *Ctx) Clock() vclock.Clock { return c.cfg.Clock }
 
 // Storage returns the object-storage client visible to the function.
 func (c *Ctx) Storage() cos.Client { return c.cfg.Storage }
+
+// Region returns the storage region the invocation executes in, or "" on a
+// single-region platform.
+func (c *Ctx) Region() string { return c.cfg.Region }
 
 // Image returns the runtime image the function executes in; handlers use it
 // to resolve registered user functions by name.

@@ -141,6 +141,11 @@ type CallPayload struct {
 	Shuffle    *ShuffleSpec    `json:"shuffle,omitempty"`
 	// MetaBucket is where the runner writes result and status objects.
 	MetaBucket string `json:"metaBucket"`
+	// Region names the storage region the call is placed in. A runner
+	// executing a placed call reads and writes through that region's view
+	// of the multi-region facade instead of the default (region 0) one.
+	// Empty means the platform has a single-region storage plane.
+	Region string `json:"region,omitempty"`
 }
 
 // Validate checks structural invariants of the payload.

@@ -136,6 +136,112 @@ func TestRegionRunDeterministicUnderSeed(t *testing.T) {
 	}
 }
 
+// asyncRegionRun executes the acceptance map with asynchronous replication:
+// the preferred region is lost mid-job while catch-up writes to the second
+// region are still queued (its path is latency-inflated during the early
+// window), so completion depends on the queue carrying the committed bytes
+// plus versioned failover and read-repair.
+func asyncRegionRun(t *testing.T, seed int64) (results []int, elapsed time.Duration, dead []gowren.DeadLetter, snap gowren.MultiRegionSnapshot) {
+	t.Helper()
+	cfg := twoRegionConfig(t, seed, false)
+	cfg.Replication = gowren.ReplicationAsync
+	// Slow the surviving region's path while the first region is still up:
+	// catch-up writes queued before the partition are in flight when the
+	// primary disappears at t=2s.
+	cfg.Regions[1].Degrade = []gowren.LinkPhase{
+		{Start: 0, End: 4 * time.Second, LatencyFactor: 40},
+	}
+	cloud, err := gowren.NewSimCloud(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor(gowren.WithLinkDegradation(gowren.LinkPhase{
+			Start:         2 * time.Second,
+			End:           25 * time.Second,
+			LatencyFactor: 8,
+		}))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := make([]any, 500)
+		for i := range args {
+			args[i] = i
+		}
+		start := cloud.Clock().Now()
+		if _, err := exec.MapSlice("work", args); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		results, err = gowren.Results[int](exec, gowren.GetResultOptions{
+			Timeout:  time.Hour,
+			Recovery: &gowren.RecoveryOptions{MaxAttempts: 8, Backoff: 2 * time.Second},
+		})
+		if err != nil {
+			t.Errorf("get result: %v", err)
+			return
+		}
+		elapsed = cloud.Clock().Now().Sub(start)
+		dead = exec.DeadLetters()
+		if !cloud.MultiRegion().Drain(cloud.Clock().Now().Add(time.Hour)) {
+			t.Error("replication queues did not drain")
+		}
+	})
+	return results, elapsed, dead, cloud.MultiRegion().Stats()
+}
+
+func TestRegionAsyncPartitionCompletesAndRepairs(t *testing.T) {
+	// Acceptance: with async replication, losing the preferred region
+	// mid-job — before its catch-up queue has drained — must not lose data
+	// or wedge the job: acked writes live in the queue (and the primary),
+	// catch-up lands them in the survivor, and reads fail over without ever
+	// serving a stale replica.
+	results, _, dead, st := asyncRegionRun(t, 42)
+	if len(results) != 500 {
+		t.Fatalf("got %d results, want 500", len(results))
+	}
+	for i, r := range results {
+		if r != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*2)
+		}
+	}
+	if len(dead) != 0 {
+		t.Fatalf("async run dead-lettered %d calls: %+v", len(dead), dead[0])
+	}
+	if st.Failovers == 0 {
+		t.Fatal("no failovers recorded; the partition window never engaged")
+	}
+	if st.AsyncQueued == 0 {
+		t.Fatal("no catch-up writes queued; replication never went async")
+	}
+	// The ledger must close: every queued catch-up either landed, was
+	// dropped (leaving read-repair to fix the replica), or was obsolete by
+	// drain time — none still pending.
+	if st.AsyncReplicated+st.AsyncDropped+st.AsyncSkipped != st.AsyncQueued || st.AsyncLag != 0 {
+		t.Fatalf("catch-up ledger open: %+v", st)
+	}
+}
+
+func TestRegionAsyncRunDeterministicUnderSeed(t *testing.T) {
+	r1, e1, _, s1 := asyncRegionRun(t, 42)
+	r2, e2, _, s2 := asyncRegionRun(t, 42)
+	if e1 != e2 {
+		t.Fatalf("elapsed diverged under same seed: %v vs %v", e1, e2)
+	}
+	if s1.Failovers != s2.Failovers || s1.AsyncQueued != s2.AsyncQueued {
+		t.Fatalf("facade stats diverged under same seed: %+v vs %+v", s1, s2)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts diverged: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("result %d diverged: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+}
+
 func TestRegionPartitionWithoutFailoverDeadLetters(t *testing.T) {
 	// Control run: the same partition with failover disabled pins every
 	// storage request to the dead region, so the runners cannot commit
