@@ -28,9 +28,10 @@ race:
 
 # chaos runs the fault-injection acceptance suite under the race detector:
 # scripted COS brownouts, controller outages, regional partitions with
-# failover, and the recovery/dead-letter machinery.
+# failover, the recovery/dead-letter machinery, and the driver-kill
+# crash-recovery scenario (kill the driver mid-map, Attach a fresh one).
 chaos:
-	$(GO) test -race -run 'TestChaos|TestController|TestRecovery|TestRegion' .
+	$(GO) test -race -run 'TestChaos|TestController|TestRecovery|TestRegion|TestAttach|TestDriver' .
 
 # bench profiles the client wait/collect hot path at 10k futures
 # (cmd/waitbench) and writes BENCH_waitpath.json: client-side storage

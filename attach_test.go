@@ -1,0 +1,271 @@
+package gowren_test
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gowren"
+)
+
+// driverKillRun is the headline crash-recovery scenario: a 500-call map
+// under container crashes and an early COS brownout, whose driver is killed
+// after roughly a third of the job completes. All in-memory state — the
+// executor, its futures, the respawn ledger — is discarded; a fresh driver
+// attaches by job ID alone and finishes the job.
+func driverKillRun(t *testing.T, seed int64) (results []int, elapsed time.Duration) {
+	t.Helper()
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images:    []*gowren.Image{chaosImage(t)},
+		Seed:      seed,
+		CrashProb: 0.05,
+		Chaos: []gowren.ChaosFault{
+			{
+				Kind:        gowren.ChaosCOSBrownout,
+				Start:       1 * time.Second,
+				End:         3 * time.Second,
+				Probability: 0.8,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		driver1, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := make([]any, 500)
+		for i := range args {
+			args[i] = i
+		}
+		start := cloud.Clock().Now()
+		futs, err := driver1.MapSlice("work", args)
+		if err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		// Drive the job to ~30% completion, then kill the driver. Only the
+		// job ID survives — the durable manifest and journal carry the rest.
+		if _, _, err := driver1.WaitThreshold(0.3, time.Hour); err != nil {
+			t.Errorf("wait threshold: %v", err)
+			return
+		}
+		jobID := driver1.JobID()
+
+		driver2, err := cloud.Attach(jobID)
+		if err != nil {
+			t.Errorf("attach: %v", err)
+			return
+		}
+		results, err = gowren.Results[int](driver2, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil {
+			t.Errorf("get result after attach: %v", err)
+			return
+		}
+		elapsed = cloud.Clock().Now().Sub(start)
+		if dead := driver2.DeadLetters(); len(dead) != 0 {
+			t.Errorf("recovery gave up on %d calls: %+v", len(dead), dead[0])
+		}
+		// The fencing epoch bumped on attach: the dead driver — were it
+		// still alive — can no longer mutate job state, so completed calls
+		// cannot be re-executed behind the new driver's back.
+		if err := driver1.Respawn(futs[:1]); !errors.Is(err, gowren.ErrFenced) {
+			t.Errorf("old driver respawn err = %v, want ErrFenced", err)
+		}
+	})
+	return results, elapsed
+}
+
+func TestDriverKillAttachCompletesMap(t *testing.T) {
+	results, _ := driverKillRun(t, 42)
+	if len(results) != 500 {
+		t.Fatalf("got %d results, want 500", len(results))
+	}
+	for i, r := range results {
+		if r != i*2 {
+			t.Fatalf("result[%d] = %d, want %d", i, r, i*2)
+		}
+	}
+}
+
+func TestDriverKillDeterministicUnderSeed(t *testing.T) {
+	r1, e1 := driverKillRun(t, 42)
+	r2, e2 := driverKillRun(t, 42)
+	if e1 != e2 {
+		t.Fatalf("elapsed diverged under same seed: %v vs %v", e1, e2)
+	}
+	if len(r1) != len(r2) {
+		t.Fatalf("result counts diverged: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatalf("result %d diverged: %d vs %d", i, r1[i], r2[i])
+		}
+	}
+}
+
+func TestAttachReplayDeadLettersIdempotent(t *testing.T) {
+	// Cross-driver replay: driver 1 dead-letters every call of a job whose
+	// backend is down, then dies. Driver 2 attaches after the backend heals
+	// and replays the dead letters. A third driver attaching afterwards must
+	// neither double-execute the replacements nor resurrect the originals,
+	// and the fenced first driver must not sneak its own replay in.
+	var healed atomic.Bool
+	var execs atomic.Int64
+	img := gowren.NewImage(gowren.DefaultRuntime, 0)
+	err := gowren.RegisterFunc(img, "guarded", func(_ *gowren.Ctx, x int) (int, error) {
+		execs.Add(1)
+		if !healed.Load() {
+			return 0, errors.New("backend still down")
+		}
+		return x * 10, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{Images: []*gowren.Image{img}, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		driver1, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := driver1.Map("guarded", 1, 2, 3, 4); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		_, err = driver1.GetResult(gowren.GetResultOptions{
+			Timeout:        time.Hour,
+			PartialResults: true,
+			Recovery:       &gowren.RecoveryOptions{MaxAttempts: 1},
+		})
+		var pe *gowren.PartialError
+		if !errors.As(err, &pe) || len(pe.Failed) != 4 {
+			t.Errorf("driver 1 err = %v, want PartialError with 4 failures", err)
+			return
+		}
+		// 4 first attempts + 4 recovery attempts, all failed.
+		if got := execs.Load(); got != 8 {
+			t.Errorf("executions after driver 1 = %d, want 8", got)
+		}
+		jobID := driver1.JobID()
+
+		// Driver 1 dies; the backend heals; driver 2 picks the job up and
+		// replays the durable dead letters.
+		healed.Store(true)
+		driver2, err := cloud.Attach(jobID)
+		if err != nil {
+			t.Errorf("attach: %v", err)
+			return
+		}
+		letters, err := driver2.PersistedDeadLetters()
+		if err != nil || len(letters) != 4 {
+			t.Errorf("persisted dead letters = %d (%v), want 4", len(letters), err)
+			return
+		}
+		replayed, err := driver2.ReplayDeadLetters()
+		if err != nil || len(replayed) != 4 {
+			t.Errorf("replay = %d futures (%v), want 4", len(replayed), err)
+			return
+		}
+		results, err := gowren.Results[int](driver2, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil {
+			t.Errorf("get result after replay: %v", err)
+			return
+		}
+		want := map[int]bool{10: true, 20: true, 30: true, 40: true}
+		for _, r := range results {
+			if !want[r] {
+				t.Errorf("unexpected replay result %d", r)
+			}
+			delete(want, r)
+		}
+		if got := execs.Load(); got != 12 {
+			t.Errorf("executions after replay = %d, want 12", got)
+		}
+
+		// The fenced first driver still holds the letters in memory; its
+		// replay attempt must die at the lease checkpoint without launching.
+		if _, err := driver1.ReplayDeadLetters(); !errors.Is(err, gowren.ErrFenced) {
+			t.Errorf("old driver replay err = %v, want ErrFenced", err)
+		}
+
+		// A third driver sees the replay journal record: the originals are
+		// superseded, the replacements already done. Nothing runs again.
+		driver3, err := cloud.Attach(jobID)
+		if err != nil {
+			t.Errorf("attach driver 3: %v", err)
+			return
+		}
+		if letters, err := driver3.PersistedDeadLetters(); err != nil || len(letters) != 0 {
+			t.Errorf("driver 3 persisted letters = %d (%v), want 0", len(letters), err)
+		}
+		again, err := driver3.ReplayDeadLetters()
+		if err != nil || again != nil {
+			t.Errorf("driver 3 replay = %v, %v, want nil, nil", again, err)
+		}
+		results3, err := gowren.Results[int](driver3, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil || len(results3) != 4 {
+			t.Errorf("driver 3 results = %v (%v), want the 4 replayed values", results3, err)
+		}
+		if got := execs.Load(); got != 12 {
+			t.Errorf("executions after driver 3 = %d, want 12 (no re-execution)", got)
+		}
+	})
+}
+
+func TestAttachListJobsAndCleanAbandoned(t *testing.T) {
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images: []*gowren.Image{chaosImage(t)},
+		Seed:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		exec, err := cloud.Executor()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := exec.Map("work", 1, 2); err != nil {
+			t.Errorf("map: %v", err)
+			return
+		}
+		if _, err := gowren.Results[int](exec, gowren.GetResultOptions{Timeout: time.Hour}); err != nil {
+			t.Errorf("get result: %v", err)
+			return
+		}
+		jobs, err := cloud.ListJobs()
+		if err != nil || len(jobs) != 1 {
+			t.Errorf("jobs = %v (%v), want exactly one", jobs, err)
+			return
+		}
+		if jobs[0].JobID != exec.JobID() || jobs[0].LeaseEpoch != 1 {
+			t.Errorf("job = %+v, want id %s at lease epoch 1", jobs[0], exec.JobID())
+		}
+		// Too fresh to collect: the driver held the lease moments ago.
+		if removed, err := cloud.CleanAbandoned(time.Hour); err != nil || len(removed) != 0 {
+			t.Errorf("premature GC removed %v (%v)", removed, err)
+		}
+		cloud.Clock().Sleep(2 * time.Hour)
+		removed, err := cloud.CleanAbandoned(time.Hour)
+		if err != nil || len(removed) != 1 || removed[0] != exec.JobID() {
+			t.Errorf("GC removed %v (%v), want [%s]", removed, err, exec.JobID())
+			return
+		}
+		if jobs, err := cloud.ListJobs(); err != nil || len(jobs) != 0 {
+			t.Errorf("jobs after GC = %v (%v), want none", jobs, err)
+		}
+		if _, err := cloud.Attach(exec.JobID()); err == nil {
+			t.Error("attach to a collected job succeeded")
+		}
+	})
+}

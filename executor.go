@@ -21,6 +21,12 @@ type Executor struct {
 // ID returns the executor's unique identifier.
 func (e *Executor) ID() string { return e.inner.ID() }
 
+// JobID returns the durable job identifier — the handle a later driver
+// passes to Cloud.Attach to resume this executor's job after a crash. It is
+// the same value as ID; the separate name marks it as the piece worth
+// persisting outside the process.
+func (e *Executor) JobID() string { return e.inner.ID() }
+
 // Core exposes the underlying engine executor for harness-level access.
 func (e *Executor) Core() *core.Executor { return e.inner }
 

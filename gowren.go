@@ -145,7 +145,16 @@ var (
 	ErrCallFailed = core.ErrCallFailed
 	// ErrWaitTimeout marks a wait that hit its deadline.
 	ErrWaitTimeout = core.ErrWaitTimeout
+	// ErrFenced marks a job-state mutation (Respawn, dead-letter replay)
+	// rejected because a newer driver attached to the job and bumped its
+	// lease epoch. The superseded driver may keep reading results.
+	ErrFenced = core.ErrFenced
 )
+
+// JobInfo summarizes one durable job manifest, as returned by
+// Cloud.ListJobs: identity, runtime, and the driver-lease view the orphan
+// GC keys on.
+type JobInfo = core.JobInfo
 
 // DefaultRuntime is the stock runtime image name.
 const DefaultRuntime = runtime.DefaultImage
@@ -210,6 +219,12 @@ type SimConfig struct {
 	// writers block (backpressure) when a queue is full. Zero selects
 	// cos.DefaultReplicationQueueLimit. Ignored under ReplicationSync.
 	ReplicationQueueLimit int
+	// ReplicationRedeliveryBudget is the number of delivery attempts an
+	// async catch-up task gets (with exponential backoff between attempts)
+	// before its replica is declared stale and left to read-repair. Zero
+	// selects cos.DefaultReplicationRedeliveryBudget; 1 restores the old
+	// single-attempt behaviour. Ignored under ReplicationSync.
+	ReplicationRedeliveryBudget int
 	// RegionZeroPlacement restores the legacy placement policy: in-cloud
 	// functions read and write through the first region regardless of
 	// where their call was placed. By default calls are spread across
@@ -345,6 +360,9 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		}
 		if cfg.Replication == ReplicationAsync {
 			mopts = append(mopts, cos.WithAsyncReplication(clk, cfg.ReplicationQueueLimit))
+			if cfg.ReplicationRedeliveryBudget > 0 {
+				mopts = append(mopts, cos.WithReplicationRedelivery(cfg.ReplicationRedeliveryBudget))
+			}
 		}
 		var err error
 		multi, err = cos.NewMultiRegion(backends, mopts...)
@@ -479,6 +497,7 @@ type executorSettings struct {
 	storage          cos.Client
 	preferredRegion  string
 	degrade          []LinkPhase
+	antiAffinity     bool
 }
 
 // WithRuntime selects the runtime image, as in
@@ -578,10 +597,75 @@ func WithLinkDegradation(phases ...LinkPhase) ExecutorOption {
 	return func(s *executorSettings) { s.degrade = append(s.degrade, phases...) }
 }
 
+// WithAntiAffinityRespawn re-places respawned calls in a storage region
+// different from the one whose failure killed the original run, instead of
+// rehashing onto the same sick region. Requires a multi-region cloud; on
+// single-region clouds it is a no-op.
+func WithAntiAffinityRespawn() ExecutorOption {
+	return func(s *executorSettings) { s.antiAffinity = true }
+}
+
 // Executor creates an executor against this cloud — the analogue of
 // pw.ibm_cf_executor(). The default client profile is in-cloud with no
 // massive spawning.
 func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
+	cfg, err := c.executorConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.NewExecutor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{inner: inner, clock: c.clock}, nil
+}
+
+// Attach rebuilds the executor of a crashed or abandoned driver from the
+// job's durable manifest and journal: futures are reconstructed, in-flight
+// activations adopted, orphaned calls respawned, and the driver lease is
+// taken over with a bumped fencing epoch — so if the previous driver is in
+// fact still alive, its next mutation fails with ErrFenced. Wait and
+// GetResult on the returned executor continue where the dead driver left
+// off. Executor options configure the new driver's own client (profile,
+// concurrency, retries); the runtime comes from the manifest.
+func (c *Cloud) Attach(jobID string, opts ...ExecutorOption) (*Executor, error) {
+	cfg, err := c.executorConfig(opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.AttachExecutor(cfg, jobID)
+	if err != nil {
+		return nil, err
+	}
+	return &Executor{inner: inner, clock: c.clock}, nil
+}
+
+// Attach is Cloud.Attach as a package-level helper, mirroring the paper's
+// flat client API surface.
+func Attach(c *Cloud, jobID string, opts ...ExecutorOption) (*Executor, error) {
+	return c.Attach(jobID, opts...)
+}
+
+// ListJobs lists the durable job manifests in the meta bucket — every job
+// whose driver journaled, whether finished, abandoned, or still driven —
+// joined with their driver leases. Use it to find a job ID to Attach to.
+func (c *Cloud) ListJobs() ([]JobInfo, error) {
+	return core.ListJobs(c.platform.Backend(), c.platform.MetaBucket())
+}
+
+// CleanAbandoned garbage-collects jobs nobody resumed: every job whose
+// driver lease (or, leaseless, manifest) is at least ttl old is deleted —
+// payloads, statuses, results, journal, lease, and manifest. It returns
+// the removed job IDs. Live drivers renew their leases while waiting, so a
+// generous ttl (minutes and up) never collects a driven job.
+func (c *Cloud) CleanAbandoned(ttl time.Duration) ([]string, error) {
+	return core.CleanAbandoned(c.platform.Backend(), c.clock, c.platform.MetaBucket(), ttl)
+}
+
+// executorConfig assembles the core executor config shared by Executor and
+// Attach: network links per client profile, the storage stack, and tuning
+// knobs.
+func (c *Cloud) executorConfig(opts []ExecutorOption) (core.Config, error) {
 	s := executorSettings{profile: ClientInCloud}
 	for _, opt := range opts {
 		opt(&s)
@@ -602,13 +686,13 @@ func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
 		controlLink = netsim.Loopback()
 		storageLink = netsim.Loopback()
 	default:
-		return nil, fmt.Errorf("gowren: unknown client profile %d", int(s.profile))
+		return core.Config{}, fmt.Errorf("gowren: unknown client profile %d", int(s.profile))
 	}
 
 	if len(s.degrade) > 0 {
 		sched, err := netsim.NewSchedule(c.clock, s.degrade)
 		if err != nil {
-			return nil, fmt.Errorf("gowren: link degradation: %w", err)
+			return core.Config{}, fmt.Errorf("gowren: link degradation: %w", err)
 		}
 		if s.profile == ClientInCloud {
 			// The in-cloud profile shares the platform's link; degrade a
@@ -633,41 +717,38 @@ func (c *Cloud) Executor(opts ...ExecutorOption) (*Executor, error) {
 			if s.preferredRegion != "" {
 				view, err := c.multi.Preferred(s.preferredRegion)
 				if err != nil {
-					return nil, fmt.Errorf("gowren: %w", err)
+					return core.Config{}, fmt.Errorf("gowren: %w", err)
 				}
 				backend = view
 			}
 		} else if s.preferredRegion != "" {
-			return nil, errors.New("gowren: WithPreferredRegion requires SimConfig.Regions")
+			return core.Config{}, errors.New("gowren: WithPreferredRegion requires SimConfig.Regions")
 		}
 		// A COS brownout degrades the service itself, so the client's view
 		// is chaos-wrapped exactly like the in-cloud one (below the
 		// executor's retry layer).
 		storage = chaos.WrapStorage(cos.NewLinked(backend, c.clock, storageLink), c.chaos)
 	} else if s.preferredRegion != "" {
-		return nil, errors.New("gowren: WithPreferredRegion conflicts with WithStorage")
+		return core.Config{}, errors.New("gowren: WithPreferredRegion conflicts with WithStorage")
 	}
-	inner, err := core.NewExecutor(core.Config{
-		Platform:          c.platform,
-		Storage:           storage,
-		ControlLink:       controlLink,
-		RuntimeImage:      s.runtime,
-		InvokeConcurrency: s.invokeConc,
-		StageConcurrency:  s.stageConc,
-		ClientOverhead:    s.clientOverhead,
-		MassiveSpawning:   s.massive,
-		SpawnGroupSize:    s.spawnGroup,
-		MaxRetries:        s.maxRetries,
-		RetryBackoff:      s.retryBackoff,
-		PollInterval:      s.pollInterval,
-		RetryBudget:       s.retryBudget,
-		BreakerThreshold:  s.breakerThreshold,
-		BreakerCooldown:   s.breakerCooldown,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return &Executor{inner: inner, clock: c.clock}, nil
+	return core.Config{
+		Platform:            c.platform,
+		Storage:             storage,
+		ControlLink:         controlLink,
+		RuntimeImage:        s.runtime,
+		InvokeConcurrency:   s.invokeConc,
+		StageConcurrency:    s.stageConc,
+		ClientOverhead:      s.clientOverhead,
+		MassiveSpawning:     s.massive,
+		SpawnGroupSize:      s.spawnGroup,
+		MaxRetries:          s.maxRetries,
+		RetryBackoff:        s.retryBackoff,
+		PollInterval:        s.pollInterval,
+		RetryBudget:         s.retryBudget,
+		BreakerThreshold:    s.breakerThreshold,
+		BreakerCooldown:     s.breakerCooldown,
+		AntiAffinityRespawn: s.antiAffinity,
+	}, nil
 }
 
 // ErrNoResults is returned by typed result helpers when no calls were made.

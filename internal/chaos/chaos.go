@@ -216,6 +216,15 @@ func (s *Storage) Put(bucket, key string, data []byte) (cos.ObjectMeta, error) {
 	return s.inner.Put(bucket, key, data)
 }
 
+// PutIf implements cos.Conditional: the fault guard fires before the inner
+// compare-and-swap, so an injected failure never half-commits a lease write.
+func (s *Storage) PutIf(bucket, key string, data []byte, ifMatch string) (cos.ObjectMeta, error) {
+	if err := s.guard(); err != nil {
+		return cos.ObjectMeta{}, err
+	}
+	return cos.PutIf(s.inner, bucket, key, data, ifMatch)
+}
+
 // Get implements cos.Client.
 func (s *Storage) Get(bucket, key string) ([]byte, cos.ObjectMeta, error) {
 	if err := s.guard(); err != nil {

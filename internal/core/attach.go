@@ -1,0 +1,389 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+	"slices"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/vclock"
+	"gowren/internal/wire"
+)
+
+// Driver crash recovery. AttachExecutor rebuilds an Executor — and the
+// futures a dead driver was waiting on — from the durable job manifest and
+// journal alone (journal.go), then catches up through the shared status
+// sweep, adopts in-flight activations, and respawns orphans. Wait and
+// GetResult on the attached executor continue exactly where the dead driver
+// left off. Fencing makes the takeover safe against a driver that is
+// actually still alive: Attach CAS-bumps the lease epoch, so the old
+// driver's next mutation fails with ErrFenced.
+
+// AttachExecutor rebuilds the executor for jobID from its durable state.
+// cfg supplies the platform, storage stack, and tuning knobs exactly as for
+// NewExecutor; the runtime image is overridden from the job manifest. The
+// storage stack must support conditional puts (cos.Conditional) — fencing
+// is not optional on the resume path.
+func AttachExecutor(cfg Config, jobID string) (*Executor, error) {
+	e, err := NewExecutor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	meta := e.cfg.Platform.MetaBucket()
+
+	data, err := e.getWithRetry(meta, manifestKey(jobID))
+	if errors.Is(err, cos.ErrNoSuchKey) {
+		return nil, fmt.Errorf("core: attach %s: no such job (no manifest): %w", jobID, err)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: attach %s: read manifest: %w", jobID, err)
+	}
+	var man wire.JobManifest
+	if err := wire.Unmarshal(data, &man); err != nil {
+		return nil, fmt.Errorf("core: attach %s: decode manifest: %w", jobID, err)
+	}
+	e.id = jobID
+	if man.Runtime != "" {
+		e.cfg.RuntimeImage = man.Runtime
+	}
+
+	if err := e.takeOverLease(); err != nil {
+		return nil, err
+	}
+	st, err := e.replayJournal()
+	if err != nil {
+		return nil, err
+	}
+	if err := e.recoverNextID(); err != nil {
+		return nil, err
+	}
+
+	// Rebuild futures for the tracked calls in call order, skipping calls
+	// the previous driver already retired: dead-lettered ones are parked on
+	// the dead-letter list below (ReplayDeadLetters picks them up), and
+	// replay-superseded ones were dropped during journal replay.
+	ids := make([]string, 0, len(st.calls))
+	for _, id := range slices.Sorted(maps.Keys(st.calls)) {
+		if cs := st.calls[id]; cs.tracked && !cs.dead {
+			ids = append(ids, id)
+		}
+	}
+	futures := make([]*Future, 0, len(ids))
+	for _, id := range ids {
+		cs := st.calls[id]
+		f := newFuture(e, e.id, id, cs.actID)
+		e.respawns.seed(f, cs.respawns)
+		futures = append(futures, f)
+	}
+	e.track(futures)
+
+	// Reload the durable dead letters, minus any the previous driver
+	// already replayed under fresh IDs — resurrecting those would make the
+	// replacements run twice.
+	letters, err := e.PersistedDeadLetters()
+	if err != nil {
+		return nil, fmt.Errorf("core: attach %s: %w", jobID, err)
+	}
+	kept := letters[:0]
+	for _, d := range letters {
+		if !st.superseded[d.CallID] {
+			kept = append(kept, d)
+		}
+	}
+	e.mu.Lock()
+	e.deadLetters = slices.Clone(kept)
+	e.mu.Unlock()
+
+	// Catch up through the shared sweep coordinator's done-frontier, then
+	// deal with what is left: in-flight activations are adopted as-is,
+	// everything that cannot make progress on its own is respawned.
+	if len(futures) > 0 {
+		if _, err := sweepStatuses(e, futures); err != nil {
+			return nil, fmt.Errorf("core: attach %s: %w", jobID, err)
+		}
+		if err := e.respawnOrphans(futures); err != nil {
+			return nil, fmt.Errorf("core: attach %s: %w", jobID, err)
+		}
+	}
+	return e, nil
+}
+
+// takeOverLease fences the previous driver: it reads the current lease and
+// CAS-writes a successor with the epoch bumped, conditional on the ETag it
+// read. The old driver's cached ETag is then stale, so its next conditional
+// renewal — and with it every subsequent mutation — fails. Two concurrent
+// Attach calls race on the same CAS; exactly one wins, the loser reports
+// ErrFenced.
+func (e *Executor) takeOverLease() error {
+	meta := e.cfg.Platform.MetaBucket()
+	var (
+		cur     wire.DriverLease
+		curETag string
+	)
+	err := e.storageRetry.Do(func() error {
+		data, lm, err := e.cfg.Storage.Get(meta, leaseKey(e.id))
+		if err != nil {
+			return err
+		}
+		curETag = lm.ETag
+		return wire.Unmarshal(data, &cur)
+	})
+	switch {
+	case errors.Is(err, cos.ErrNoSuchKey):
+		// Manifest without lease: the original driver died inside the
+		// acquire window, or the lease was cleaned. Start at epoch 1.
+		cur, curETag = wire.DriverLease{}, ""
+	case err != nil:
+		return fmt.Errorf("core: attach %s: read lease: %w", e.id, err)
+	}
+	lease := wire.DriverLease{JobID: e.id, Epoch: cur.Epoch + 1, RenewedUnixNs: e.clock.Now().UnixNano()}
+	var lm cos.ObjectMeta
+	err = e.storageRetry.Do(func() error {
+		var err error
+		lm, err = cos.PutIf(e.cfg.Storage, meta, leaseKey(e.id), wire.MustMarshal(lease), curETag)
+		return err
+	})
+	switch {
+	case errors.Is(err, cos.ErrPreconditionFailed):
+		return fmt.Errorf("core: attach %s: another driver took the lease: %w", e.id, ErrFenced)
+	case errors.Is(err, cos.ErrConditionalUnsupported):
+		return fmt.Errorf("core: attach %s: storage cannot fence drivers: %w", e.id, err)
+	case err != nil:
+		return fmt.Errorf("core: attach %s: take over lease: %w", e.id, err)
+	}
+	j := &e.journal
+	j.mu.Lock()
+	j.started = true
+	j.epoch = lease.Epoch
+	j.leaseETag = lm.ETag
+	j.lastRenew = e.clock.Now()
+	j.mu.Unlock()
+	return nil
+}
+
+// journalCallState is the reconstructed state of one call after replaying
+// the journal in key — that is, (epoch, seq) — order.
+type journalCallState struct {
+	actID    string
+	region   string
+	tracked  bool
+	dead     bool // dead-lettered and not yet replayed
+	respawns int  // journaled automatic respawns, seeds the new ledger
+}
+
+// journalState is the aggregate of a full journal replay.
+type journalState struct {
+	calls      map[string]*journalCallState
+	superseded map[string]bool // call IDs replaced by a replay record
+}
+
+// replayJournal lists and replays the job's journal records in key order,
+// reproducing the dead driver's recovery decisions: which calls exist and
+// whether their futures were tracked, the latest activation driving each,
+// which were dead-lettered, and which were superseded by a replay.
+func (e *Executor) replayJournal() (*journalState, error) {
+	meta := e.cfg.Platform.MetaBucket()
+	listed, err := cos.ListAll(e.cfg.Storage, meta, journalListPrefix(e.id))
+	if err != nil {
+		return nil, fmt.Errorf("core: attach %s: list journal: %w", e.id, err)
+	}
+	st := &journalState{
+		calls:      make(map[string]*journalCallState),
+		superseded: make(map[string]bool),
+	}
+	for _, obj := range listed {
+		data, err := e.getWithRetry(meta, obj.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: attach %s: read journal record %s: %w", e.id, obj.Key, err)
+		}
+		var rec wire.JournalRecord
+		if err := wire.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("core: attach %s: decode journal record %s: %w", e.id, obj.Key, err)
+		}
+		switch rec.Kind {
+		case wire.JournalLaunch:
+			for _, c := range rec.Calls {
+				st.calls[c.CallID] = &journalCallState{actID: c.ActivationID, region: c.Region, tracked: rec.Tracked}
+			}
+		case wire.JournalRespawn:
+			for _, c := range rec.Calls {
+				if cs, ok := st.calls[c.CallID]; ok {
+					cs.actID = c.ActivationID
+					if c.Region != "" {
+						cs.region = c.Region
+					}
+					cs.respawns++
+				}
+			}
+		case wire.JournalDeadLetter:
+			for _, c := range rec.Calls {
+				if cs, ok := st.calls[c.CallID]; ok {
+					cs.dead = true
+				}
+			}
+		case wire.JournalReplay:
+			// The originals were untracked and their durable letters
+			// deleted by the replaying driver; drop them so nothing below
+			// rebuilds or resurrects them. Their replacements arrive with
+			// the replay's own launch record.
+			for _, old := range rec.OldCallIDs {
+				st.superseded[old] = true
+				delete(st.calls, old)
+			}
+		}
+		// Unknown kinds from newer writers are skipped, not fatal.
+	}
+	return st, nil
+}
+
+// recoverNextID restores the call-ID high-water mark from the staged
+// payloads. The LIST covers windows the journal cannot: helper calls that
+// never journal, and a driver that died between staging and the launch
+// record. Fresh IDs minted by this driver (replays) must never collide with
+// any staged call.
+func (e *Executor) recoverNextID() error {
+	meta := e.cfg.Platform.MetaBucket()
+	listed, err := cos.ListAll(e.cfg.Storage, meta, payloadListPrefix(e.id))
+	if err != nil {
+		return fmt.Errorf("core: attach %s: list payloads: %w", e.id, err)
+	}
+	next := 0
+	for _, obj := range listed {
+		id, ok := callIDFromStatusKey(obj.Key) // same trailing-segment shape as status keys
+		if !ok {
+			continue
+		}
+		if seq, ok := callSeq(id); ok && seq+1 > next {
+			next = seq + 1
+		}
+	}
+	e.mu.Lock()
+	if next > e.nextID {
+		e.nextID = next
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// respawnOrphans re-invokes adopted calls that cannot make progress: the
+// activation is unknown to the controller, or it died without committing a
+// status. In-flight and completed-OK activations are adopted as-is — the
+// status sweep picks their records up. Calls with no recorded activation ID
+// (spawner fan-out) cannot be probed and are conservatively respawned;
+// respawns are idempotent by construction, so the worst case is a wasted
+// duplicate execution, never a wrong result.
+func (e *Executor) respawnOrphans(futures []*Future) error {
+	ctrl := e.cfg.Platform.Controller()
+	var orphans []*Future
+	for _, f := range futures {
+		if f.knownDone() {
+			continue
+		}
+		if f.activationID == "" {
+			orphans = append(orphans, f)
+			continue
+		}
+		rec, err := ctrl.Activation(f.activationID)
+		if err != nil || (rec.Done() && !rec.OK) {
+			orphans = append(orphans, f)
+		}
+	}
+	if len(orphans) == 0 {
+		return nil
+	}
+	if err := e.Respawn(orphans); err != nil {
+		return fmt.Errorf("respawn orphans: %w", err)
+	}
+	return nil
+}
+
+// JobInfo summarizes one durable job for ListJobs.
+type JobInfo struct {
+	JobID   string
+	Runtime string
+	// Created is the manifest write time on the simulation clock.
+	Created time.Time
+	// LeaseEpoch and LeaseRenewed reflect the driver lease; zero values
+	// mean the job never acquired one (journaling was cut short).
+	LeaseEpoch   uint64
+	LeaseRenewed time.Time
+}
+
+// ListJobs lists the durable job manifests in metaBucket in job-ID order,
+// joining each with its driver lease. It is the discovery half of the
+// resume workflow: pick a job, AttachExecutor to it.
+func ListJobs(storage cos.Client, metaBucket string) ([]JobInfo, error) {
+	listed, err := cos.ListAll(storage, metaBucket, manifestListPrefix)
+	if err != nil {
+		return nil, fmt.Errorf("core: list jobs: %w", err)
+	}
+	out := make([]JobInfo, 0, len(listed))
+	for _, obj := range listed {
+		data, _, err := storage.Get(metaBucket, obj.Key)
+		if err != nil {
+			return nil, fmt.Errorf("core: list jobs: read %s: %w", obj.Key, err)
+		}
+		var man wire.JobManifest
+		if err := wire.Unmarshal(data, &man); err != nil {
+			return nil, fmt.Errorf("core: list jobs: decode %s: %w", obj.Key, err)
+		}
+		info := JobInfo{
+			JobID:   man.JobID,
+			Runtime: man.Runtime,
+			Created: time.Unix(0, man.CreatedUnixNs).UTC(),
+		}
+		if ldata, _, err := storage.Get(metaBucket, leaseKey(man.JobID)); err == nil {
+			var lease wire.DriverLease
+			if wire.Unmarshal(ldata, &lease) == nil {
+				info.LeaseEpoch = lease.Epoch
+				info.LeaseRenewed = time.Unix(0, lease.RenewedUnixNs).UTC()
+			}
+		}
+		out = append(out, info)
+	}
+	return out, nil
+}
+
+// CleanAbandoned garbage-collects jobs nobody drives anymore: every job
+// whose lease renewal — or, for a job that never held a lease, whose
+// manifest creation — is at least ttl old has its entire jobs/{id}/
+// namespace and its manifest deleted. It returns the removed job IDs in
+// order. Live drivers renew their lease both on every mutation and
+// periodically while waiting (leaseRenewInterval), so a ttl comfortably
+// above that never collects a driven job.
+func CleanAbandoned(storage cos.Client, clk vclock.Clock, metaBucket string, ttl time.Duration) ([]string, error) {
+	if ttl <= 0 {
+		return nil, errors.New("core: clean abandoned: ttl must be positive")
+	}
+	jobs, err := ListJobs(storage, metaBucket)
+	if err != nil {
+		return nil, err
+	}
+	now := clk.Now()
+	var removed []string
+	for _, job := range jobs {
+		anchor := job.Created
+		if !job.LeaseRenewed.IsZero() {
+			anchor = job.LeaseRenewed
+		}
+		if now.Sub(anchor) < ttl {
+			continue
+		}
+		listed, err := cos.ListAll(storage, metaBucket, fmt.Sprintf("jobs/%s/", job.JobID))
+		if err != nil {
+			return removed, fmt.Errorf("core: clean abandoned %s: %w", job.JobID, err)
+		}
+		for _, obj := range listed {
+			if err := storage.Delete(metaBucket, obj.Key); err != nil {
+				return removed, fmt.Errorf("core: clean abandoned %s: %w", job.JobID, err)
+			}
+		}
+		if err := storage.Delete(metaBucket, manifestKey(job.JobID)); err != nil {
+			return removed, fmt.Errorf("core: clean abandoned %s: %w", job.JobID, err)
+		}
+		removed = append(removed, job.JobID)
+	}
+	return removed, nil
+}

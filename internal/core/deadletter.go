@@ -19,12 +19,21 @@ import (
 // already parked in memory, and a storage plane unhealthy enough to reject
 // this write is usually the reason the call dead-lettered in the first
 // place. The record is overwritten if the same call dead-letters again.
+// Persisting is a job-state mutation, so it passes the lease checkpoint
+// first: a fenced driver must not write durable records the job's new
+// driver may already have replayed or recovered past.
 func (e *Executor) persistDeadLetter(d DeadLetter) {
+	if err := e.renewLease(); err != nil {
+		return
+	}
 	body, err := wire.Marshal(d)
 	if err != nil {
 		return
 	}
 	_ = e.putWithRetry(e.cfg.Platform.MetaBucket(), deadLetterKey(d.ExecutorID, d.CallID), body)
+	e.appendJournal(wire.JournalDeadLetter, func(rec *wire.JournalRecord) {
+		rec.Calls = []wire.JournalCall{{CallID: d.CallID}}
+	})
 }
 
 // PersistedDeadLetters loads the dead-letter records of this executor from
@@ -93,6 +102,23 @@ func (e *Executor) ReplayDeadLetters() ([]*Future, error) {
 		p.ExecutorID = e.id
 		p.CallID = ids[i]
 	}
+	// Replay is a job-state mutation: re-assert the lease, then journal the
+	// old→new mapping BEFORE the replacements launch. A driver attaching
+	// after the record lands never resurrects the superseded originals,
+	// even if this driver dies mid-replay (the replacements then simply
+	// never ran — their launch record is missing — and the replayed work is
+	// lost with the driver, like any un-launched job).
+	if err := e.renewLease(); err != nil {
+		restore()
+		return nil, err
+	}
+	e.appendJournal(wire.JournalReplay, func(rec *wire.JournalRecord) {
+		rec.OldCallIDs = make([]string, len(letters))
+		for i, d := range letters {
+			rec.OldCallIDs[i] = d.CallID
+		}
+		rec.Calls = journalCalls(payloads, nil)
+	})
 	futures, err := e.launch(payloads, true)
 	if err != nil {
 		restore()

@@ -93,6 +93,19 @@ type Config struct {
 	// BreakerCooldown is how long an open circuit sheds load. Zero uses
 	// 5s.
 	BreakerCooldown time.Duration
+
+	// DisableJournal switches off the durable job journal (manifest, driver
+	// lease, recovery records — see journal.go). In-cloud helper executors
+	// (remote invokers, composition spawners) set it: their jobs live and
+	// die with a parent call and are not independently resumable. Storage
+	// stacks without conditional-put support disable journaling on their
+	// own.
+	DisableJournal bool
+	// AntiAffinityRespawn re-places respawned calls in a storage region
+	// different from the one whose failure killed the original run, instead
+	// of rehashing onto the same sick region. Only meaningful on
+	// multi-region platforms; see Platform.PlaceCallAvoiding.
+	AntiAffinityRespawn bool
 }
 
 func (c *Config) applyDefaults() error {
@@ -157,6 +170,10 @@ type Executor struct {
 	// doneTracked counts tracked futures that have transitioned to done,
 	// making progress reporting O(1) per poll.
 	doneTracked atomic.Int64
+
+	// journal is the durable job-journal state: manifest, driver lease,
+	// epoch/sequence counters (see journal.go).
+	journal jobJournal
 
 	mu          sync.Mutex
 	futures     []*Future
@@ -358,6 +375,12 @@ func (e *Executor) runJob(payloads []*wire.CallPayload) ([]*Future, error) {
 // launch is runJob with control over future tracking: map_reduce launches
 // its map phase untracked so GetResult waits only on the reducers.
 func (e *Executor) launch(payloads []*wire.CallPayload, trackFutures bool) ([]*Future, error) {
+	// The manifest and driver lease go down before anything else is staged,
+	// so a driver that crashes mid-launch still leaves a resumable job
+	// behind (see journal.go).
+	if err := e.journalStart(); err != nil {
+		return nil, err
+	}
 	action, err := e.cfg.Platform.EnsureRuntime(e.cfg.RuntimeImage)
 	if err != nil {
 		return nil, err
@@ -375,6 +398,10 @@ func (e *Executor) launch(payloads []*wire.CallPayload, trackFutures bool) ([]*F
 	if err != nil {
 		return nil, err
 	}
+	e.appendJournal(wire.JournalLaunch, func(rec *wire.JournalRecord) {
+		rec.Calls = journalCalls(payloads, actIDs)
+		rec.Tracked = trackFutures
+	})
 
 	futures := make([]*Future, len(payloads))
 	for i, p := range payloads {

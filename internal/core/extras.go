@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"gowren/internal/cos"
+	"gowren/internal/wire"
 )
 
 // This file holds the quality-of-life operations around the Table 2 API:
@@ -18,7 +19,7 @@ import (
 // become unusable afterwards.
 func (e *Executor) Clean() error {
 	meta := e.cfg.Platform.MetaBucket()
-	for _, prefix := range []string{payloadPrefix, statusPrefix, resultPrefix, shufflePrefix, deadLetterPrefix} {
+	for _, prefix := range []string{payloadPrefix, statusPrefix, resultPrefix, shufflePrefix, deadLetterPrefix, journalPrefix} {
 		listed, err := cos.ListAll(e.cfg.Storage, meta, fmt.Sprintf("jobs/%s/%s/", e.id, prefix))
 		if err != nil {
 			return fmt.Errorf("core: clean %s: %w", e.id, err)
@@ -27,6 +28,14 @@ func (e *Executor) Clean() error {
 			return e.cfg.Storage.Delete(meta, listed[i].Key)
 		})
 		if err := firstErr(errs); err != nil {
+			return fmt.Errorf("core: clean %s: %w", e.id, err)
+		}
+	}
+	// The lease and the manifest are single keys outside the per-kind
+	// prefixes; jobs that never journaled (disabled, or storage without
+	// conditional put) have neither.
+	for _, key := range []string{leaseKey(e.id), manifestKey(e.id)} {
+		if err := e.cfg.Storage.Delete(meta, key); err != nil && !errors.Is(err, cos.ErrNoSuchKey) {
 			return fmt.Errorf("core: clean %s: %w", e.id, err)
 		}
 	}
@@ -111,10 +120,15 @@ func (e *Executor) FailedFutures() ([]*Future, error) {
 // Respawn re-invokes the given (typically failed) calls using their staged
 // payloads, which remain in storage. The futures are reset and re-tracked
 // in place; useful after transient platform failures (container crashes)
-// — deterministic user-code errors will simply fail again.
+// — deterministic user-code errors will simply fail again. Respawn is a
+// job-state mutation: it first re-asserts the driver lease, so a driver
+// superseded by Attach fails with ErrFenced before deleting any status.
 func (e *Executor) Respawn(futures []*Future) error {
 	if len(futures) == 0 {
 		return nil
+	}
+	if err := e.renewLease(); err != nil {
+		return err
 	}
 	meta := e.cfg.Platform.MetaBucket()
 	action, err := e.cfg.Platform.EnsureRuntime(e.cfg.RuntimeImage)
@@ -141,19 +155,77 @@ func (e *Executor) Respawn(futures []*Future) error {
 	for _, f := range futures {
 		e.sweeps.forget(nsKey{bucket: meta, execID: f.executorID}, f.callID)
 	}
+	regions, err := e.replaceRegions(futures)
+	if err != nil {
+		return err
+	}
+	newActs := make([]string, len(futures))
 	errs = parallelFor(e.clock, e.cfg.InvokeConcurrency, len(futures), func(i int) error {
 		f := futures[i]
 		actID, err := e.invokeOne(action, payloadRef(meta, f.executorID, f.callID))
 		if err != nil {
 			return fmt.Errorf("respawn %s/%s: %w", f.executorID, f.callID, err)
 		}
+		newActs[i] = actID
 		f.reset(actID)
 		return nil
 	})
-	if err := firstErr(errs); err != nil {
-		return fmt.Errorf("core: respawn: %w", err)
+	invokeErr := firstErr(errs)
+	// Journal what was actually re-invoked, even on partial failure: a
+	// resuming driver must know about every live activation.
+	var calls []wire.JournalCall
+	for i, f := range futures {
+		if newActs[i] != "" {
+			calls = append(calls, wire.JournalCall{CallID: f.callID, ActivationID: newActs[i], Region: regions[i]})
+		}
+	}
+	if len(calls) > 0 {
+		e.appendJournal(wire.JournalRespawn, func(rec *wire.JournalRecord) { rec.Calls = calls })
+	}
+	if invokeErr != nil {
+		return fmt.Errorf("core: respawn: %w", invokeErr)
 	}
 	return nil
+}
+
+// replaceRegions applies the anti-affinity knob before a respawn invokes:
+// each call whose payload carries a region is re-placed in a region other
+// than the one whose failure killed it, and the payload is re-staged so the
+// runner executes through the new region's view. It returns the (possibly
+// updated) region per future; with the knob off it reports the empty
+// placement without touching storage.
+func (e *Executor) replaceRegions(futures []*Future) ([]string, error) {
+	regions := make([]string, len(futures))
+	if !e.cfg.AntiAffinityRespawn || len(e.cfg.Platform.Regions()) < 2 {
+		return regions, nil
+	}
+	meta := e.cfg.Platform.MetaBucket()
+	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(futures), func(i int) error {
+		f := futures[i]
+		data, err := e.getWithRetry(meta, payloadKey(f.executorID, f.callID))
+		if err != nil {
+			return fmt.Errorf("respawn re-place %s/%s: %w", f.executorID, f.callID, err)
+		}
+		var p wire.CallPayload
+		if err := wire.Unmarshal(data, &p); err != nil {
+			return fmt.Errorf("respawn re-place %s/%s: %w", f.executorID, f.callID, err)
+		}
+		regions[i] = p.Region
+		moved := e.cfg.Platform.PlaceCallAvoiding(p.CallID, p.Region)
+		if moved == "" || moved == p.Region {
+			return nil
+		}
+		p.Region = moved
+		if err := e.putWithRetry(meta, payloadKey(f.executorID, f.callID), wire.MustMarshal(&p)); err != nil {
+			return fmt.Errorf("respawn re-place %s/%s: %w", f.executorID, f.callID, err)
+		}
+		regions[i] = moved
+		return nil
+	})
+	if err := firstErr(errs); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return regions, nil
 }
 
 // JobStats summarizes the executor's storage footprint (for tests,

@@ -283,6 +283,7 @@ func collectResults(e *Executor, futures []*Future, opts GetResultOptions) ([]js
 	var sweepErr error
 	ok := vclock.Poll(e.clock, func() bool {
 		e.respawns.advance()
+		e.maybeRenewLease()
 		if _, err := sweepStatuses(e, futures); err != nil {
 			sweepErr = err
 			return true

@@ -91,6 +91,38 @@ func callSeq(callID string) (int, bool) {
 // automatic recovery gives up on it.
 func deadLetterKey(execID, callID string) string { return jobKey(deadLetterPrefix, execID, callID) }
 
+// journalPrefix groups a job's recovery journal records.
+const journalPrefix = "journal"
+
+// manifestListPrefix groups every job manifest in the meta bucket, outside
+// the per-job namespaces so ListJobs is a single cheap prefix LIST.
+const manifestListPrefix = "manifests/"
+
+// manifestKey is where a job's JobManifest lives.
+func manifestKey(execID string) string { return manifestListPrefix + execID }
+
+// leaseKey is the job's driver-lease object, written only via conditional
+// put so competing drivers serialize on epochs.
+func leaseKey(execID string) string { return fmt.Sprintf("jobs/%s/lease", execID) }
+
+// journalKey names one journal record. Zero-padding epoch and sequence makes
+// lexicographic key order equal (epoch, seq) order, so a resuming driver
+// replays records exactly as they were written.
+func journalKey(execID string, epoch uint64, seq int) string {
+	return fmt.Sprintf("jobs/%s/%s/%06d-%06d", execID, journalPrefix, epoch, seq)
+}
+
+// journalListPrefix lists a job's journal records in replay order.
+func journalListPrefix(execID string) string {
+	return fmt.Sprintf("jobs/%s/%s/", execID, journalPrefix)
+}
+
+// payloadListPrefix lists every staged payload of an executor; Attach uses
+// it to recover the call-ID high-water mark.
+func payloadListPrefix(execID string) string {
+	return fmt.Sprintf("jobs/%s/%s/", execID, payloadPrefix)
+}
+
 // payloadRef builds the ObjectRef for a staged payload.
 func payloadRef(metaBucket, execID, callID string) wire.ObjectRef {
 	return wire.ObjectRef{Bucket: metaBucket, Key: payloadKey(execID, callID)}

@@ -309,6 +309,10 @@ func (p *Platform) InCloudExecutorAt(image, region string) (*Executor, error) {
 		Storage:      storage,
 		ControlLink:  p.cloudLink,
 		RuntimeImage: image,
+		// Helper executors (remote invokers, composition spawners) live and
+		// die with a parent call; their jobs are not independently resumable
+		// and must not write manifests or contend for driver leases.
+		DisableJournal: true,
 	})
 }
 
@@ -333,6 +337,31 @@ func (p *Platform) PlaceCall(callID string) string {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%d/%s", p.seed, callID)
 	return p.regionNames[int(h.Sum64()%uint64(len(p.regionNames)))]
+}
+
+// PlaceCallAvoiding is PlaceCall restricted to the regions other than
+// avoid — the anti-affinity placement respawns use so a re-executed call
+// does not rehash onto the region whose failure killed the original run.
+// Like PlaceCall it hashes only stable inputs (seed, call ID, avoided
+// region), so the replacement region is reproducible run to run. With no
+// other region to choose from (single region, empty or unknown avoid) it
+// falls back to PlaceCall.
+func (p *Platform) PlaceCallAvoiding(callID, avoid string) string {
+	if len(p.regionNames) == 0 {
+		return ""
+	}
+	rest := make([]string, 0, len(p.regionNames)-1)
+	for _, name := range p.regionNames {
+		if name != avoid {
+			rest = append(rest, name)
+		}
+	}
+	if avoid == "" || len(rest) == 0 || len(rest) == len(p.regionNames) {
+		return p.PlaceCall(callID)
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s/avoid/%s", p.seed, callID, avoid)
+	return rest[int(h.Sum64()%uint64(len(rest)))]
 }
 
 // regionStorage returns the storage stack a function placed in region uses:

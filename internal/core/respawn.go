@@ -59,6 +59,18 @@ func (l *respawnLedger) reserve(fs []*Future, limit int) []*Future {
 	return out
 }
 
+// seed preloads f's lifetime automatic-respawn count. Attach uses it to
+// carry a dead driver's journaled respawns into the new ledger, so a
+// crash-looping driver cannot grant each incarnation a fresh budget for the
+// same call.
+func (l *respawnLedger) seed(f *Future, n int) {
+	l.mu.Lock()
+	if n > l.n[f] {
+		l.n[f] = n
+	}
+	l.mu.Unlock()
+}
+
 // count returns the lifetime automatic respawns recorded for f.
 func (l *respawnLedger) count(f *Future) int {
 	l.mu.Lock()

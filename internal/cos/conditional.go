@@ -1,0 +1,117 @@
+package cos
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"errors"
+	"fmt"
+)
+
+// Conditional put (compare-and-swap on ETags). Real COS/S3 expose this as
+// If-Match / If-None-Match preconditions on PUT; GoWren uses it for exactly
+// what real systems do — tiny coordination records (the driver lease of the
+// job journal) where last-writer-wins would let two clients both believe
+// they own a job. Only the lease path needs it, so it is a side interface
+// rather than part of Client: wrappers forward it when their inner client
+// supports it, and PutIf surfaces ErrConditionalUnsupported otherwise.
+var (
+	// ErrPreconditionFailed reports a conditional put whose expectation did
+	// not hold: the object changed (or appeared) since the caller read it.
+	// It is a terminal outcome, never retried by the SDK-style retry layer.
+	ErrPreconditionFailed = errors.New("cos: precondition failed")
+	// ErrConditionalUnsupported reports that the client stack has no
+	// conditional-put support (e.g. the HTTP transport).
+	ErrConditionalUnsupported = errors.New("cos: client does not support conditional put")
+)
+
+// Conditional is the optional compare-and-swap extension of Client.
+type Conditional interface {
+	// PutIf stores data under bucket/key only if the current object's ETag
+	// equals ifMatch; an empty ifMatch requires the key to not exist. On a
+	// mismatch it returns ErrPreconditionFailed and leaves the object
+	// untouched.
+	PutIf(bucket, key string, data []byte, ifMatch string) (ObjectMeta, error)
+}
+
+// PutIf dispatches a conditional put through c, unwrapping to the first
+// layer that implements Conditional. Clients without support report
+// ErrConditionalUnsupported, which callers treat as "journaling off", not
+// as a failure of the write itself.
+func PutIf(c Client, bucket, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	if cc, ok := c.(Conditional); ok {
+		return cc.PutIf(bucket, key, data, ifMatch)
+	}
+	return ObjectMeta{}, fmt.Errorf("put-if %s/%s: %w", bucket, key, ErrConditionalUnsupported)
+}
+
+// contentETag is the ETag algorithm shared by Store and the multi-region
+// facade: hex MD5 of the body, as S3/COS compute for simple puts. Sharing
+// it means an ETag read through any layer matches the one a conditional
+// put will compare against.
+func contentETag(data []byte) string {
+	sum := md5.Sum(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// PutIf implements Conditional on the in-memory engine. The compare and the
+// store are atomic under the bucket lock; the link charge (and any injected
+// failure) happens before either, so a failed request never committed and
+// is safe to retry.
+func (s *Store) PutIf(bucketName, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	s.stats.PutOps.Add(1)
+	s.stats.BytesIn.Add(int64(len(data)))
+	if err := s.charge(int64(len(data))); err != nil {
+		return ObjectMeta{}, err
+	}
+	body := make([]byte, len(data))
+	copy(body, data)
+	meta := ObjectMeta{
+		Key:          key,
+		Size:         int64(len(body)),
+		ETag:         contentETag(body),
+		LastModified: s.now(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.buckets[bucketName]
+	if !ok {
+		return ObjectMeta{}, fmt.Errorf("put-if %s/%s: %w", bucketName, key, ErrNoSuchBucket)
+	}
+	cur := ""
+	if obj, ok := b.objects[key]; ok {
+		cur = obj.meta.ETag
+	}
+	if cur != ifMatch {
+		return ObjectMeta{}, fmt.Errorf("put-if %s/%s: have %q want %q: %w", bucketName, key, cur, ifMatch, ErrPreconditionFailed)
+	}
+	b.objects[key] = &object{meta: meta, data: body}
+	return meta, nil
+}
+
+// PutIf implements Conditional: the payload is charged as upload before the
+// inner compare-and-swap, like Put.
+func (l *Linked) PutIf(bucket, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	if err := l.charge(int64(len(data))); err != nil {
+		return ObjectMeta{}, err
+	}
+	return PutIf(l.inner, bucket, key, data, ifMatch)
+}
+
+// PutIf implements Conditional; conditional puts count as put requests.
+func (c *Counting) PutIf(bucket, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	c.putOps.Add(1)
+	c.bytesOut.Add(int64(len(data)))
+	return PutIf(c.inner, bucket, key, data, ifMatch)
+}
+
+// PutIf implements Conditional. Retrying a conditional put is safe because
+// every layer below injects failures before mutating state, so a transient
+// error means the write never committed; ErrPreconditionFailed classifies
+// as fatal and passes through on the first observation.
+func (r *Retrying) PutIf(bucket, key string, data []byte, ifMatch string) (meta ObjectMeta, err error) {
+	err = r.do(func() error {
+		meta, err = PutIf(r.inner, bucket, key, data, ifMatch)
+		return err
+	})
+	return meta, err
+}

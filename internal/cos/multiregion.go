@@ -47,21 +47,23 @@ import (
 // facade (e.g. datasets seeded directly into one region's Store) have no
 // version record and are served from the first region that has them.
 type MultiRegion struct {
-	regions  []RegionBackend
-	failover bool
-	mode     ReplicationMode
-	clk      vclock.Clock // required in async mode (catch-up workers)
-	qlimit   int          // per-region replication queue bound
-	root     regionView   // default view: preferred region 0, no home region
+	regions   []RegionBackend
+	failover  bool
+	mode      ReplicationMode
+	clk       vclock.Clock // required in async mode (catch-up workers)
+	qlimit    int          // per-region replication queue bound
+	redeliver int          // attempts per catch-up task before it is dropped
+	root      regionView   // default view: preferred region 0, no home region
 
 	mu       sync.Mutex
 	latest   map[string]objVersion // object key → latest committed version
 	replicas []map[string]uint64   // per-region committed version
 	buckets  map[string]bool       // buckets created through the facade
 
-	qmu     sync.Mutex
-	queues  [][]repTask // per-region pending catch-up writes
-	workers []bool      // per-region: a drain worker task is running
+	qmu          sync.Mutex
+	queues       [][]repTask // per-region pending catch-up writes
+	workers      []bool      // per-region: a drain worker task is running
+	redelivering []int       // per-region: tasks waiting out a redelivery backoff
 
 	stats MultiRegionStats
 }
@@ -95,6 +97,7 @@ type repTask struct {
 	k           string // objKey(bucket, key)
 	v           uint64
 	data        []byte
+	attempts    int // delivery attempts already spent (see redeliverOrDrop)
 }
 
 // DefaultReplicationQueueLimit bounds each region's catch-up queue when
@@ -102,6 +105,15 @@ type repTask struct {
 // backpressures writers (they block on the virtual clock until the region's
 // worker drains a slot), so the facade can never buffer unbounded bytes.
 const DefaultReplicationQueueLimit = 1024
+
+// DefaultReplicationRedeliveryBudget is the delivery attempts each catch-up
+// task gets before its replica is declared stale (dropped to read-repair).
+// A budget of 1 restores the old single-attempt behaviour.
+const DefaultReplicationRedeliveryBudget = 3
+
+// replicationRedeliveryBackoff is the delay before a failed catch-up task's
+// first redelivery; it doubles per attempt.
+const replicationRedeliveryBackoff = 50 * time.Millisecond
 
 var _ Client = (*MultiRegion)(nil)
 
@@ -116,6 +128,10 @@ type RegionBackend struct {
 type objVersion struct {
 	v       uint64
 	deleted bool
+	// etag is the content ETag of the latest committed version, maintained
+	// so conditional puts (PutIf) can compare against the facade's own
+	// control plane instead of racing the region stores.
+	etag string
 }
 
 // MultiRegionStats counts cross-region events. Counters are cumulative and
@@ -144,14 +160,18 @@ type MultiRegionStats struct {
 	CrossRegionWriteBytes atomic.Int64
 	// AsyncQueued counts catch-up writes enqueued by async-mode puts;
 	// AsyncReplicated counts those that landed, AsyncDropped those that
-	// failed (the replica stays stale until read-repair finds it), and
-	// AsyncSkipped those that were obsolete by the time the worker reached
-	// them — superseded by a newer version or already made current by
-	// read-repair. Queued = Replicated + Dropped + Skipped once drained.
-	AsyncQueued     atomic.Int64
-	AsyncReplicated atomic.Int64
-	AsyncDropped    atomic.Int64
-	AsyncSkipped    atomic.Int64
+	// exhausted their redelivery budget (the replica stays stale until
+	// read-repair finds it), and AsyncSkipped those that were obsolete by
+	// the time the worker reached them — superseded by a newer version or
+	// already made current by read-repair. AsyncRedelivered counts failed
+	// attempts that were re-enqueued with backoff instead of dropped; a
+	// redelivered task is not re-counted as queued, so the ledger
+	// Queued = Replicated + Dropped + Skipped still closes once drained.
+	AsyncQueued      atomic.Int64
+	AsyncReplicated  atomic.Int64
+	AsyncDropped     atomic.Int64
+	AsyncSkipped     atomic.Int64
+	AsyncRedelivered atomic.Int64
 	// AsyncBackpressure counts puts that had to wait for queue space.
 	AsyncBackpressure atomic.Int64
 }
@@ -162,6 +182,7 @@ type MultiRegionSnapshot struct {
 	CrossRegionReads, CrossRegionReadBytes                                                int64
 	CrossRegionWrites, CrossRegionWriteBytes                                              int64
 	AsyncQueued, AsyncReplicated, AsyncDropped, AsyncSkipped, AsyncBackpressure, AsyncLag int64
+	AsyncRedelivered                                                                      int64
 }
 
 // MultiRegionOption configures a MultiRegion.
@@ -192,6 +213,16 @@ func WithAsyncReplication(clk vclock.Clock, queueLimit int) MultiRegionOption {
 		m.clk = clk
 		m.qlimit = queueLimit
 	}
+}
+
+// WithReplicationRedelivery sets the delivery-attempt budget of each async
+// catch-up task: a failed attempt is re-enqueued with exponential backoff
+// until budget attempts have been spent, and only then is the replica
+// declared stale (dropped to read-repair). A budget of 1 disables
+// redelivery; non-positive selects DefaultReplicationRedeliveryBudget.
+// It only matters under WithAsyncReplication.
+func WithReplicationRedelivery(budget int) MultiRegionOption {
+	return func(m *MultiRegion) { m.redeliver = budget }
 }
 
 // NewMultiRegion builds a facade over the given regions. Region order is
@@ -228,8 +259,12 @@ func NewMultiRegion(regions []RegionBackend, opts ...MultiRegionOption) (*MultiR
 		if m.clk == nil {
 			return nil, errors.New("cos: async replication requires a clock")
 		}
+		if m.redeliver <= 0 {
+			m.redeliver = DefaultReplicationRedeliveryBudget
+		}
 		m.queues = make([][]repTask, len(regions))
 		m.workers = make([]bool, len(regions))
+		m.redelivering = make([]int, len(regions))
 	}
 	m.root = regionView{m: m, pref: 0, home: -1}
 	return m, nil
@@ -267,6 +302,7 @@ func (m *MultiRegion) Stats() MultiRegionSnapshot {
 		AsyncDropped:          m.stats.AsyncDropped.Load(),
 		AsyncSkipped:          m.stats.AsyncSkipped.Load(),
 		AsyncBackpressure:     m.stats.AsyncBackpressure.Load(),
+		AsyncRedelivered:      m.stats.AsyncRedelivered.Load(),
 		AsyncLag:              m.queueDepth(),
 	}
 }
@@ -383,7 +419,7 @@ func (m *MultiRegion) put(home, pref int, bucket, key string, data []byte) (Obje
 	}
 	m.mu.Lock()
 	if v > m.latest[k].v || m.latest[k].deleted {
-		m.latest[k] = objVersion{v: v}
+		m.latest[k] = objVersion{v: v, etag: meta.ETag}
 	}
 	for _, i := range wrote {
 		if m.replicas[i][k] < v {
@@ -439,7 +475,7 @@ func (m *MultiRegion) putAsync(home, pref int, bucket, key string, data []byte) 
 	}
 	m.mu.Lock()
 	if v > m.latest[k].v || m.latest[k].deleted {
-		m.latest[k] = objVersion{v: v}
+		m.latest[k] = objVersion{v: v, etag: meta.ETag}
 	}
 	if m.replicas[primary][k] < v {
 		m.replicas[primary][k] = v
@@ -459,7 +495,13 @@ func (m *MultiRegion) putAsync(home, pref int, bucket, key string, data []byte) 
 // region if none is running. Workers are short-lived clock tasks: they
 // exit as soon as their queue empties, so an idle facade keeps no tasks
 // registered with the virtual clock.
-func (m *MultiRegion) enqueue(i int, t repTask) {
+func (m *MultiRegion) enqueue(i int, t repTask) { m.enqueueTask(i, t, false) }
+
+// enqueueTask is enqueue with redelivery bookkeeping: a redelivered task
+// was already counted as queued (the ledger tracks logical catch-up writes,
+// not attempts) and releases its slot in the pending-redelivery count once
+// it is back on the queue.
+func (m *MultiRegion) enqueueTask(i int, t repTask, redelivery bool) {
 	backpressured := false
 	vclock.Poll(m.clk, func() bool {
 		m.qmu.Lock()
@@ -469,7 +511,11 @@ func (m *MultiRegion) enqueue(i int, t repTask) {
 			return false
 		}
 		m.queues[i] = append(m.queues[i], t)
-		m.stats.AsyncQueued.Add(1)
+		if redelivery {
+			m.redelivering[i]--
+		} else {
+			m.stats.AsyncQueued.Add(1)
+		}
 		if !m.workers[i] {
 			m.workers[i] = true
 			m.clk.Go(func() { m.drainRegion(i) })
@@ -483,9 +529,10 @@ func (m *MultiRegion) enqueue(i int, t repTask) {
 
 // drainRegion is region i's catch-up worker: it pops queued writes in FIFO
 // order and lands them through the region's own client stack (so its link
-// latency and fault plan apply), then exits when the queue is empty. Each
-// task gets one attempt — a failed catch-up leaves the replica stale for
-// read-repair to fix — so a partitioned region can never wedge the queue.
+// latency and fault plan apply), then exits when the queue is empty. A
+// failed attempt is redelivered with backoff until the task's attempt
+// budget runs out (see replicate), so a partitioned region can never wedge
+// the queue — the task waits out its backoff off-queue, not at its head.
 func (m *MultiRegion) drainRegion(i int) {
 	for {
 		m.qmu.Lock()
@@ -504,7 +551,10 @@ func (m *MultiRegion) drainRegion(i int) {
 // replicate lands one catch-up write in region i. Tasks superseded by a
 // newer committed version (or a tombstone) are skipped rather than risk
 // writing stale bytes over a newer replica; the newer version's own
-// catch-up task covers the region.
+// catch-up task covers the region. A failed attempt consumes one unit of
+// the task's redelivery budget: the task is re-enqueued after an
+// exponential backoff on the clock, and only a task out of budget is
+// dropped — declaring the replica stale until read-repair finds it.
 func (m *MultiRegion) replicate(i int, t repTask) {
 	m.mu.Lock()
 	lv := m.latest[t.k]
@@ -516,20 +566,17 @@ func (m *MultiRegion) replicate(i int, t repTask) {
 	}
 	if _, err := m.regions[i].Client.Put(t.bucket, t.key, t.data); err != nil {
 		if !errors.Is(err, ErrNoSuchBucket) {
-			m.stats.AsyncDropped.Add(1)
-			m.stats.WriteMisses.Add(1)
+			m.redeliverOrDrop(i, t)
 			return
 		}
 		// The region also missed the bucket creation; repair that first,
 		// then retry the object once.
 		if cerr := m.regions[i].Client.CreateBucket(t.bucket); cerr != nil && !errors.Is(cerr, ErrBucketExists) {
-			m.stats.AsyncDropped.Add(1)
-			m.stats.WriteMisses.Add(1)
+			m.redeliverOrDrop(i, t)
 			return
 		}
 		if _, err = m.regions[i].Client.Put(t.bucket, t.key, t.data); err != nil {
-			m.stats.AsyncDropped.Add(1)
-			m.stats.WriteMisses.Add(1)
+			m.redeliverOrDrop(i, t)
 			return
 		}
 	}
@@ -543,6 +590,30 @@ func (m *MultiRegion) replicate(i int, t repTask) {
 		m.stats.AsyncSkipped.Add(1)
 	}
 	m.mu.Unlock()
+}
+
+// redeliverOrDrop handles one failed catch-up attempt for region i: while
+// the task has redelivery budget left it is rescheduled after an
+// exponential backoff (50ms, 100ms, ... on the virtual clock) by a
+// short-lived clock task; out of budget it is dropped and the replica
+// declared stale. Every failed attempt counts as a write miss — the
+// replica really did stay stale across it.
+func (m *MultiRegion) redeliverOrDrop(i int, t repTask) {
+	m.stats.WriteMisses.Add(1)
+	t.attempts++
+	if t.attempts >= m.redeliver {
+		m.stats.AsyncDropped.Add(1)
+		return
+	}
+	m.stats.AsyncRedelivered.Add(1)
+	backoff := replicationRedeliveryBackoff << (t.attempts - 1)
+	m.qmu.Lock()
+	m.redelivering[i]++
+	m.qmu.Unlock()
+	m.clk.Go(func() {
+		m.clk.Sleep(backoff)
+		m.enqueueTask(i, t, true)
+	})
 }
 
 // queueDepth returns the number of catch-up writes still queued.
@@ -571,7 +642,7 @@ func (m *MultiRegion) Drain(deadline time.Time) bool {
 		m.qmu.Lock()
 		defer m.qmu.Unlock()
 		for i := range m.queues {
-			if len(m.queues[i]) > 0 || m.workers[i] {
+			if len(m.queues[i]) > 0 || m.workers[i] || m.redelivering[i] > 0 {
 				return false
 			}
 		}
@@ -653,6 +724,101 @@ func (m *MultiRegion) delete_(pref int, bucket, key string) error {
 	}
 	m.mu.Unlock()
 	return nil
+}
+
+// putIf is the facade's conditional put. The compare and the version claim
+// happen atomically under the control-plane lock, so two racing conditional
+// puts serialize there: the loser observes the winner's ETag and fails with
+// ErrPreconditionFailed before touching any region. The region fan-out then
+// proceeds like a sync put at the claimed version (conditional writes are
+// coordination records — small, rare, and worth full replication). If no
+// region accepts the bytes the claim is rolled back — provided it is still
+// the latest — so a transient outage surfaces as a retryable failure
+// rather than a committed phantom version. Keys written through putIf
+// should be written exclusively through it: an unconditional Put racing a
+// conditional one on the same key can interleave version claims.
+func (m *MultiRegion) putIf(home, pref int, bucket, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	k := objKey(bucket, key)
+	newTag := contentETag(data)
+	m.mu.Lock()
+	lv, tracked := m.latest[k]
+	cur := ""
+	if tracked && !lv.deleted {
+		cur = lv.etag
+	}
+	if cur != ifMatch {
+		m.mu.Unlock()
+		return ObjectMeta{}, fmt.Errorf("put-if %s/%s: have %q want %q: %w", bucket, key, cur, ifMatch, ErrPreconditionFailed)
+	}
+	v := lv.v + 1
+	m.latest[k] = objVersion{v: v, etag: newTag}
+	m.mu.Unlock()
+
+	var (
+		meta         ObjectMeta
+		gotMeta      bool
+		lastErr      error
+		sawTransient bool
+		wrote        []int
+	)
+	for _, i := range m.order(pref) {
+		got, err := m.regions[i].Client.Put(bucket, key, data)
+		if err != nil {
+			switch {
+			case transientRegionErr(err):
+				sawTransient = true
+			case errors.Is(err, ErrNoSuchBucket):
+				// Missed bucket creation; the replica stays stale and
+				// read-repair recreates bucket and object later.
+			default:
+				m.rollbackClaim(k, lv, v, newTag, tracked)
+				return ObjectMeta{}, err
+			}
+			m.stats.WriteMisses.Add(1)
+			lastErr = err
+			continue
+		}
+		if !gotMeta {
+			meta, gotMeta = got, true
+		}
+		m.countCrossWrite(home, i, len(data))
+		wrote = append(wrote, i)
+	}
+	if !gotMeta {
+		m.rollbackClaim(k, lv, v, newTag, tracked)
+		if !sawTransient && lastErr != nil {
+			return ObjectMeta{}, fmt.Errorf("put-if %s/%s: %w", bucket, key, lastErr)
+		}
+		return ObjectMeta{}, fmt.Errorf("cos: put-if %s/%s failed in all %d regions: %w", bucket, key, len(m.regions), ErrRequestFailed)
+	}
+	m.mu.Lock()
+	for _, i := range wrote {
+		if m.replicas[i][k] < v {
+			m.replicas[i][k] = v
+		}
+	}
+	m.mu.Unlock()
+	return meta, nil
+}
+
+// rollbackClaim withdraws a conditional put's version claim after a total
+// write failure, but only while the claim is still the latest — a newer
+// writer's claim is never disturbed.
+func (m *MultiRegion) rollbackClaim(k string, prev objVersion, v uint64, etag string, wasTracked bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if cur := m.latest[k]; cur.v == v && cur.etag == etag && !cur.deleted {
+		if wasTracked {
+			m.latest[k] = prev
+		} else {
+			delete(m.latest, k)
+		}
+	}
+}
+
+// PutIf implements Conditional on the facade's default view.
+func (m *MultiRegion) PutIf(bucket, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	return m.putIf(-1, 0, bucket, key, data, ifMatch)
 }
 
 // --- reads ----------------------------------------------------------------
@@ -1067,6 +1233,13 @@ func (v *regionView) BucketExists(bucket string) (bool, error) {
 // Put implements Client.
 func (v *regionView) Put(bucket, key string, data []byte) (ObjectMeta, error) {
 	return v.m.put(v.home, v.pref, bucket, key, data)
+}
+
+// PutIf implements Conditional through the region's view; the compare still
+// resolves against the facade-wide latest version, so fencing works across
+// regions.
+func (v *regionView) PutIf(bucket, key string, data []byte, ifMatch string) (ObjectMeta, error) {
+	return v.m.putIf(v.home, v.pref, bucket, key, data, ifMatch)
 }
 
 // Get implements Client.

@@ -1,0 +1,81 @@
+package wire
+
+// Job journal envelopes. The driver is the orchestrator in the PyWren model,
+// so a crashed client process used to lose the job even though every payload,
+// status, and result was already durable in COS. The manifest plus an
+// append-only journal close that gap: together they make the full job state
+// reconstructible from storage alone, and a fresh driver can Attach, replay
+// the journal, and continue where the dead one left off.
+
+// JobManifest is written once at first launch under the platform's meta
+// bucket. It records everything a resuming driver cannot rediscover from the
+// per-call objects: the job's identity, runtime, and the platform seed that
+// makes placement and speculation decisions reproducible.
+type JobManifest struct {
+	JobID      string `json:"jobId"`
+	MetaBucket string `json:"metaBucket"`
+	Runtime    string `json:"runtime"`
+	Seed       int64  `json:"seed"`
+	// CreatedUnixNs is the manifest write time on the simulation clock; the
+	// orphan GC falls back to it for jobs whose lease never renewed.
+	CreatedUnixNs int64 `json:"createdUnixNs"`
+}
+
+// Journal record kinds.
+const (
+	// JournalLaunch records a batch of staged-and-invoked calls.
+	JournalLaunch = "launch"
+	// JournalRespawn records re-invocations of calls whose activations died.
+	JournalRespawn = "respawn"
+	// JournalDeadLetter records calls retired after exhausting respawns.
+	JournalDeadLetter = "deadletter"
+	// JournalReplay records dead letters re-keyed under fresh call IDs; it is
+	// written before the replacements launch so a second driver never
+	// resurrects the originals.
+	JournalReplay = "replay"
+)
+
+// JournalCall is one call touched by a journal record.
+type JournalCall struct {
+	CallID string `json:"callId"`
+	// ActivationID is the platform activation driving the call, when known
+	// (direct invocation); empty under spawner fan-out.
+	ActivationID string `json:"activationId,omitempty"`
+	// Region is the call's storage home region, if placed.
+	Region string `json:"region,omitempty"`
+}
+
+// JournalRecord is one append-only entry under the job's journal prefix.
+// Records are keyed so that lexicographic order equals (epoch, seq) order;
+// replaying them in key order reproduces the driver's recovery decisions.
+type JournalRecord struct {
+	// Epoch is the driver-lease epoch that wrote the record. A resuming
+	// driver bumps the epoch before writing, so records from a fenced-off
+	// predecessor sort strictly earlier.
+	Epoch uint64 `json:"epoch"`
+	Seq   int    `json:"seq"`
+	Kind  string `json:"kind"`
+	// Calls are the calls the record covers (launched, respawned, or
+	// dead-lettered, per Kind).
+	Calls []JournalCall `json:"calls,omitempty"`
+	// Tracked marks launch records whose futures the driver holds (Map and
+	// friends), as opposed to untracked helper calls (remote invokers).
+	Tracked bool `json:"tracked,omitempty"`
+	// OldCallIDs lists the dead-lettered calls a replay record supersedes;
+	// index-aligned with Calls, which carries the replacement IDs.
+	OldCallIDs []string `json:"oldCallIds,omitempty"`
+	// AtUnixNs is the record's write time on the simulation clock.
+	AtUnixNs int64 `json:"atUnixNs"`
+}
+
+// DriverLease is the fencing record for a job: a tiny object updated only
+// via conditional put. Holding the latest epoch is what authorizes a driver
+// to mutate job state (respawn, dead-letter, replay); any driver whose
+// conditional renewal fails has been superseded and must stop.
+type DriverLease struct {
+	JobID string `json:"jobId"`
+	Epoch uint64 `json:"epoch"`
+	// RenewedUnixNs is the last renewal time on the simulation clock; the
+	// orphan GC treats a long-unrenewed lease as abandoned.
+	RenewedUnixNs int64 `json:"renewedUnixNs"`
+}
