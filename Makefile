@@ -42,9 +42,14 @@ chaos:
 # BENCH_regions.json: sync vs async PUT ack latency at 3 regions under
 # WAN latency (gate: async p50 ≥2× faster) and region-zero vs placed
 # cross-region reads on a 500-call map (gate: ≥5× fewer).
+# Finally it runs the multi-tenant fairness mix (cmd/tenantbench): eight
+# tenants, one bursting 10× its share, writing BENCH_tenants.json. Gates:
+# Jain fairness index ≥ 0.9 on goodput satisfaction, zero starved in-quota
+# tenants, and bit-identical same-seed reruns.
 bench: build
 	$(GO) run ./cmd/waitbench -n 10000 -out BENCH_waitpath.json -minreduction 10
 	$(GO) run ./cmd/regionbench -out BENCH_regions.json -minackspeedup 2 -minreadreduction 5
+	$(GO) run ./cmd/tenantbench -out BENCH_tenants.json -minjain 0.9
 
 # verify is the tier-1 gate plus the race detector and the analyzer
 # suite — what CI runs.

@@ -2,6 +2,8 @@ package gowren_test
 
 import (
 	"errors"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -268,4 +270,136 @@ func TestControllerOutageWindowRecovered(t *testing.T) {
 			t.Errorf("job finished in %v, impossible during a 4s outage", done)
 		}
 	})
+}
+
+// noisyNeighborRun executes the noisy-neighbor scenario: a victim tenant
+// runs a modest job while a noisy tenant floods the platform with 10× its
+// admitted share. The admission layer (per-tenant quotas + fair-share
+// dispatch) must keep the victim whole. Returns the victim's results and
+// elapsed virtual time plus the counts of quota rejections and sheds seen
+// in the platform trace.
+func noisyNeighborRun(t *testing.T, seed int64) (victim []int, elapsed time.Duration, quotaRejects, sheds int) {
+	t.Helper()
+	cloud, err := gowren.NewSimCloud(gowren.SimConfig{
+		Images:        []*gowren.Image{chaosImage(t)},
+		Seed:          seed,
+		MaxConcurrent: 10,
+		TraceCapacity: 1 << 16,
+		Admission: &gowren.AdmissionConfig{
+			// The victim keeps an unlimited rate but a larger dispatch
+			// weight; the noisy tenant is quota-capped well below its
+			// offered flood.
+			Tenants: map[string]gowren.TenantQuota{
+				"victim": {Weight: 4},
+				"noisy":  {Rate: 5, Burst: 10, Weight: 1},
+			},
+			MaxQueueDelay: 10 * time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cloud.Run(func() {
+		var noisyDone atomic.Bool
+		cloud.Go(func() {
+			defer noisyDone.Store(true)
+			noisy, err := cloud.Executor(
+				gowren.WithTenant("noisy"),
+				gowren.WithRetryPolicy(2, 200*time.Millisecond),
+			)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			args := make([]any, 150)
+			for i := range args {
+				args[i] = i
+			}
+			// The flood mostly bounces off the quota; errors (including
+			// a failed collection) are the expected outcome.
+			if _, err := noisy.MapSlice("work", args); err != nil {
+				return
+			}
+			_, _ = noisy.GetResult(gowren.GetResultOptions{
+				Timeout:        5 * time.Minute,
+				PartialResults: true,
+			})
+		})
+
+		exec, err := cloud.Executor(
+			gowren.WithTenant("victim"),
+			gowren.WithRetryPolicy(8, 500*time.Millisecond),
+		)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		args := make([]any, 10)
+		for i := range args {
+			args[i] = i
+		}
+		start := cloud.Clock().Now()
+		if _, err := exec.MapSlice("work", args); err != nil {
+			t.Errorf("victim map: %v", err)
+			return
+		}
+		victim, err = gowren.Results[int](exec, gowren.GetResultOptions{Timeout: time.Hour})
+		if err != nil {
+			t.Errorf("victim get result: %v", err)
+			return
+		}
+		elapsed = cloud.Clock().Now().Sub(start)
+		for !noisyDone.Load() {
+			cloud.Clock().Sleep(100 * time.Millisecond)
+		}
+	})
+	for _, ev := range cloud.Trace().Events() {
+		switch {
+		case ev.Kind == trace.KindShed:
+			sheds++
+		case ev.Kind == trace.KindThrottle && strings.Contains(ev.Detail, "reason=quota"):
+			quotaRejects++
+		}
+	}
+	return victim, elapsed, quotaRejects, sheds
+}
+
+func TestChaosNoisyNeighborVictimUnharmed(t *testing.T) {
+	// Acceptance: under a 10× noisy-neighbor flood the victim tenant's
+	// 10-call job completes exactly, and the admission layer visibly
+	// engaged (quota rejections or sheds in the trace).
+	victim, _, quotaRejects, sheds := noisyNeighborRun(t, 11)
+	if len(victim) != 10 {
+		t.Fatalf("victim results = %d, want 10", len(victim))
+	}
+	for i, r := range victim {
+		if r != i*2 {
+			t.Fatalf("victim result[%d] = %d, want %d", i, r, i*2)
+		}
+	}
+	if quotaRejects == 0 {
+		t.Fatal("no quota rejections; the noisy flood never hit its rate limit")
+	}
+	if quotaRejects+sheds < 50 {
+		t.Fatalf("admission barely engaged: quota=%d sheds=%d", quotaRejects, sheds)
+	}
+}
+
+func TestChaosNoisyNeighborDeterministic(t *testing.T) {
+	v1, e1, q1, s1 := noisyNeighborRun(t, 11)
+	v2, e2, q2, s2 := noisyNeighborRun(t, 11)
+	if e1 != e2 {
+		t.Fatalf("victim elapsed diverged under same seed: %v vs %v", e1, e2)
+	}
+	if q1 != q2 || s1 != s2 {
+		t.Fatalf("rejection counts diverged: quota %d vs %d, sheds %d vs %d", q1, q2, s1, s2)
+	}
+	if len(v1) != len(v2) {
+		t.Fatalf("victim result counts diverged: %d vs %d", len(v1), len(v2))
+	}
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatalf("victim result %d diverged: %d vs %d", i, v1[i], v2[i])
+		}
+	}
 }

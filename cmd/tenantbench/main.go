@@ -1,0 +1,330 @@
+// Command tenantbench measures multi-tenant fairness under an adversarial
+// open-loop mix: eight tenants share a controller whose capacity covers
+// everyone's fair share, and one tenant turns noisy mid-run, bursting to
+// 10× its share. The admission layer (per-tenant token buckets feeding a
+// deficit-weighted round-robin) must keep the in-quota tenants whole while
+// the noisy neighbor absorbs its own rejections.
+//
+//	tenantbench [-seed 1] [-horizon 60] [-out BENCH_tenants.json] [-minjain 0.9]
+//
+// The command reports per-tenant offered/admitted/completed counts plus
+// quota, shed, and throttle rejections, and gates on three properties:
+//
+//   - Jain's fairness index over per-tenant goodput satisfaction
+//     (completed ÷ entitled, where entitled = min(offered, quota·horizon))
+//     must reach -minjain;
+//   - no in-quota tenant is starved (satisfaction < 0.5);
+//   - the whole scenario is deterministic: a second run with the same seed
+//     must produce bit-identical per-tenant counters.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"gowren/internal/cos"
+	"gowren/internal/faas"
+	"gowren/internal/runtime"
+	"gowren/internal/traffic"
+	"gowren/internal/vclock"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tenantbench:", err)
+		os.Exit(1)
+	}
+}
+
+// Scenario shape: eight tenants, equal traffic shares, each offering a
+// touch under its quota; one (the noisy neighbor) bursts 10× for the
+// middle third of the horizon.
+const (
+	numTenants    = 8
+	perTenantRate = 4.0 // offered arrivals/s per tenant at baseline
+	quotaRate     = 5.0 // admitted arrivals/s per tenant (sustained)
+	quotaBurst    = 15.0
+	taskSeconds   = 1
+	maxConcurrent = 40 // capacity: covers every tenant's full quota
+	burstFactor   = 10.0
+	noisyTenant   = "tenant-3"
+)
+
+// tenantReport is one tenant's outcome counters.
+type tenantReport struct {
+	Offered      int     `json:"offered"`
+	Admitted     int     `json:"admitted"`
+	Completed    int     `json:"completed"`
+	QuotaRejects int     `json:"quotaRejects"`
+	Sheds        int     `json:"sheds"`
+	Throttles    int     `json:"throttles"`
+	Entitled     float64 `json:"entitled"`
+	Satisfaction float64 `json:"satisfaction"`
+}
+
+type report struct {
+	Seed           int64                   `json:"seed"`
+	HorizonSeconds int                     `json:"horizonSeconds"`
+	NoisyTenant    string                  `json:"noisyTenant"`
+	Tenants        map[string]tenantReport `json:"tenants"`
+	JainIndex      float64                 `json:"jainIndex"`
+	Starved        []string                `json:"starved"`
+	Deterministic  bool                    `json:"deterministic"`
+	Digest         string                  `json:"digest"`
+	SimSeconds     float64                 `json:"simSeconds"`
+	RealSeconds    float64                 `json:"realSeconds"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tenantbench", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	horizon := fs.Int("horizon", 60, "offered-load horizon in simulated seconds")
+	out := fs.String("out", "BENCH_tenants.json", "output JSON path")
+	minJain := fs.Float64("minjain", 0.9, "fail below this Jain fairness index (0 disables the gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	realStart := time.Now() //gowren:allow clockcheck — host CPU-time measurement of the simulation itself
+	rep, digest1, err := runScenario(*seed, *horizon)
+	if err != nil {
+		return err
+	}
+	// Same-seed rerun: the per-tenant counters must be bit-identical.
+	_, digest2, err := runScenario(*seed, *horizon)
+	if err != nil {
+		return fmt.Errorf("determinism rerun: %w", err)
+	}
+	rep.Deterministic = digest1 == digest2
+	rep.Digest = digest1
+	rep.RealSeconds = time.Since(realStart).Seconds() //gowren:allow clockcheck — host CPU-time measurement of the simulation itself
+
+	names := make([]string, 0, len(rep.Tenants))
+	for name := range rep.Tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tr := rep.Tenants[name]
+		fmt.Printf("%-10s offered=%-5d admitted=%-5d completed=%-5d quota=%-4d shed=%-3d satisfaction=%.3f\n",
+			name, tr.Offered, tr.Admitted, tr.Completed, tr.QuotaRejects, tr.Sheds, tr.Satisfaction)
+	}
+	fmt.Printf("jain=%.4f starved=%d deterministic=%v sim=%.1fs real=%.2fs\n",
+		rep.JainIndex, len(rep.Starved), rep.Deterministic, rep.SimSeconds, rep.RealSeconds)
+
+	body, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(body, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if !rep.Deterministic {
+		return fmt.Errorf("same-seed reruns diverged: %s vs %s", digest1, digest2)
+	}
+	if len(rep.Starved) > 0 {
+		return fmt.Errorf("in-quota tenants starved: %v", rep.Starved)
+	}
+	if *minJain > 0 && rep.JainIndex < *minJain {
+		return fmt.Errorf("jain index %.4f below required %.4f", rep.JainIndex, *minJain)
+	}
+	return nil
+}
+
+// runScenario executes one full adversarial mix on a fresh simulated
+// platform and returns the report plus a digest of its deterministic
+// fields.
+func runScenario(seed int64, horizonSeconds int) (*report, string, error) {
+	horizon := time.Duration(horizonSeconds) * time.Second
+	tenants := make([]string, numTenants)
+	for i := range tenants {
+		tenants[i] = fmt.Sprintf("tenant-%d", i)
+	}
+	schedule, err := traffic.Generate(traffic.Config{
+		Seed:             seed,
+		Tenants:          tenants,
+		Horizon:          horizon,
+		BaseRate:         perTenantRate * numTenants,
+		ZipfS:            0, // equal shares: the quota, not the offered mix, is under test
+		DiurnalAmplitude: 0.15,
+		Bursts: []traffic.Burst{{
+			Tenant: noisyTenant,
+			Start:  horizon / 3,
+			End:    2 * horizon / 3,
+			Factor: burstFactor,
+		}},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+
+	clk := vclock.NewVirtual()
+	reg := runtime.NewRegistry()
+	img := runtime.NewImage(runtime.DefaultImage, 100)
+	if err := img.RegisterPlain("busy", func(ctx *runtime.Ctx, arg json.RawMessage) (any, error) {
+		return nil, ctx.ChargeCompute(taskSeconds * time.Second)
+	}); err != nil {
+		return nil, "", err
+	}
+	if err := reg.Publish(img); err != nil {
+		return nil, "", err
+	}
+	ctrl, err := faas.New(faas.Config{
+		Clock:         clk,
+		Registry:      reg,
+		Storage:       cos.NewStore(),
+		Seed:          seed,
+		MaxConcurrent: maxConcurrent,
+		Admission: &faas.AdmissionConfig{
+			Default: faas.TenantQuota{Rate: quotaRate, Burst: quotaBurst},
+		},
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	if err := ctrl.CreateAction(faas.ActionSpec{
+		Name:  "busy",
+		Image: runtime.DefaultImage,
+		Handler: func(ctx *runtime.Ctx, params []byte) ([]byte, error) {
+			if err := ctx.ChargeCompute(taskSeconds * time.Second); err != nil {
+				return nil, err
+			}
+			return []byte(`"done"`), nil
+		},
+	}); err != nil {
+		return nil, "", err
+	}
+
+	counters := make(map[string]*tenantReport, numTenants)
+	for _, name := range tenants {
+		counters[name] = &tenantReport{}
+	}
+	var mu sync.Mutex
+	issued := 0
+
+	var simElapsed time.Duration
+	var runErr error
+	clk.Run(func() {
+		start := clk.Now()
+		// Open-loop injection: every arrival fires at its scheduled time
+		// regardless of how the platform answered the ones before it.
+		for _, a := range schedule {
+			arrival := a
+			clk.Go(func() {
+				if d := arrival.At - clk.Now().Sub(start); d > 0 {
+					clk.Sleep(d)
+				}
+				_, err := ctrl.InvokeTenant(arrival.Tenant, "busy", []byte(`{}`))
+				mu.Lock()
+				defer mu.Unlock()
+				tr := counters[arrival.Tenant]
+				tr.Offered++
+				switch {
+				case err == nil:
+					tr.Admitted++
+				case errors.Is(err, faas.ErrQuotaExceeded):
+					tr.QuotaRejects++
+				case errors.Is(err, faas.ErrShed):
+					tr.Sheds++
+				default:
+					tr.Throttles++
+				}
+				issued++
+			})
+		}
+		done := func() bool {
+			mu.Lock()
+			n := issued
+			mu.Unlock()
+			return n == len(schedule) && ctrl.InFlight() == 0 && ctrl.AdmissionQueued() == 0
+		}
+		if !vclock.Poll(clk, done, 50*time.Millisecond, start.Add(horizon+10*time.Minute)) {
+			runErr = fmt.Errorf("run did not drain: inflight=%d queued=%d", ctrl.InFlight(), ctrl.AdmissionQueued())
+			return
+		}
+		simElapsed = clk.Now().Sub(start)
+	})
+	if runErr != nil {
+		return nil, "", runErr
+	}
+
+	for _, act := range ctrl.Activations() {
+		if act.Done() && act.OK {
+			counters[act.Tenant].Completed++
+		}
+	}
+
+	rep := &report{
+		Seed:           seed,
+		HorizonSeconds: horizonSeconds,
+		NoisyTenant:    noisyTenant,
+		Tenants:        make(map[string]tenantReport, numTenants),
+		SimSeconds:     simElapsed.Seconds(),
+	}
+	var xs []float64
+	for _, name := range tenants {
+		tr := counters[name]
+		tr.Entitled = quotaRate * float64(horizonSeconds)
+		if offered := float64(tr.Offered); offered < tr.Entitled {
+			tr.Entitled = offered
+		}
+		if tr.Entitled > 0 {
+			tr.Satisfaction = float64(tr.Completed) / tr.Entitled
+			if tr.Satisfaction > 1 {
+				tr.Satisfaction = 1
+			}
+		}
+		xs = append(xs, tr.Satisfaction)
+		// Starvation gate covers in-quota tenants only: the noisy
+		// neighbor's clipped throughput is the mechanism working.
+		inQuota := float64(tr.Offered) <= quotaRate*float64(horizonSeconds)
+		if inQuota && tr.Offered > 0 && tr.Satisfaction < 0.5 {
+			rep.Starved = append(rep.Starved, name)
+		}
+		rep.Tenants[name] = *tr
+	}
+	rep.JainIndex = jain(xs)
+
+	digest, err := digestOf(rep)
+	if err != nil {
+		return nil, "", err
+	}
+	return rep, digest, nil
+}
+
+// jain computes Jain's fairness index (Σx)²/(n·Σx²); 1 is perfectly fair.
+func jain(xs []float64) float64 {
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// digestOf hashes the deterministic slice of the report: per-tenant
+// counters and the simulated elapsed time.
+func digestOf(rep *report) (string, error) {
+	body, err := json.Marshal(struct {
+		Tenants    map[string]tenantReport `json:"tenants"`
+		SimSeconds float64                 `json:"simSeconds"`
+	}{rep.Tenants, rep.SimSeconds})
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(body)
+	return hex.EncodeToString(sum[:]), nil
+}

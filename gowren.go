@@ -38,6 +38,7 @@ import (
 	"gowren/internal/chaos"
 	"gowren/internal/core"
 	"gowren/internal/cos"
+	"gowren/internal/faas"
 	"gowren/internal/netsim"
 	"gowren/internal/runtime"
 	"gowren/internal/trace"
@@ -93,6 +94,36 @@ const (
 	ChaosControllerOutage = chaos.ControllerOutage
 	// ChaosSlowContainers multiplies activation jitter during the window.
 	ChaosSlowContainers = chaos.SlowContainers
+)
+
+// Multi-tenant admission building blocks (see DESIGN.md, "Admission &
+// fairness"): SimConfig.Admission arms the controller's tenant-aware gate,
+// WithTenant attributes an executor's invocations to a tenant.
+type (
+	// TenantQuota is one tenant's admission contract: sustained rate,
+	// burst, and fair-share weight.
+	TenantQuota = faas.TenantQuota
+	// AdmissionConfig configures the tenant-aware admission layer:
+	// per-tenant token buckets feeding a deficit-weighted round-robin
+	// over bounded queues, with deadline-based shedding.
+	AdmissionConfig = faas.AdmissionConfig
+)
+
+// DefaultTenant is the tenant name invocations fall under when no
+// WithTenant option names one.
+const DefaultTenant = faas.DefaultTenant
+
+// Admission-layer rejections, re-exported for errors.Is against call and
+// GetResult errors.
+var (
+	// ErrThrottled marks a 429 from the global concurrency gate.
+	ErrThrottled = faas.ErrThrottled
+	// ErrQuotaExceeded marks an invocation rejected because its tenant is
+	// over its token-bucket rate quota.
+	ErrQuotaExceeded = faas.ErrQuotaExceeded
+	// ErrShed marks an invocation dropped by overload protection: a full
+	// admission queue, or queueing past the admission deadline.
+	ErrShed = faas.ErrShed
 )
 
 // ReplicationMode selects how a multi-region cloud propagates writes (see
@@ -184,6 +215,12 @@ type SimConfig struct {
 	// MaxConcurrent is the platform's concurrent-invocation limit
 	// (default 1000, as in the paper; negative = unlimited).
 	MaxConcurrent int
+	// Admission, when non-nil, arms the tenant-aware admission layer on
+	// the controller: per-tenant token buckets (sustained rate + burst)
+	// feed a deficit-weighted round-robin over bounded per-tenant queues,
+	// with deadline-based shedding. MaxConcurrent remains the global
+	// capacity underneath. Nil keeps the paper's single global 429 gate.
+	Admission *AdmissionConfig
 	// Jitter enables per-activation platform noise (the paper's Fig. 3
 	// variability). Off by default for deterministic unit use.
 	Jitter bool
@@ -377,6 +414,7 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 		Store:         store,
 		Seed:          cfg.Seed,
 		MaxConcurrent: cfg.MaxConcurrent,
+		Admission:     cfg.Admission,
 		CrashProb:     cfg.CrashProb,
 		MetaBucket:    cfg.MetaBucket,
 		Trace:         recorder,
@@ -482,6 +520,7 @@ type ExecutorOption func(*executorSettings)
 
 type executorSettings struct {
 	runtime          string
+	tenant           string
 	profile          ClientProfile
 	massive          bool
 	spawnGroup       int
@@ -504,6 +543,16 @@ type executorSettings struct {
 // pw.ibm_cf_executor(runtime='matplotlib').
 func WithRuntime(name string) ExecutorOption {
 	return func(s *executorSettings) { s.runtime = name }
+}
+
+// WithTenant attributes the executor's invocations to a platform tenant:
+// under SimConfig.Admission they are admitted against that tenant's rate
+// quota and fair-share weight, and activation records carry the tenant for
+// per-tenant billing rollups. The tenant travels in every staged payload,
+// so respawns, remote invokers and dynamic compositions inherit it. Empty
+// (or unset) means DefaultTenant.
+func WithTenant(name string) ExecutorOption {
+	return func(s *executorSettings) { s.tenant = name }
 }
 
 // WithClientProfile positions the client on the network.
@@ -736,6 +785,7 @@ func (c *Cloud) executorConfig(opts []ExecutorOption) (core.Config, error) {
 		Storage:             storage,
 		ControlLink:         controlLink,
 		RuntimeImage:        s.runtime,
+		Tenant:              s.tenant,
 		InvokeConcurrency:   s.invokeConc,
 		StageConcurrency:    s.stageConc,
 		ClientOverhead:      s.clientOverhead,

@@ -3,9 +3,11 @@
 package errsinkfixture
 
 import (
+	"errors"
 	"fmt"
 
 	"gowren/internal/cos"
+	"gowren/internal/faas"
 	"gowren/internal/retry"
 )
 
@@ -46,4 +48,23 @@ func goodOtherPkg() {
 // allowed demonstrates the escape hatch.
 func allowed(c cos.Client) {
 	c.Delete("bucket", "key") //gowren:allow errsink — fixture: best-effort cleanup
+}
+
+// badFaas drops platform invocation results: a shed or quota rejection
+// vanishes instead of reaching the retry policy.
+func badFaas(c *faas.Controller) {
+	c.Invoke("action", nil)
+	_, _ = c.InvokeTenant("tenant", "action", nil)
+}
+
+// goodFaas classifies the admission rejections it receives.
+func goodFaas(c *faas.Controller) error {
+	if _, err := c.Invoke("action", nil); err != nil {
+		return err
+	}
+	_, err := c.InvokeTenant("tenant", "action", nil)
+	if errors.Is(err, faas.ErrShed) || errors.Is(err, faas.ErrQuotaExceeded) {
+		return fmt.Errorf("admission rejected: %w", err)
+	}
+	return err
 }

@@ -85,19 +85,50 @@ func MeterActivations(acts []faas.Activation, fallbackMemoryMB int) Usage {
 	}
 	var u Usage
 	for _, a := range acts {
+		meterOne(&u, a, fallbackMemoryMB)
+	}
+	return u
+}
+
+// meterOne accumulates one finished activation into u.
+func meterOne(u *Usage, a faas.Activation, fallbackMemoryMB int) {
+	if !a.Done() {
+		return
+	}
+	mem := a.MemoryMB
+	if mem <= 0 {
+		mem = fallbackMemoryMB
+	}
+	secs := a.EndAt.Sub(a.StartAt).Seconds()
+	u.Invocations++
+	u.ComputeSeconds += secs
+	u.GBSeconds += float64(mem) / 1024 * secs
+}
+
+// ReportByTenant rolls finished activations up per tenant — the billing
+// half of the platform's tenant model. Records that predate the tenant tag
+// (or were invoked without one) land under faas.DefaultTenant, so totals
+// across the returned map always equal MeterActivations over the same
+// records. Storage counters are not attributable per tenant from
+// activation records and stay zero.
+func ReportByTenant(acts []faas.Activation, fallbackMemoryMB int) map[string]Usage {
+	if fallbackMemoryMB <= 0 {
+		fallbackMemoryMB = faas.DefaultMemoryMB
+	}
+	out := make(map[string]Usage)
+	for _, a := range acts {
 		if !a.Done() {
 			continue
 		}
-		mem := a.MemoryMB
-		if mem <= 0 {
-			mem = fallbackMemoryMB
+		tenant := a.Tenant
+		if tenant == "" {
+			tenant = faas.DefaultTenant
 		}
-		secs := a.EndAt.Sub(a.StartAt).Seconds()
-		u.Invocations++
-		u.ComputeSeconds += secs
-		u.GBSeconds += float64(mem) / 1024 * secs
+		u := out[tenant]
+		meterOne(&u, a, fallbackMemoryMB)
+		out[tenant] = u
 	}
-	return u
+	return out
 }
 
 // VMPriceTable prices a dedicated VM per hour, for the paper's sequential

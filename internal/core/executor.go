@@ -43,6 +43,11 @@ type Config struct {
 	// mirroring pw.ibm_cf_executor(runtime='matplotlib'). Empty uses
 	// runtime.DefaultImage.
 	RuntimeImage string
+	// Tenant attributes this executor's invocations to a platform tenant
+	// for fair-share admission and per-tenant billing. The tenant travels
+	// in every staged payload, so respawns, remote invokers and
+	// composition spawns inherit it. Empty means the default tenant.
+	Tenant string
 
 	// InvokeConcurrency is the client thread-pool size for direct
 	// invocation. Zero uses 64.
@@ -195,10 +200,14 @@ func (e *Executor) resetListFailures(execID string) {
 }
 
 // classifyCallErr maps invocation-path errors onto the shared retry
-// classes: 429s feed the breaker, lost requests retry, the rest is fatal.
+// classes: 429s — global throttles and the admission layer's quota and
+// shed rejections alike — feed the breaker, lost requests retry, the rest
+// is fatal.
 func classifyCallErr(err error) retry.Class {
 	switch {
-	case errors.Is(err, faas.ErrThrottled):
+	case errors.Is(err, faas.ErrThrottled),
+		errors.Is(err, faas.ErrQuotaExceeded),
+		errors.Is(err, faas.ErrShed):
 		return retry.Throttle
 	case errors.Is(err, cos.ErrRequestFailed):
 		return retry.Transient
@@ -425,6 +434,9 @@ func (e *Executor) stagePayloads(payloads []*wire.CallPayload) error {
 	for _, p := range payloads {
 		if p.Region == "" {
 			p.Region = e.cfg.Platform.PlaceCall(p.CallID)
+		}
+		if p.Tenant == "" {
+			p.Tenant = e.cfg.Tenant
 		}
 	}
 	errs := parallelFor(e.clock, e.cfg.StageConcurrency, len(payloads), func(i int) error {

@@ -162,7 +162,7 @@ func (e *Executor) Respawn(futures []*Future) error {
 	newActs := make([]string, len(futures))
 	errs = parallelFor(e.clock, e.cfg.InvokeConcurrency, len(futures), func(i int) error {
 		f := futures[i]
-		actID, err := e.invokeOne(action, payloadRef(meta, f.executorID, f.callID))
+		actID, err := e.invokeOne(action, payloadRef(meta, f.executorID, f.callID), e.cfg.Tenant)
 		if err != nil {
 			return fmt.Errorf("respawn %s/%s: %w", f.executorID, f.callID, err)
 		}

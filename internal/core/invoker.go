@@ -20,7 +20,7 @@ func (e *Executor) invokeDirect(action string, payloads []*wire.CallPayload) ([]
 	errs := parallelFor(e.clock, e.cfg.InvokeConcurrency, len(payloads), func(i int) error {
 		p := payloads[i]
 		ref := payloadRef(p.MetaBucket, p.ExecutorID, p.CallID)
-		id, err := e.invokeOne(action, ref)
+		id, err := e.invokeOne(action, ref, p.Tenant)
 		if err != nil {
 			return fmt.Errorf("invoke call %s/%s: %w", p.ExecutorID, p.CallID, err)
 		}
@@ -33,12 +33,12 @@ func (e *Executor) invokeDirect(action string, payloads []*wire.CallPayload) ([]
 	return actIDs, nil
 }
 
-// invokeOne performs a single invocation under the shared retry policy:
-// throttles and lost requests back off with decorrelated jitter, drawing on
-// the executor's retry budget and tripping its circuit breaker (when
-// armed). Each attempt pays the serialized client overhead and one
+// invokeOne performs a single invocation as tenant under the shared retry
+// policy: throttles and lost requests back off with decorrelated jitter,
+// drawing on the executor's retry budget and tripping its circuit breaker
+// (when armed). Each attempt pays the serialized client overhead and one
 // control-link round trip.
-func (e *Executor) invokeOne(action string, ref wire.ObjectRef) (string, error) {
+func (e *Executor) invokeOne(action string, ref wire.ObjectRef, tenant string) (string, error) {
 	params := wire.MustMarshal(ref)
 	var id string
 	err := e.invokeRetry.Do(func() error {
@@ -50,7 +50,7 @@ func (e *Executor) invokeOne(action string, ref wire.ObjectRef) (string, error) 
 				return fmt.Errorf("core: invocation request lost: %w", cos.ErrRequestFailed)
 			}
 		}
-		got, err := e.cfg.Platform.Controller().Invoke(action, params)
+		got, err := e.cfg.Platform.Controller().InvokeTenant(tenant, action, params)
 		if err != nil {
 			return err
 		}
@@ -85,6 +85,7 @@ func (e *Executor) invokeViaSpawners(action string, payloads []*wire.CallPayload
 			targets = append(targets, wire.SpawnTarget{
 				Action:  action,
 				Payload: payloadRef(p.MetaBucket, p.ExecutorID, p.CallID),
+				Tenant:  p.Tenant,
 			})
 		}
 		groups = append(groups, targets)
@@ -110,7 +111,7 @@ func (e *Executor) invokeViaSpawners(action string, payloads []*wire.CallPayload
 
 	errs := parallelFor(e.clock, e.cfg.InvokeConcurrency, len(invPayloads), func(g int) error {
 		p := invPayloads[g]
-		if _, err := e.invokeOne(invokerAction, payloadRef(meta, p.ExecutorID, p.CallID)); err != nil {
+		if _, err := e.invokeOne(invokerAction, payloadRef(meta, p.ExecutorID, p.CallID), p.Tenant); err != nil {
 			return fmt.Errorf("invoke spawner group %d: %w", g, err)
 		}
 		return nil

@@ -60,6 +60,11 @@ type PlatformConfig struct {
 
 	// FaaS platform knobs, forwarded to faas.Config.
 	MaxConcurrent int
+	// Admission, when non-nil, enables the tenant-aware admission layer
+	// on the controller: per-tenant token buckets, deficit-weighted
+	// round-robin over bounded queues, deadline shedding. Nil keeps the
+	// global 429 gate.
+	Admission     *faas.AdmissionConfig
 	AdmitOverhead time.Duration
 	ExecJitter    netsim.LatencyModel
 	CrashProb     float64
@@ -150,6 +155,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		Storage:       cloudStorage,
 		Trace:         cfg.Trace,
 		MaxConcurrent: cfg.MaxConcurrent,
+		Admission:     cfg.Admission,
 		AdmitOverhead: cfg.AdmitOverhead,
 		ExecJitter:    cfg.ExecJitter,
 		CrashProb:     cfg.CrashProb,
@@ -300,6 +306,12 @@ func (p *Platform) InCloudExecutor(image string) (*Executor, error) {
 // region or a single-region platform falls back to the default in-cloud
 // view.
 func (p *Platform) InCloudExecutorAt(image, region string) (*Executor, error) {
+	return p.inCloudExecutor(image, region, "")
+}
+
+// inCloudExecutor is InCloudExecutorAt with a tenant: the sub-executor's
+// spawned calls are admitted under that tenant's fair-share quota.
+func (p *Platform) inCloudExecutor(image, region, tenant string) (*Executor, error) {
 	storage := p.cloudStorage
 	if s := p.regionStorage(region); s != nil {
 		storage = s
@@ -309,6 +321,7 @@ func (p *Platform) InCloudExecutorAt(image, region string) (*Executor, error) {
 		Storage:      storage,
 		ControlLink:  p.cloudLink,
 		RuntimeImage: image,
+		Tenant:       tenant,
 		// Helper executors (remote invokers, composition spawners) live and
 		// die with a parent call; their jobs are not independently resumable
 		// and must not write manifests or contend for driver leases.
@@ -392,20 +405,27 @@ func (p *Platform) regionStorage(region string) cos.Client {
 }
 
 // placementFor derives the execution context and spawner for a call placed
-// in a region: storage becomes the region's view and spawned children
-// inherit the placement. Unplaced calls keep their context.
-func (p *Platform) placementFor(ctx *runtime.Ctx, region string) *runtime.Ctx {
-	if region == "" || p.multi == nil {
-		return ctx
+// in a region and/or owned by a tenant: storage becomes the region's view
+// and spawned children inherit both the placement and the tenant. Unplaced
+// default-tenant calls keep their context.
+func (p *Platform) placementFor(ctx *runtime.Ctx, region, tenant string) *runtime.Ctx {
+	var storage cos.Client
+	if region != "" && p.multi != nil {
+		storage = p.regionStorage(region)
 	}
-	storage := p.regionStorage(region)
 	if storage == nil {
-		return ctx
+		// Not (or not successfully) region-placed: the context keeps the
+		// default storage view and stays unplaced; only a tenant still
+		// needs a derived spawner so children inherit its quota.
+		region = ""
+		if tenant == "" {
+			return ctx
+		}
 	}
 	image := ""
 	if img := ctx.Image(); img != nil {
 		image = img.Name()
 	}
-	sp := &spawner{platform: p, image: image, deadline: ctx.Deadline(), region: region}
+	sp := &spawner{platform: p, image: image, deadline: ctx.Deadline(), region: region, tenant: tenant}
 	return ctx.WithPlacement(storage, region, sp)
 }

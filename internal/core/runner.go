@@ -47,11 +47,12 @@ func (p *Platform) runnerHandler() faas.Handler {
 		if err := payload.Validate(); err != nil {
 			return nil, err
 		}
-		// The payload carries the call's region placement; from here on the
-		// function reads and writes through its own region's view (the
-		// initial payload load above necessarily used the default view —
-		// the region is only known once the payload is decoded).
-		ctx = p.placementFor(ctx, payload.Region)
+		// The payload carries the call's region placement and tenant; from
+		// here on the function reads and writes through its own region's
+		// view (the initial payload load above necessarily used the default
+		// view — the region is only known once the payload is decoded) and
+		// anything it spawns is admitted as its tenant.
+		ctx = p.placementFor(ctx, payload.Region, payload.Tenant)
 
 		started := ctx.Clock().Now()
 		value, runErr := p.dispatch(ctx, &payload)
@@ -226,7 +227,7 @@ func (p *Platform) invokerHandler() faas.Handler {
 		if payload.Kind != wire.KindInvoker || payload.Invoker == nil {
 			return nil, errors.New("core: invoker payload of wrong kind")
 		}
-		ctx = p.placementFor(ctx, payload.Region)
+		ctx = p.placementFor(ctx, payload.Region, payload.Tenant)
 
 		fired := 0
 		for _, target := range payload.Invoker.Targets {
@@ -251,7 +252,8 @@ func (p *Platform) invokerHandler() faas.Handler {
 }
 
 // invokeFromCloud fires one invocation over the in-cloud link with
-// throttle/failure retries backed by the shared policy.
+// throttle/failure retries backed by the shared policy, admitted as the
+// target's tenant.
 func (p *Platform) invokeFromCloud(ctx *runtime.Ctx, target wire.SpawnTarget) error {
 	params := wire.MustMarshal(target.Payload)
 	err := p.fnInvokeRetry.Do(func() error {
@@ -260,7 +262,7 @@ func (p *Platform) invokeFromCloud(ctx *runtime.Ctx, target wire.SpawnTarget) er
 		if failed {
 			return cos.ErrRequestFailed
 		}
-		_, err := p.controller.Invoke(target.Action, params)
+		_, err := p.controller.InvokeTenant(target.Tenant, target.Action, params)
 		return err
 	})
 	if err != nil {
@@ -297,12 +299,14 @@ func (p *Platform) putRetry(ctx *runtime.Ctx, bucket, key string, body []byte) e
 // dynamic composition from inside functions (§4.4). region is the spawning
 // function's storage region ("" outside multi-region platforms): the
 // sub-executor's own traffic stays in that region, while the spawned calls
-// get their own placement.
+// get their own placement. tenant is the spawning call's tenant, so
+// children are admitted under the same fair-share quota as their parent.
 type spawner struct {
 	platform *Platform
 	image    string
 	deadline time.Time
 	region   string
+	tenant   string
 }
 
 var _ runtime.Spawner = (*spawner)(nil)
@@ -315,7 +319,7 @@ func (s *spawner) Spawn(function string, args []any) (*wire.FuturesRef, error) {
 	if image == "" {
 		image = runtime.DefaultImage
 	}
-	sub, err := s.platform.InCloudExecutorAt(image, s.region)
+	sub, err := s.platform.inCloudExecutor(image, s.region, s.tenant)
 	if err != nil {
 		return nil, err
 	}
@@ -355,7 +359,7 @@ func (s *spawner) Await(ref *wire.FuturesRef) ([]json.RawMessage, error) {
 	if image == "" {
 		image = runtime.DefaultImage
 	}
-	sub, err := s.platform.InCloudExecutorAt(image, s.region)
+	sub, err := s.platform.inCloudExecutor(image, s.region, s.tenant)
 	if err != nil {
 		return nil, err
 	}

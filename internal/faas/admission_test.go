@@ -1,0 +1,413 @@
+package faas
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"gowren/internal/trace"
+	"gowren/internal/vclock"
+)
+
+// admitEnv builds a controller with an admission layer and a 1s "busy"
+// action, tracing into rec.
+func admitEnv(t *testing.T, mutate func(*Config)) (*testEnv, *trace.Recorder) {
+	t.Helper()
+	rec := trace.New(10000)
+	e := newEnv(t, func(cfg *Config) {
+		cfg.Trace = rec
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+	e.sleepAction(t, "busy", time.Second)
+	return e, rec
+}
+
+// outcome tallies the per-tenant results of a batch of invocations.
+type outcome struct {
+	mu        sync.Mutex
+	admitted  map[string]int
+	quota     map[string]int
+	shed      map[string]int
+	throttled map[string]int
+}
+
+func newOutcome() *outcome {
+	return &outcome{
+		admitted:  make(map[string]int),
+		quota:     make(map[string]int),
+		shed:      make(map[string]int),
+		throttled: make(map[string]int),
+	}
+}
+
+func (o *outcome) record(tenant string, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	switch {
+	case err == nil:
+		o.admitted[tenant]++
+	case errors.Is(err, ErrQuotaExceeded):
+		o.quota[tenant]++
+	case errors.Is(err, ErrShed):
+		o.shed[tenant]++
+	case errors.Is(err, ErrThrottled):
+		o.throttled[tenant]++
+	default:
+		panic(fmt.Sprintf("unexpected error class: %v", err))
+	}
+}
+
+func (o *outcome) get(m map[string]int, tenant string) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return m[tenant]
+}
+
+// TestAdmissionFairShareUnderFlood checks the tentpole property: a tenant
+// flooding the platform cannot starve another tenant's modest load. Tenant
+// "flood" dumps 40 one-second invocations into a 2-slot controller; tenant
+// "calm" then asks for 4. DWRR alternates the freed slots, so calm's work
+// finishes among the first few dispatches instead of behind flood's
+// 40-deep backlog.
+func TestAdmissionFairShareUnderFlood(t *testing.T) {
+	e, _ := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 2
+		cfg.Admission = &AdmissionConfig{MaxQueueDelay: time.Hour}
+	})
+	o := newOutcome()
+	var mu sync.Mutex
+	var calmLast time.Duration
+	e.clk.Run(func() {
+		start := e.clk.Now()
+		for i := 0; i < 40; i++ {
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("flood", "busy", nil)
+				o.record("flood", err)
+			})
+		}
+		// Let the flood pass the gateway and fill the queue first.
+		e.clk.Sleep(500 * time.Millisecond)
+		for i := 0; i < 4; i++ {
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("calm", "busy", nil)
+				o.record("calm", err)
+				mu.Lock()
+				if at := e.clk.Now().Sub(start); at > calmLast {
+					calmLast = at
+				}
+				mu.Unlock()
+			})
+		}
+		if !vclock.Poll(e.clk, func() bool {
+			return o.get(o.admitted, "calm") == 4
+		}, 10*time.Millisecond, start.Add(time.Hour)) {
+			t.Error("calm tenant never fully admitted")
+		}
+		e.clk.Sleep(45 * time.Second) // drain the flood
+	})
+	if got := o.get(o.admitted, "flood"); got != 40 {
+		t.Fatalf("flood admitted = %d, want 40 (no quota set)", got)
+	}
+	// With strict FIFO, calm's last admission would wait ~20s behind the
+	// flood backlog. Fair sharing admits one calm waiter for every freed
+	// slot pair, so all four clear within a few seconds of arriving.
+	if calmLast > 8*time.Second {
+		t.Fatalf("calm tenant's last admission at %v — starved behind the flood backlog", calmLast)
+	}
+}
+
+// TestAdmissionWeights checks that DWRR deficit credit follows configured
+// weights: with both tenants saturating a slow controller, the tenant with
+// weight 3 is dispatched ~3× as often.
+func TestAdmissionWeights(t *testing.T) {
+	e, _ := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 4
+		cfg.Admission = &AdmissionConfig{
+			MaxQueueDelay: time.Hour,
+			Tenants: map[string]TenantQuota{
+				"heavy": {Weight: 3},
+				"light": {Weight: 1},
+			},
+		}
+	})
+	o := newOutcome()
+	e.clk.Run(func() {
+		for i := 0; i < 60; i++ {
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("heavy", "busy", nil)
+				o.record("heavy", err)
+			})
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("light", "busy", nil)
+				o.record("light", err)
+			})
+		}
+		// Sample dispatch mix while both queues are still saturated.
+		e.clk.Sleep(8 * time.Second)
+		heavy, light := o.get(o.admitted, "heavy"), o.get(o.admitted, "light")
+		if heavy < 2*light {
+			t.Errorf("weighted share not honored mid-run: heavy=%d light=%d", heavy, light)
+		}
+		e.clk.Sleep(time.Hour) // drain
+	})
+	if got := o.get(o.admitted, "heavy") + o.get(o.admitted, "light"); got != 120 {
+		t.Fatalf("total admitted = %d, want 120", got)
+	}
+}
+
+// TestAdmissionShedDeadline checks deadline-based shedding: waiters stuck
+// past MaxQueueDelay fail with ErrShed and a KindShed trace carrying the
+// tenant and reason.
+func TestAdmissionShedDeadline(t *testing.T) {
+	e, rec := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+		cfg.Admission = &AdmissionConfig{MaxQueueDelay: 2 * time.Second}
+	})
+	o := newOutcome()
+	e.clk.Run(func() {
+		// 10 one-second tasks on one slot with a 2s deadline: ~3 run,
+		// the rest shed.
+		for i := 0; i < 10; i++ {
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("t", "busy", nil)
+				o.record("t", err)
+			})
+		}
+		e.clk.Sleep(time.Minute)
+	})
+	if shed := o.get(o.shed, "t"); shed == 0 {
+		t.Fatal("no invocations shed despite a saturated slot")
+	}
+	if adm := o.get(o.admitted, "t"); adm == 0 {
+		t.Fatal("nothing admitted")
+	}
+	var shedEvents int
+	for _, ev := range rec.Events() {
+		if ev.Kind != trace.KindShed {
+			continue
+		}
+		shedEvents++
+		if !strings.Contains(ev.Detail, "tenant=t") || !strings.Contains(ev.Detail, "reason=shed") {
+			t.Fatalf("shed trace missing tenant/reason: %q", ev.Detail)
+		}
+	}
+	if shedEvents != o.get(o.shed, "t") {
+		t.Fatalf("shed traces = %d, want %d (one per shed invocation)", shedEvents, o.get(o.shed, "t"))
+	}
+}
+
+// TestAdmissionQueueFull checks the bounded-queue overload path: arrivals
+// beyond QueueLimit are rejected immediately with ErrShed and a throttle
+// trace naming the queue-full reason.
+func TestAdmissionQueueFull(t *testing.T) {
+	e, rec := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+		cfg.Admission = &AdmissionConfig{QueueLimit: 2, MaxQueueDelay: time.Hour}
+	})
+	o := newOutcome()
+	e.clk.Run(func() {
+		for i := 0; i < 8; i++ {
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("t", "busy", nil)
+				o.record("t", err)
+			})
+		}
+		e.clk.Sleep(time.Minute)
+	})
+	if shed := o.get(o.shed, "t"); shed == 0 {
+		t.Fatal("no queue-full rejections")
+	}
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindThrottle && strings.Contains(ev.Detail, "reason=shed: admission queue full") {
+			if !strings.Contains(ev.Detail, "tenant=t") {
+				t.Fatalf("queue-full trace missing tenant: %q", ev.Detail)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no queue-full throttle trace recorded")
+	}
+}
+
+// TestAdmissionQuotaReject checks the token-bucket gate: a tenant firing
+// far past its burst sees ErrQuotaExceeded, and the trace carries the
+// quota reason.
+func TestAdmissionQuotaReject(t *testing.T) {
+	e, rec := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 100
+		cfg.Admission = &AdmissionConfig{
+			Default:       TenantQuota{Rate: 1, Burst: 2},
+			MaxQueueDelay: time.Second,
+		}
+	})
+	o := newOutcome()
+	e.clk.Run(func() {
+		for i := 0; i < 10; i++ {
+			e.clk.Go(func() {
+				_, err := e.ctrl.InvokeTenant("t", "busy", nil)
+				o.record("t", err)
+			})
+		}
+		e.clk.Sleep(time.Minute)
+	})
+	// Burst 2 plus ~1 token over the deadline window: most of the 10 are
+	// quota rejections.
+	if q := o.get(o.quota, "t"); q < 5 {
+		t.Fatalf("quota rejections = %d, want ≥ 5", q)
+	}
+	if a := o.get(o.admitted, "t"); a < 2 {
+		t.Fatalf("admitted = %d, want the burst (≥ 2)", a)
+	}
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind == trace.KindThrottle && strings.Contains(ev.Detail, "reason=quota") {
+			if !strings.Contains(ev.Detail, "tenant=t") || !strings.Contains(ev.Detail, "queued=") {
+				t.Fatalf("quota trace missing fields: %q", ev.Detail)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no quota throttle trace recorded")
+	}
+}
+
+// TestLegacyThrottleTraceDetail checks that the pre-admission global gate
+// now emits the enriched throttle detail (tenant, queue depth, reason).
+func TestLegacyThrottleTraceDetail(t *testing.T) {
+	e, rec := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+	})
+	e.clk.Run(func() {
+		for i := 0; i < 3; i++ {
+			e.clk.Go(func() {
+				_, _ = e.ctrl.InvokeTenant("", "busy", nil)
+			})
+		}
+		e.clk.Sleep(time.Minute)
+	})
+	found := false
+	for _, ev := range rec.Events() {
+		if ev.Kind != trace.KindThrottle {
+			continue
+		}
+		if !strings.Contains(ev.Detail, "tenant=default") ||
+			!strings.Contains(ev.Detail, "queued=0") ||
+			!strings.Contains(ev.Detail, "reason=global") {
+			t.Fatalf("legacy throttle detail not enriched: %q", ev.Detail)
+		}
+		found = true
+	}
+	if !found {
+		t.Fatal("no throttle events recorded")
+	}
+}
+
+// invokeSchedule is a deterministic batch of staggered invocations; used
+// by the backward-compat property test.
+type invokeSchedule struct {
+	offsets []time.Duration
+}
+
+func makeSchedule(seed int64, n int) invokeSchedule {
+	rng := rand.New(rand.NewSource(seed))
+	s := invokeSchedule{offsets: make([]time.Duration, n)}
+	at := time.Duration(0)
+	for i := range s.offsets {
+		at += time.Duration(rng.Int63n(int64(120 * time.Millisecond)))
+		s.offsets[i] = at
+	}
+	return s
+}
+
+// runSchedule replays the schedule against a fresh controller and returns
+// the accept/reject outcome per invocation plus each acceptance's error
+// text (empty for accepts).
+func runSchedule(t *testing.T, s invokeSchedule, mutate func(*Config)) []string {
+	t.Helper()
+	e := newEnv(t, mutate)
+	e.sleepAction(t, "busy", time.Second)
+	results := make([]string, len(s.offsets))
+	e.clk.Run(func() {
+		start := e.clk.Now()
+		var wg sync.WaitGroup
+		for i, off := range s.offsets {
+			i, off := i, off
+			wg.Add(1)
+			e.clk.Go(func() {
+				defer wg.Done()
+				if d := off - e.clk.Now().Sub(start); d > 0 {
+					e.clk.Sleep(d)
+				}
+				_, err := e.ctrl.InvokeTenant("", "busy", nil)
+				if err != nil {
+					results[i] = fmt.Sprintf("%v@%v", err, e.clk.Now().Sub(start))
+				} else {
+					results[i] = fmt.Sprintf("ok@%v", e.clk.Now().Sub(start))
+				}
+			})
+		}
+		e.clk.Sleep(time.Hour)
+	})
+	return results
+}
+
+// TestAdmissionBackwardCompat is the reduction property: one tenant with
+// no rate quota and queueing disabled must behave bit-identically to the
+// legacy global gate — same accepts, same rejects, same error text, same
+// virtual timestamps — over a seeded schedule of 300 staggered calls
+// against a small concurrency limit.
+func TestAdmissionBackwardCompat(t *testing.T) {
+	for _, seed := range []int64{1, 7, 1234} {
+		s := makeSchedule(seed, 300)
+		legacy := runSchedule(t, s, func(cfg *Config) {
+			cfg.MaxConcurrent = 8
+			cfg.Seed = seed
+		})
+		admission := runSchedule(t, s, func(cfg *Config) {
+			cfg.MaxConcurrent = 8
+			cfg.Seed = seed
+			cfg.Admission = &AdmissionConfig{QueueLimit: -1}
+		})
+		for i := range legacy {
+			if legacy[i] != admission[i] {
+				t.Fatalf("seed %d call %d diverged:\n  legacy:    %s\n  admission: %s",
+					seed, i, legacy[i], admission[i])
+			}
+		}
+	}
+}
+
+// TestAdmissionQueueDepthIntrospection covers QueueDepth/AdmissionQueued.
+func TestAdmissionQueueDepthIntrospection(t *testing.T) {
+	e, _ := admitEnv(t, func(cfg *Config) {
+		cfg.MaxConcurrent = 1
+		cfg.Admission = &AdmissionConfig{MaxQueueDelay: time.Hour}
+	})
+	e.clk.Run(func() {
+		for i := 0; i < 5; i++ {
+			e.clk.Go(func() {
+				_, _ = e.ctrl.InvokeTenant("t", "busy", nil)
+			})
+		}
+		e.clk.Sleep(500 * time.Millisecond)
+		if got := e.ctrl.QueueDepth("t"); got != 4 {
+			t.Errorf("QueueDepth = %d, want 4 (1 running, 4 parked)", got)
+		}
+		if got := e.ctrl.AdmissionQueued(); got != 4 {
+			t.Errorf("AdmissionQueued = %d, want 4", got)
+		}
+		e.clk.Sleep(time.Hour)
+	})
+	if got := e.ctrl.AdmissionQueued(); got != 0 {
+		t.Fatalf("AdmissionQueued after drain = %d, want 0", got)
+	}
+}

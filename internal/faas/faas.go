@@ -40,6 +40,14 @@ var (
 	ErrNoSuchAction = errors.New("faas: no such action")
 	ErrActionExists = errors.New("faas: action already exists")
 	ErrThrottled    = errors.New("faas: too many concurrent invocations (429)")
+	// ErrQuotaExceeded rejects an invocation whose tenant is over its
+	// token-bucket rate quota (admission layer; Throttle-class to retry
+	// policies, but the tenant's own doing rather than platform load).
+	ErrQuotaExceeded = errors.New("faas: tenant rate quota exceeded (429)")
+	// ErrShed rejects an invocation dropped by overload protection: its
+	// tenant's admission queue was full, or it sat queued past the
+	// admission deadline.
+	ErrShed         = errors.New("faas: invocation shed under overload (429)")
 	ErrMemoryLimit  = errors.New("faas: requested memory exceeds platform limit")
 	ErrCrashed      = errors.New("faas: container crashed")
 	ErrNoActivation = errors.New("faas: no such activation")
@@ -70,6 +78,14 @@ type Config struct {
 	// MaxConcurrent caps in-flight activations; exceeding it throttles
 	// (429). Zero uses DefaultMaxConcurrent; negative means unlimited.
 	MaxConcurrent int
+
+	// Admission, when non-nil, replaces the bare global 429 gate with the
+	// tenant-aware admission layer: per-tenant token buckets feed a
+	// deficit-weighted round-robin over bounded per-tenant queues, with
+	// deadline-based shedding (see AdmissionConfig). MaxConcurrent stays
+	// the global capacity underneath it. Nil keeps the paper's behavior:
+	// one global limit, immediate 429s.
+	Admission *AdmissionConfig
 
 	// AdmitOverhead is the serialized gateway service time per invocation:
 	// the admission pipeline sustains 1/AdmitOverhead invocations/second
@@ -147,6 +163,9 @@ type ActionSpec struct {
 type Activation struct {
 	ID     string
 	Action string
+	// Tenant is the (resolved) tenant the invocation was admitted for —
+	// DefaultTenant when the caller named none. Billing rolls up by it.
+	Tenant string
 
 	SubmitAt time.Time // accepted by the gateway
 	StartAt  time.Time // handler entered (container ready)
@@ -184,6 +203,10 @@ type Controller struct {
 	warm        map[string][]warmContainer
 	rng         *rand.Rand
 
+	// adm is the tenant-aware admission state; nil when Config.Admission
+	// is unset (legacy global gate).
+	adm *admission
+
 	spawnerFor func(ctx *runtime.Ctx) runtime.Spawner
 }
 
@@ -204,14 +227,18 @@ func New(cfg Config) (*Controller, error) {
 		return nil, errors.New("faas: config missing storage client")
 	}
 	cfg.applyDefaults()
-	return &Controller{
+	c := &Controller{
 		cfg:         cfg,
 		actions:     make(map[string]*action),
 		activations: make(map[string]*Activation),
 		pulled:      make(map[string]bool),
 		warm:        make(map[string][]warmContainer),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-	}, nil
+	}
+	if cfg.Admission != nil {
+		c.adm = newAdmission(*cfg.Admission)
+	}
+	return c, nil
 }
 
 // SetSpawnerFactory installs the hook that equips function contexts with a
@@ -302,12 +329,27 @@ func (c *Controller) DeleteAction(name string) error {
 	return nil
 }
 
-// Invoke submits an asynchronous invocation of the named action. The call
-// blocks the caller through the gateway admission pipeline (so caller
-// parallelism matters, as it does against the real platform), then returns
-// the activation ID while the function runs in the background. It returns
-// ErrThrottled when the concurrent-invocation limit is reached.
+// Invoke submits an asynchronous invocation of the named action on behalf
+// of the default tenant. The call blocks the caller through the gateway
+// admission pipeline (so caller parallelism matters, as it does against
+// the real platform), then returns the activation ID while the function
+// runs in the background. It returns ErrThrottled when the
+// concurrent-invocation limit is reached.
 func (c *Controller) Invoke(actionName string, params []byte) (string, error) {
+	return c.InvokeTenant("", actionName, params)
+}
+
+// InvokeTenant is Invoke on behalf of a named tenant (empty resolves to
+// DefaultTenant). With an admission layer configured the tenant selects
+// the token bucket, queue and DWRR share the invocation is admitted
+// under; rejections become ErrQuotaExceeded (over rate quota) or ErrShed
+// (queue full / admission deadline exceeded) instead of a blind
+// ErrThrottled. Without one the tenant is only recorded on the
+// activation, for billing rollups.
+func (c *Controller) InvokeTenant(tenant, actionName string, params []byte) (string, error) {
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
 	c.mu.Lock()
 	act, ok := c.actions[actionName]
 	if !ok {
@@ -328,27 +370,41 @@ func (c *Controller) Invoke(actionName string, params []byte) (string, error) {
 	c.cfg.Clock.Sleep(done.Sub(now))
 
 	if c.cfg.Outage != nil && c.cfg.Outage() {
-		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindThrottle, actionName, "controller outage window")
+		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindThrottle, actionName,
+			"tenant=%s queued=%d reason=global: controller outage window", tenant, c.QueueDepth(tenant))
 		return "", fmt.Errorf("faas: invoke %q: controller outage: %w", actionName, ErrThrottled)
+	}
+
+	if c.adm != nil {
+		return c.admitTenant(tenant, act, params)
 	}
 
 	c.mu.Lock()
 	if c.cfg.MaxConcurrent >= 0 && c.inflight >= c.cfg.MaxConcurrent {
+		limit := c.cfg.MaxConcurrent
 		c.mu.Unlock()
-		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindThrottle, actionName, "inflight at limit %d", c.cfg.MaxConcurrent)
+		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindThrottle, actionName,
+			"tenant=%s queued=0 reason=global: inflight at limit %d", tenant, limit)
 		return "", fmt.Errorf("faas: invoke %q: %w", actionName, ErrThrottled)
 	}
+	id := c.startActivationLocked(tenant, act, params)
+	c.mu.Unlock()
+	return id, nil
+}
+
+// startActivationLocked claims a concurrency slot, records the activation
+// and starts its execution task. Called with c.mu held by both admission
+// paths (the legacy gate and the tenant dispatcher).
+func (c *Controller) startActivationLocked(tenant string, act *action, params []byte) string {
 	c.inflight++
 	c.nextActID++
 	id := "act-" + strconv.FormatUint(c.nextActID, 10)
-	rec := &Activation{ID: id, Action: actionName, SubmitAt: c.cfg.Clock.Now(), MemoryMB: act.spec.MemoryMB}
+	rec := &Activation{ID: id, Action: act.spec.Name, Tenant: tenant, SubmitAt: c.cfg.Clock.Now(), MemoryMB: act.spec.MemoryMB}
 	c.activations[id] = rec
 	c.order = append(c.order, id)
-	c.mu.Unlock()
-
-	c.cfg.Trace.Emit(rec.SubmitAt, trace.KindInvoke, id, actionName)
+	c.cfg.Trace.Emit(rec.SubmitAt, trace.KindInvoke, id, act.spec.Name)
 	c.cfg.Clock.Go(func() { c.execute(act, rec, params) })
-	return id, nil
+	return id
 }
 
 // execute provisions a container and runs the handler, recording the
@@ -420,6 +476,8 @@ func (c *Controller) execute(act *action, rec *Activation, params []byte) {
 	if !crash {
 		c.warm[act.spec.Name] = append(c.warm[act.spec.Name], warmContainer{idleSince: end})
 	}
+	// The freed slot goes to the fairest queued invocation, if any.
+	c.dispatchLocked()
 	c.mu.Unlock()
 }
 

@@ -157,9 +157,11 @@ func (b *Budget) Remaining() float64 {
 
 // Breaker sheds load after sustained throttling: Threshold consecutive
 // Throttle-class failures open the circuit for Cooldown, during which every
-// Do fails fast with ErrCircuitOpen. The first attempt after the cooldown
-// probes the platform; success closes the circuit, another throttle
-// reopens it.
+// Do fails fast with ErrCircuitOpen. After the cooldown the circuit is
+// half-open: exactly one caller is admitted as the probe while concurrent
+// callers keep failing fast — a saturated platform sees a single feeler,
+// not the whole herd. The probe's success closes the circuit; another
+// throttle reopens it for a fresh cooldown.
 //
 // Reopening is adaptive: a circuit that just closed does not resume at full
 // rate. For a ramp window after the cooldown expires, every call through the
@@ -175,6 +177,11 @@ type Breaker struct {
 	consecutive int
 	openUntil   time.Time
 	rampUntil   time.Time
+	// tripped marks a circuit that opened and has not yet seen a
+	// successful probe; probing marks the in-flight half-open probe, so
+	// concurrent callers are shed until it reports back.
+	tripped bool
+	probing bool
 }
 
 // NewBreaker returns a breaker tripping after threshold consecutive
@@ -215,14 +222,25 @@ func (b *Breaker) SetSlowStart(initial, ramp time.Duration) {
 	b.paceInitial, b.ramp = initial, ramp
 }
 
-// allow reports whether a call may proceed at now.
+// allow reports whether a call may proceed at now. On a tripped circuit
+// past its cooldown, the first caller claims the single half-open probe;
+// the rest are denied until the probe's outcome is recorded.
 func (b *Breaker) allow(now time.Time) bool {
 	if b == nil {
 		return true
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	return !now.Before(b.openUntil)
+	if now.Before(b.openUntil) {
+		return false
+	}
+	if b.tripped {
+		if b.probing {
+			return false
+		}
+		b.probing = true
+	}
+	return true
 }
 
 // record feeds one attempt outcome into the breaker state.
@@ -232,20 +250,33 @@ func (b *Breaker) record(throttled bool, now time.Time) {
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	b.probing = false
 	if !throttled {
 		b.consecutive = 0
+		b.tripped = false
 		return
 	}
 	b.consecutive++
-	if b.consecutive >= b.threshold {
+	// A throttled half-open probe reopens immediately: the platform is
+	// still saturated, so one more cooldown, not threshold more throttles.
+	if b.consecutive >= b.threshold || b.tripped {
 		b.openUntil = now.Add(b.cooldown)
 		b.rampUntil = b.openUntil.Add(b.ramp)
 		b.consecutive = 0
+		b.tripped = true
 	}
 }
 
-// Open reports whether the circuit is currently open at now.
-func (b *Breaker) Open(now time.Time) bool { return !b.allow(now) }
+// Open reports whether the circuit is currently open at now. Unlike
+// allow, it never claims the half-open probe.
+func (b *Breaker) Open(now time.Time) bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return now.Before(b.openUntil)
+}
 
 // Pace returns the slow-start delay a call admitted at now must wait before
 // proceeding. Zero outside a ramp window (and always for a nil breaker).

@@ -2,6 +2,7 @@ package retry
 
 import (
 	"errors"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -300,4 +301,108 @@ func TestBreakerSlowStartDisabled(t *testing.T) {
 		}
 	})
 	clk.Wait()
+}
+
+// TestBreakerHalfOpenSingleProbe drives concurrent Do calls into a tripped
+// breaker whose cooldown has expired: exactly one caller must be admitted
+// as the half-open probe while the rest fail fast with ErrCircuitOpen, and
+// the probe's success must close the circuit for everyone.
+func TestBreakerHalfOpenSingleProbe(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		br := NewBreaker(1, 10*time.Second)
+		br.SetSlowStart(0, 0)
+		r := New(clk, Policy{MaxAttempts: 1, BaseBackoff: time.Millisecond}, classify, WithBreaker(br))
+
+		// Trip the circuit.
+		if err := r.Do(func() error { return errThrottle }); err == nil {
+			t.Fatal("expected trip error")
+		}
+		if !br.Open(clk.Now()) {
+			t.Fatal("breaker should be open after trip")
+		}
+		clk.Sleep(11 * time.Second)
+
+		// Five concurrent callers arrive at the same virtual instant. The
+		// probe op holds the half-open window open for a full virtual
+		// second, so every loser observes the in-flight probe.
+		var ran, shed, succeeded atomic.Int32
+		var done atomic.Int32
+		for i := 0; i < 5; i++ {
+			clk.Go(func() {
+				defer done.Add(1)
+				err := r.Do(func() error {
+					ran.Add(1)
+					clk.Sleep(time.Second)
+					return nil
+				})
+				switch {
+				case err == nil:
+					succeeded.Add(1)
+				case errors.Is(err, ErrCircuitOpen):
+					shed.Add(1)
+				default:
+					t.Errorf("unexpected error: %v", err)
+				}
+			})
+		}
+		if !vclock.Poll(clk, func() bool { return done.Load() == 5 }, time.Millisecond, clk.Now().Add(time.Minute)) {
+			t.Fatal("concurrent callers did not finish")
+		}
+		if got := ran.Load(); got != 1 {
+			t.Fatalf("ops run = %d, want exactly 1 probe", got)
+		}
+		if succeeded.Load() != 1 || shed.Load() != 4 {
+			t.Fatalf("succeeded = %d shed = %d, want 1 and 4", succeeded.Load(), shed.Load())
+		}
+		if br.Open(clk.Now()) {
+			t.Fatal("breaker still open after successful probe")
+		}
+		// Closed circuit: everyone flows again.
+		if err := r.Do(func() error { return nil }); err != nil {
+			t.Fatalf("post-close call failed: %v", err)
+		}
+	})
+}
+
+// TestBreakerThrottledProbeReopens checks the other half-open outcome: a
+// probe that is itself throttled reopens the circuit for a fresh cooldown
+// immediately (no need for threshold more throttles).
+func TestBreakerThrottledProbeReopens(t *testing.T) {
+	clk := vclock.NewVirtual()
+	clk.Run(func() {
+		br := NewBreaker(3, 10*time.Second)
+		br.SetSlowStart(0, 0)
+		r := New(clk, Policy{MaxAttempts: 1, BaseBackoff: time.Millisecond}, classify, WithBreaker(br))
+
+		for i := 0; i < 3; i++ {
+			if err := r.Do(func() error { return errThrottle }); err == nil {
+				t.Fatal("expected throttle error")
+			}
+		}
+		if !br.Open(clk.Now()) {
+			t.Fatal("breaker should be open")
+		}
+		clk.Sleep(11 * time.Second)
+
+		// The probe throttles: one attempt, immediate reopen.
+		calls := 0
+		if err := r.Do(func() error { calls++; return errThrottle }); err == nil {
+			t.Fatal("expected probe failure")
+		}
+		if calls != 1 {
+			t.Fatalf("probe calls = %d, want 1", calls)
+		}
+		if !br.Open(clk.Now()) {
+			t.Fatal("breaker should have reopened after throttled probe")
+		}
+		// And while reopened, callers shed without running the op.
+		err := r.Do(func() error { calls++; return nil })
+		if !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("err = %v, want ErrCircuitOpen", err)
+		}
+		if calls != 1 {
+			t.Fatal("op ran through a reopened circuit")
+		}
+	})
 }

@@ -20,6 +20,7 @@ import (
 const (
 	KindInvoke    = "invoke"     // invocation admitted by the gateway
 	KindThrottle  = "throttle"   // invocation rejected with 429
+	KindShed      = "shed"       // queued invocation dropped past its admission deadline
 	KindColdStart = "cold-start" // container provisioned cold
 	KindWarmStart = "warm-start" // container reused
 	KindImagePull = "image-pull" // first cold start of an image

@@ -1,0 +1,152 @@
+package traffic
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func baseConfig() Config {
+	return Config{
+		Seed:     42,
+		Tenants:  []string{"alpha", "beta", "gamma", "delta"},
+		Horizon:  60 * time.Second,
+		BaseRate: 40,
+		ZipfS:    1,
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := baseConfig()
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same config produced different schedules")
+	}
+	cfg.Seed = 43
+	c, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestGenerateSortedWithinHorizon(t *testing.T) {
+	arr, err := Generate(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("empty schedule")
+	}
+	for i, a := range arr {
+		if a.At < 0 || a.At >= 60*time.Second {
+			t.Fatalf("arrival %d at %v outside horizon", i, a.At)
+		}
+		if i > 0 && arr[i-1].At > a.At {
+			t.Fatalf("arrivals out of order at %d: %v > %v", i, arr[i-1].At, a.At)
+		}
+	}
+}
+
+func TestZipfSkewOrdersTenantVolume(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Horizon = 5 * time.Minute
+	arr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, a := range arr {
+		counts[a.Tenant]++
+	}
+	if counts["alpha"] <= counts["delta"] {
+		t.Fatalf("zipf skew should favor the first tenant: alpha=%d delta=%d",
+			counts["alpha"], counts["delta"])
+	}
+	shares := cfg.Shares()
+	if shares[0] <= shares[3] {
+		t.Fatalf("shares not skewed: %v", shares)
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %g, want 1", sum)
+	}
+}
+
+func TestBurstRaisesWindowVolume(t *testing.T) {
+	cfg := baseConfig()
+	cfg.ZipfS = 0
+	cfg.Bursts = []Burst{{Tenant: "beta", Start: 20 * time.Second, End: 40 * time.Second, Factor: 10}}
+	arr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inWindow, outWindow := 0, 0
+	for _, a := range arr {
+		if a.Tenant != "beta" {
+			continue
+		}
+		if a.At >= 20*time.Second && a.At < 40*time.Second {
+			inWindow++
+		} else {
+			outWindow++
+		}
+	}
+	// The burst window is 20s of 10× rate vs 40s of 1×: expect roughly
+	// a 5× count ratio; 2× is a safe lower bound for any seed.
+	if inWindow < 2*outWindow {
+		t.Fatalf("burst window not elevated: in=%d out=%d", inWindow, outWindow)
+	}
+}
+
+func TestBurstDoesNotPerturbOtherTenants(t *testing.T) {
+	cfg := baseConfig()
+	plain, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Bursts = []Burst{{Tenant: "beta", Start: 0, End: 30 * time.Second, Factor: 8}}
+	bursty, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := func(arr []Arrival, tenant string) []Arrival {
+		var out []Arrival
+		for _, a := range arr {
+			if a.Tenant == tenant {
+				out = append(out, a)
+			}
+		}
+		return out
+	}
+	for _, tenant := range []string{"alpha", "gamma", "delta"} {
+		if !reflect.DeepEqual(filter(plain, tenant), filter(bursty, tenant)) {
+			t.Fatalf("burst on beta changed %s's stream", tenant)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []Config{
+		{Tenants: []string{"a"}, BaseRate: 1},                                            // no horizon
+		{Tenants: []string{"a"}, Horizon: time.Second},                                   // no rate
+		{Tenants: []string{"a"}, Horizon: time.Second, BaseRate: 1, DiurnalAmplitude: 1}, // amplitude ≥ 1
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Fatalf("config %d: expected error", i)
+		}
+	}
+}

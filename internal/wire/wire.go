@@ -117,6 +117,10 @@ type KeyResult struct {
 type SpawnTarget struct {
 	Action  string    `json:"action"`
 	Payload ObjectRef `json:"payload"`
+	// Tenant is the tenant the invoker fires the invocation as, so
+	// fair-share admission applies to in-cloud spawns exactly as to
+	// client-side ones.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // InvokerSpec is the argument to a remote invoker function: the staged
@@ -146,6 +150,11 @@ type CallPayload struct {
 	// of the multi-region facade instead of the default (region 0) one.
 	// Empty means the platform has a single-region storage plane.
 	Region string `json:"region,omitempty"`
+	// Tenant attributes the call to a platform tenant for fair-share
+	// admission and billing. It travels in the payload so respawns,
+	// remote invokers and composition spawns inherit the originating
+	// executor's tenant. Empty means the default tenant.
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Validate checks structural invariants of the payload.
