@@ -12,9 +12,14 @@ vet:
 
 # lint runs the in-repo determinism & correctness analyzer suite
 # (cmd/gowren-vet: allowaudit, clockcheck, randcheck, errsink, mapiter,
-# lockhold) plus a gofmt check. Suppress a finding with a justified
-# `//gowren:allow <check>` comment; see DESIGN.md "Determinism rules".
-# allowaudit fails the build on allow comments with no justification.
+# lockhold, vclockescape) plus a gofmt check. The suite is
+# interprocedural: impure helpers taint their callers across package
+# boundaries, so findings carry a call chain down to the origin. Suppress
+# a finding with a justified `//gowren:allow <check>` comment at the taint
+# origin; see DESIGN.md "Determinism rules". allowaudit fails the build on
+# allow comments with no justification. `gowren-vet -json` emits the same
+# diagnostics machine-readably for CI annotations and the determinism
+# gate; `-facts` dumps the per-package taint summaries.
 lint: build
 	$(GO) run ./cmd/gowren-vet ./...
 	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \

@@ -15,13 +15,23 @@
 //	-checks a,b  run only the named analyzers
 //	-suppressed  also print diagnostics silenced by //gowren:allow
 //	-dir path    load packages relative to path instead of the cwd
+//	-json        emit every diagnostic (suppressed included) as a JSON
+//	             array for tooling; findings still set exit code 1
+//	-facts       dump each package's serialized taint summaries (one
+//	             "path json" line per package, sorted) and exit 0
+//
+// The -json and -facts outputs are byte-deterministic for a fixed tree:
+// CI runs the tool twice and fails on any difference.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"gowren/internal/analysis"
@@ -32,6 +42,17 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// jsonDiag is the machine-readable rendering of one diagnostic.
+type jsonDiag struct {
+	File       string   `json:"file"`
+	Line       int      `json:"line"`
+	Col        int      `json:"col"`
+	Check      string   `json:"check"`
+	Message    string   `json:"message"`
+	Suppressed bool     `json:"suppressed"`
+	TaintChain []string `json:"taint_chain,omitempty"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("gowren-vet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -39,6 +60,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	checks := fs.String("checks", "", "comma-separated subset of analyzers to run (default: all)")
 	showSuppressed := fs.Bool("suppressed", false, "also print diagnostics silenced by //gowren:allow")
 	dir := fs.String("dir", ".", "directory to load packages from")
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array (including suppressed)")
+	factsOut := fs.Bool("facts", false, "dump per-package taint fact summaries and exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -69,14 +92,49 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	if *factsOut {
+		sums := analysis.Summaries(pkgs)
+		paths := make([]string, 0, len(sums))
+		for p := range sums {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			fmt.Fprintf(stdout, "%s %s\n", p, sums[p])
+		}
+		return 0
+	}
+
 	diags := analysis.Run(pkgs, analyzers)
 	active := analysis.Active(diags)
-	for _, d := range active {
-		fmt.Fprintln(stdout, d)
-	}
-	if *showSuppressed {
-		for _, d := range analysis.Suppressed(diags) {
-			fmt.Fprintf(stdout, "%s [suppressed]\n", d)
+
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				File:       relFile(*dir, d.Pos.Filename),
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Check:      d.Check,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+				TaintChain: d.Chain,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "gowren-vet: encode: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range active {
+			fmt.Fprintln(stdout, d)
+		}
+		if *showSuppressed {
+			for _, d := range analysis.Suppressed(diags) {
+				fmt.Fprintf(stdout, "%s [suppressed]\n", d)
+			}
 		}
 	}
 	if len(active) > 0 {
@@ -84,4 +142,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// relFile renders filename relative to the load directory when possible —
+// the form CI annotations need — falling back to the absolute path.
+func relFile(dir, filename string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(abs, filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filename
+	}
+	return filepath.ToSlash(rel)
 }

@@ -1,17 +1,18 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
-// TestList checks the suite roster: the five determinism analyzers.
+// TestList checks the suite roster.
 func TestList(t *testing.T) {
 	var out, errb strings.Builder
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("gowren-vet -list exited %d: %s", code, errb.String())
 	}
-	for _, name := range []string{"clockcheck", "randcheck", "errsink", "mapiter", "lockhold"} {
+	for _, name := range []string{"clockcheck", "randcheck", "errsink", "mapiter", "lockhold", "vclockescape"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing analyzer %q:\n%s", name, out.String())
 		}
@@ -43,5 +44,72 @@ func TestVclockExempt(t *testing.T) {
 	code := run([]string{"-dir", "../..", "-checks", "clockcheck", "./internal/vclock"}, &out, &errb)
 	if code != 0 {
 		t.Fatalf("clockcheck over internal/vclock exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+}
+
+// TestJSONOutput: -json renders every diagnostic — suppressed included —
+// with the fields CI tooling keys on, and module-relative file paths.
+// gowren-server's real-mode handlers carry //gowren:allow clockcheck, so
+// the run is clean (exit 0) yet has suppressed entries.
+func TestJSONOutput(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", "../..", "-json", "-checks", "clockcheck", "./cmd/gowren-server"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	var diags []struct {
+		File       string   `json:"file"`
+		Line       int      `json:"line"`
+		Col        int      `json:"col"`
+		Check      string   `json:"check"`
+		Message    string   `json:"message"`
+		Suppressed bool     `json:"suppressed"`
+		TaintChain []string `json:"taint_chain"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected suppressed clockcheck diagnostics in cmd/gowren-server")
+	}
+	for _, d := range diags {
+		if !d.Suppressed {
+			t.Errorf("unsuppressed finding should have failed the run: %+v", d)
+		}
+		if d.Check != "clockcheck" || d.Line == 0 || d.Col == 0 {
+			t.Errorf("malformed diagnostic: %+v", d)
+		}
+		if d.File != "cmd/gowren-server/main.go" {
+			t.Errorf("file should be module-relative, got %q", d.File)
+		}
+	}
+}
+
+// TestJSONDeterministic: two runs over the same tree produce byte-identical
+// output — the property the CI determinism gate enforces over ./...
+func TestJSONDeterministic(t *testing.T) {
+	render := func() string {
+		var out, errb strings.Builder
+		code := run([]string{"-dir", "../..", "-json", "./internal/analysis/..."}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+		}
+		return out.String()
+	}
+	if first, second := render(), render(); first != second {
+		t.Errorf("-json output differs between identical runs:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+}
+
+// TestFactsDump: -facts emits one sorted "path json" line per package and
+// exits 0; the analyzed package's own summary is present.
+func TestFactsDump(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-dir", "../..", "-facts", "./internal/wire"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstderr:\n%s", code, errb.String())
+	}
+	if !strings.HasPrefix(out.String(), `gowren/internal/wire {"path":"gowren/internal/wire",`) {
+		t.Errorf("-facts output missing package summary:\n%s", out.String())
 	}
 }

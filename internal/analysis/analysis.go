@@ -51,6 +51,10 @@ type Package struct {
 	Types *types.Package
 	// Info holds the type-checker's fact tables for Files.
 	Info *types.Info
+	// Imports are the directly imported package paths; Run uses them to
+	// schedule packages in import-topological order so callee taint facts
+	// exist before their importers are analyzed.
+	Imports []string
 }
 
 // Diagnostic is one finding of one analyzer.
@@ -64,6 +68,10 @@ type Diagnostic struct {
 	// Suppressed marks diagnostics matched by a //gowren:allow comment.
 	// The driver keeps them (for -suppressed) but they do not fail a run.
 	Suppressed bool
+	// Chain is the taint chain for facts-powered findings, from the called
+	// function down to the intrinsic origin (e.g. ["pkg/a.Helper",
+	// "time.Now"]); nil for direct single-package findings.
+	Chain []string
 }
 
 func (d Diagnostic) String() string {
@@ -75,6 +83,8 @@ type Pass struct {
 	Pkg      *Package
 	analyzer *Analyzer
 	sink     *[]Diagnostic
+	db       *FactDB
+	allowed  allowSet
 }
 
 // Reportf records a diagnostic at pos.
@@ -86,17 +96,58 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
+// ReportTaint records a facts-powered diagnostic carrying the taint chain
+// from the called function down to the intrinsic origin.
+func (p *Pass) ReportTaint(pos token.Pos, chain []string, format string, args ...any) {
+	*p.sink = append(*p.sink, Diagnostic{
+		Pos:     p.Pkg.Fset.Position(pos),
+		Check:   p.analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+		Chain:   chain,
+	})
+}
+
+// FuncTaints returns fn's taint summary from the serialized facts of its
+// defining package (the current package included — its facts are computed
+// before any analyzer runs). Nil for pure or out-of-set functions.
+func (p *Pass) FuncTaints(fn *types.Func) []Taint {
+	if p.db == nil {
+		return nil
+	}
+	return p.db.FuncTaints(fn)
+}
+
+// NodeTaints scans an arbitrary subtree — typically a goroutine body — for
+// taints: intrinsic origins plus calls into summarized functions, with the
+// same origin-side //gowren:allow cleansing the summaries apply.
+func (p *Pass) NodeTaints(node ast.Node) []Taint {
+	if p.db == nil || p.Pkg.Info == nil {
+		return nil
+	}
+	scan := &taintScan{pkg: p.Pkg, allowed: p.allowed, db: p.db, resolveLocal: true, sum: map[TaintKind]Taint{}}
+	scan.walk(node)
+	return sortedTaints(scan.sum)
+}
+
 // Run applies every analyzer to every package, applies //gowren:allow
 // suppression, and returns all diagnostics sorted by position then check
 // name. The returned slice includes suppressed diagnostics (marked as
 // such) so callers can audit the allow list; filter with Active.
+//
+// Packages are scheduled in import-topological order: before a package's
+// analyzers run, its taint facts are computed (a bottom-up fixed point
+// over the package call graph, consulting dependency summaries) and
+// serialized into a FactDB, so analyzers in dependent packages see
+// through cross-package call chains.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
-	for _, pkg := range pkgs {
+	db := NewFactDB()
+	for _, pkg := range topoOrder(pkgs) {
 		allowed := allowedLines(pkg)
+		_ = db.Add(computeFacts(pkg, db, allowed))
 		start := len(diags)
 		for _, a := range analyzers {
-			pass := &Pass{Pkg: pkg, analyzer: a, sink: &diags}
+			pass := &Pass{Pkg: pkg, analyzer: a, sink: &diags, db: db, allowed: allowed}
 			a.Run(pass)
 		}
 		for i := start; i < len(diags); i++ {
@@ -116,7 +167,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
 	})
 	return diags
 }

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -124,6 +126,151 @@ func wrongCheck() {}
 	}
 	if sup := Suppressed(diags); len(sup) != 2 {
 		t.Errorf("Suppressed: got %d, want 2", len(sup))
+	}
+}
+
+// callFlagger reports every call expression at the call's own position —
+// which for a multi-line call is its *first* line, the shape that used to
+// defeat trailing //gowren:allow comments.
+var callFlagger = &Analyzer{
+	Name: "callflag",
+	Doc:  "flags every call expression (test analyzer)",
+	Run: func(pass *Pass) {
+		for _, file := range pass.Pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					pass.Reportf(call.Pos(), "call at line %d", pass.Pkg.Fset.Position(call.Pos()).Line)
+				}
+				return true
+			})
+		}
+	},
+}
+
+// TestMultiLineSuppression: a //gowren:allow trailing the closing
+// parenthesis of a multi-line call (or preceding its first line) covers
+// the statement's full line span, so a diagnostic anchored on the first
+// line is silenced. Regression test for the span fix — previously only
+// the comment's own line and the next one were covered.
+func TestMultiLineSuppression(t *testing.T) {
+	pkg := parseTestPkg(t, `package synthetic
+
+func sink(args ...int) {}
+
+func f() {
+	sink(
+		1,
+		2,
+	) //gowren:allow callflag — trailing comment after a wrapped call
+
+	//gowren:allow callflag — preceding comment above a wrapped call
+	sink(
+		3,
+	)
+
+	sink(
+		4,
+	)
+}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	suppressedByLine := map[int]bool{}
+	for _, d := range diags {
+		suppressedByLine[d.Pos.Line] = d.Suppressed
+	}
+	for line, want := range map[int]bool{6: true, 12: true, 16: false} {
+		got, ok := suppressedByLine[line]
+		if !ok {
+			t.Errorf("no diagnostic at line %d: %v", line, diags)
+			continue
+		}
+		if got != want {
+			t.Errorf("line %d suppressed = %v, want %v", line, got, want)
+		}
+	}
+}
+
+// TestSuppressionDoesNotBlanketBlocks: a trailing directive after a block's
+// closing brace must not silence diagnostics inside the block — only
+// blockless statements widen the covered span.
+func TestSuppressionDoesNotBlanketBlocks(t *testing.T) {
+	pkg := parseTestPkg(t, `package synthetic
+
+func sink(args ...int) {}
+
+func f() {
+	for i := 0; i < 3; i++ {
+		sink(i)
+	}
+} //gowren:allow callflag — must not blanket the body
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{callFlagger})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1: %v", len(diags), diags)
+	}
+	if diags[0].Suppressed {
+		t.Errorf("call inside the loop body should not be suppressed by a comment after the function's closing brace")
+	}
+}
+
+// writeTestModule lays out a throwaway module for Load error-path tests.
+func writeTestModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadPartialFailure: a type error in one package fails the whole load
+// with an error naming the broken package, even when sibling packages are
+// clean — no silent partial analysis.
+func TestLoadPartialFailure(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod":           "module loadfail\n\ngo 1.21\n",
+		"good/good.go":     "package good\n\nfunc Fine() int { return 1 }\n",
+		"broken/broken.go": "package broken\n\nvar x int = \"not an int\"\n",
+	})
+	_, err := Load(dir, "./...")
+	if err == nil {
+		t.Fatal("Load should fail when any matched package has type errors")
+	}
+	if !strings.Contains(err.Error(), "broken") {
+		t.Errorf("error should name the broken package: %v", err)
+	}
+
+	// The clean sibling still loads on its own.
+	pkgs, err := Load(dir, "./good")
+	if err != nil {
+		t.Fatalf("loading the clean package alone: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "loadfail/good" {
+		t.Errorf("got %v", pkgs)
+	}
+}
+
+// TestLoadNoMatch: patterns that match nothing are an explicit error, not
+// an empty (vacuously clean) analysis run.
+func TestLoadNoMatch(t *testing.T) {
+	dir := writeTestModule(t, map[string]string{
+		"go.mod":       "module loadempty\n\ngo 1.21\n",
+		"good/good.go": "package good\n\nfunc Fine() int { return 1 }\n",
+	})
+	if err := os.MkdirAll(filepath.Join(dir, "hollow"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []string{"./nope/...", "./hollow/..."} {
+		_, err := Load(dir, pattern)
+		if err == nil {
+			t.Errorf("Load(%q) should fail when the pattern matches no packages", pattern)
+		}
 	}
 }
 

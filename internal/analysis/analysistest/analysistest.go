@@ -6,10 +6,20 @@
 //	testdata/src/<fixture>/*.go   the fixture package (real, compilable Go)
 //	testdata/<fixture>.golden     expected diagnostics, one per line
 //
+// A fixture may instead be a *set* of packages with imports between them —
+// the shape the interprocedural facts engine exists for:
+//
+//	testdata/src/<fixture>/<sub>/*.go   package "gowren-fixtures/<fixture>/<sub>"
+//
+// Sub-packages import each other by those paths; the harness type-checks
+// them in dependency order against the already-checked siblings plus the
+// module's real export data, so fixtures may import gowren/internal/vclock,
+// gowren/internal/cos, and friends. Diagnostics from every sub-package land
+// in one golden, filenames rendered relative to the fixture root.
+//
 // Fixtures live under testdata so `gowren-vet ./...` and `go build ./...`
 // never see their (intentional) violations, yet they are type-checked for
-// real — against the module's own export data — so fixtures may import
-// gowren/internal/vclock, gowren/internal/cos, and friends.
+// real.
 //
 // Golden lines render as
 //
@@ -17,6 +27,8 @@
 //
 // with suppressed diagnostics carrying a trailing " [suppressed]"; that
 // makes each //gowren:allow fixture case part of the golden contract.
+// RunFacts pins a fixture's serialized taint summaries — the exact bytes
+// gowren-vet -facts emits — against <fixture>.facts.golden.
 // Regenerate goldens with GOWREN_UPDATE_GOLDEN=1 go test ./...
 package analysistest
 
@@ -25,6 +37,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"sort"
@@ -77,12 +90,38 @@ func moduleRoot() (string, error) {
 	}
 }
 
-// Run loads testdata/src/<fixture>, applies the analyzer, and compares
-// the diagnostics with testdata/<fixture>.golden.
+// Run loads testdata/src/<fixture> (one package or a multi-package set),
+// applies the analyzer, and compares the diagnostics with
+// testdata/<fixture>.golden.
 func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
 	t.Helper()
 	got := diagnose(t, a, fixture)
-	goldenPath := filepath.Join("testdata", fixture+".golden")
+	compareGolden(t, filepath.Join("testdata", fixture+".golden"), got)
+}
+
+// RunFacts computes the fixture packages' serialized taint summaries —
+// the same canonical bytes gowren-vet -facts dumps — and compares them
+// with testdata/<fixture>.facts.golden.
+func RunFacts(t *testing.T, fixture string) {
+	t.Helper()
+	pkgs := loadFixture(t, fixture)
+	sums := analysis.Summaries(pkgs)
+	paths := make([]string, 0, len(sums))
+	for p := range sums {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	for _, p := range paths {
+		fmt.Fprintf(&b, "%s %s\n", p, sums[p])
+	}
+	compareGolden(t, filepath.Join("testdata", fixture+".facts.golden"), b.String())
+}
+
+// compareGolden diffs got against the golden file, regenerating it when
+// GOWREN_UPDATE_GOLDEN is set.
+func compareGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
 	if os.Getenv("GOWREN_UPDATE_GOLDEN") != "" {
 		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
 			t.Fatalf("analysistest: update golden: %v", err)
@@ -94,36 +133,148 @@ func Run(t *testing.T, a *analysis.Analyzer, fixture string) {
 		t.Fatalf("analysistest: read golden (set GOWREN_UPDATE_GOLDEN=1 to create): %v", err)
 	}
 	if got != string(want) {
-		t.Errorf("analysistest: %s/%s diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", a.Name, fixture, got, want)
+		t.Errorf("analysistest: %s mismatch\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
 	}
 }
 
 // diagnose returns the rendered diagnostic listing for one fixture.
 func diagnose(t *testing.T, a *analysis.Analyzer, fixture string) string {
 	t.Helper()
-	pkg := loadFixture(t, fixture)
-	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+	pkgs := loadFixture(t, fixture)
+	diags := analysis.Run(pkgs, []*analysis.Analyzer{a})
+	root, err := filepath.Abs(filepath.Join("testdata", "src", fixture))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
 	var b strings.Builder
 	for _, d := range diags {
 		suffix := ""
 		if d.Suppressed {
 			suffix = " [suppressed]"
 		}
-		fmt.Fprintf(&b, "%s:%d:%d: %s: %s%s\n", filepath.Base(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Check, d.Message, suffix)
+		name := d.Pos.Filename
+		if rel, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = filepath.ToSlash(rel)
+		} else {
+			name = filepath.Base(name)
+		}
+		fmt.Fprintf(&b, "%s:%d:%d: %s: %s%s\n", name, d.Pos.Line, d.Pos.Column, d.Check, d.Message, suffix)
 	}
 	return b.String()
 }
 
-// loadFixture parses and type-checks one fixture package.
-func loadFixture(t *testing.T, fixture string) *analysis.Package {
+// loadFixture parses and type-checks one fixture: either a single package
+// of .go files directly under testdata/src/<fixture>, or one package per
+// subdirectory, type-checked in dependency order so the later packages
+// resolve "gowren-fixtures/<fixture>/<sub>" imports against the earlier
+// ones.
+func loadFixture(t *testing.T, fixture string) []*analysis.Package {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", fixture)
+	root := filepath.Join("testdata", "src", fixture)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	var subdirs []string
+	hasRootFiles := false
+	for _, e := range entries {
+		switch {
+		case e.IsDir():
+			subdirs = append(subdirs, e.Name())
+		case strings.HasSuffix(e.Name(), ".go"):
+			hasRootFiles = true
+		}
+	}
+	fset := token.NewFileSet()
+	base := analysis.NewImporter(fset, moduleExports(t))
+	if hasRootFiles || len(subdirs) == 0 {
+		pkg := checkFixturePkg(t, fset, base, root, "gowren-fixtures/"+fixture)
+		return []*analysis.Package{pkg}
+	}
+
+	// Multi-package fixture: parse every sub-package, then type-check in
+	// dependency order with an importer that serves already-checked
+	// siblings from memory and everything else from export data.
+	sort.Strings(subdirs)
+	prefix := "gowren-fixtures/" + fixture + "/"
+	imp := &fixtureImporter{mem: map[string]*types.Package{}, base: base}
+	type parsed struct {
+		path    string
+		files   []*ast.File
+		imports map[string]bool // fixture-internal imports only
+	}
+	byPath := map[string]*parsed{}
+	var order []string
+	for _, sub := range subdirs {
+		path := prefix + sub
+		files := parseDir(t, fset, filepath.Join(root, sub))
+		p := &parsed{path: path, files: files, imports: map[string]bool{}}
+		for _, f := range files {
+			for _, spec := range f.Imports {
+				ip := strings.Trim(spec.Path.Value, `"`)
+				if strings.HasPrefix(ip, prefix) {
+					p.imports[ip] = true
+				}
+			}
+		}
+		byPath[path] = p
+		order = append(order, path)
+	}
+	var pkgs []*analysis.Package
+	done := map[string]bool{}
+	for len(done) < len(order) {
+		progressed := false
+		for _, path := range order {
+			if done[path] {
+				continue
+			}
+			ready := true
+			for dep := range byPath[path].imports { //gowren:allow mapiter — all-done conjunction is order-independent
+				if !done[dep] {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			pkg, err := analysis.CheckFiles(fset, imp, path, byPath[path].files)
+			if err != nil {
+				t.Fatalf("analysistest: typecheck fixture package %s: %v", path, err)
+			}
+			imp.mem[path] = pkg.Types
+			pkgs = append(pkgs, pkg)
+			done[path] = true
+			progressed = true
+		}
+		if !progressed {
+			t.Fatalf("analysistest: import cycle among fixture packages in %s", fixture)
+		}
+	}
+	return pkgs
+}
+
+// checkFixturePkg parses and type-checks one directory as one package.
+func checkFixturePkg(t *testing.T, fset *token.FileSet, imp types.Importer, dir, path string) *analysis.Package {
+	t.Helper()
+	files := parseDir(t, fset, dir)
+	if len(files) == 0 {
+		t.Fatalf("analysistest: fixture %s has no Go files", dir)
+	}
+	pkg, err := analysis.CheckFiles(fset, imp, path, files)
+	if err != nil {
+		t.Fatalf("analysistest: typecheck fixture: %v", err)
+	}
+	return pkg
+}
+
+// parseDir parses every .go file in dir, sorted by name.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("analysistest: %v", err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
 	var names []string
 	for _, e := range entries {
 		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
@@ -131,20 +282,31 @@ func loadFixture(t *testing.T, fixture string) *analysis.Package {
 		}
 	}
 	sort.Strings(names)
+	var files []*ast.File
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		abs, err := filepath.Abs(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("analysistest: %v", err)
+		}
+		f, err := parser.ParseFile(fset, abs, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			t.Fatalf("analysistest: parse fixture: %v", err)
 		}
 		files = append(files, f)
 	}
-	if len(files) == 0 {
-		t.Fatalf("analysistest: fixture %s has no Go files", fixture)
+	return files
+}
+
+// fixtureImporter resolves fixture-internal imports from already-checked
+// sibling packages and everything else from the module's export data.
+type fixtureImporter struct {
+	mem  map[string]*types.Package
+	base types.Importer
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.mem[path]; ok {
+		return p, nil
 	}
-	imp := analysis.NewImporter(fset, moduleExports(t))
-	pkg, err := analysis.CheckFiles(fset, imp, "gowren-fixtures/"+fixture, files)
-	if err != nil {
-		t.Fatalf("analysistest: typecheck fixture: %v", err)
-	}
-	return pkg
+	return fi.base.Import(path)
 }

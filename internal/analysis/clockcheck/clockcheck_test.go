@@ -10,3 +10,18 @@ import (
 func TestClockcheckFixture(t *testing.T) {
 	analysistest.Run(t, clockcheck.Analyzer, "clockfixture")
 }
+
+// TestClockcheckCrossPackage: package clockb calls wall-clock wrappers
+// defined in package clocka; the diagnostics land at the call sites in
+// clockb with the taint chain naming clocka's functions, and fall silent
+// when the origin carries a justified //gowren:allow.
+func TestClockcheckCrossPackage(t *testing.T) {
+	analysistest.Run(t, clockcheck.Analyzer, "xclock")
+}
+
+// TestClockcheckFacts pins the serialized per-function taint summaries for
+// the multi-package fixture — the same canonical bytes gowren-vet -facts
+// dumps and the CI determinism gate diffs.
+func TestClockcheckFacts(t *testing.T) {
+	analysistest.RunFacts(t, "xclock")
+}

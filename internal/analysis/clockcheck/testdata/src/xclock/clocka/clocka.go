@@ -1,0 +1,29 @@
+// Package clocka defines wall-clock wrappers — the impure origins whose
+// taint must flow, via serialized facts, into every importing package.
+package clocka
+
+import "time"
+
+// Stamp wraps time.Now: flagged here directly, and its summary carries a
+// wallclock taint every caller inherits.
+func Stamp() time.Time {
+	return time.Now()
+}
+
+// Nap wraps time.Sleep: a wallsleep taint.
+func Nap() {
+	time.Sleep(time.Millisecond)
+}
+
+// Deep reaches the clock through a same-package hop; the fixed point must
+// give it Stamp's taint with the two-link chain, while its own call site
+// stays quiet (the origin inside this package is already reported).
+func Deep() time.Time {
+	return Stamp()
+}
+
+// Sanctioned is cleansed at the origin: the allow silences the direct
+// finding *and* strips the taint, so callers in other packages stay quiet.
+func Sanctioned() time.Time {
+	return time.Now() //gowren:allow clockcheck — fixture: sanctioned real-mode read
+}

@@ -1,0 +1,34 @@
+// Package clockb imports clocka's wrappers: every call to a tainted
+// wrapper must be reported here, at the call site, with the full chain.
+package clockb
+
+import (
+	"time"
+
+	"gowren-fixtures/xclock/clocka"
+)
+
+// UsesStamp inherits clocka's wall-clock read across the package boundary.
+func UsesStamp() time.Time {
+	return clocka.Stamp()
+}
+
+// UsesDeep sees the two-package, three-link chain.
+func UsesDeep() time.Time {
+	return clocka.Deep()
+}
+
+// UsesNap inherits the blocking flavor.
+func UsesNap() {
+	clocka.Nap()
+}
+
+// UsesSanctioned calls the origin-cleansed wrapper: no finding.
+func UsesSanctioned() time.Time {
+	return clocka.Sanctioned()
+}
+
+// CallerAllowed suppresses the transitive finding at the call site.
+func CallerAllowed() time.Time {
+	return clocka.Stamp() //gowren:allow clockcheck — fixture: caller-side allow
+}

@@ -7,6 +7,12 @@
 // expression statement turns an injected fault into silent corruption
 // (PR 1 fixed a swallowed sweepStatuses error of precisely this shape by
 // hand). This analyzer makes that class of bug a lint failure.
+//
+// The facts engine extends the reach across package boundaries: a helper
+// that swallows a storage error internally taints every caller, and the
+// call site in the package under review is reported with the chain down
+// to the discarding function. An //gowren:allow errsink on the discard
+// itself (the origin) cleanses all callers.
 package errsink
 
 import (
@@ -16,11 +22,6 @@ import (
 
 	"gowren/internal/analysis"
 )
-
-// targetPkgs are the failure-bearing layers whose errors must not be
-// dropped. Matching is by import-path suffix so the check also applies to
-// fixture stand-ins under testdata.
-var targetPkgs = []string{"internal/cos", "internal/faas", "internal/retry"}
 
 // Analyzer is the errsink analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -43,9 +44,29 @@ func run(pass *analysis.Pass) {
 				reportDiscard(pass, stmt.Call, "defer")
 			case *ast.AssignStmt:
 				checkAssign(pass, stmt)
+			case *ast.CallExpr:
+				checkTransitive(pass, stmt)
 			}
 			return true
 		})
+	}
+}
+
+// checkTransitive flags calls into other packages whose summaries say the
+// callee internally discards a failure-layer error.
+func checkTransitive(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg.Types {
+		return
+	}
+	for _, t := range pass.FuncTaints(fn) {
+		if t.Kind != analysis.TaintErrDiscard {
+			continue
+		}
+		chain := append([]string{analysis.FuncLabel(fn)}, t.Chain...)
+		pass.ReportTaint(call.Pos(), chain,
+			"call to %s transitively discards a failure-layer error (%s); handle the error in the callee or //gowren:allow errsink at the origin",
+			analysis.FuncLabel(fn), strings.Join(chain, " → "))
 	}
 }
 
@@ -92,19 +113,14 @@ func checkAssign(pass *analysis.Pass, stmt *ast.AssignStmt) {
 }
 
 // targetCallee resolves call's callee and returns it only when it is
-// defined in one of the failure-bearing packages.
+// defined in one of the failure-bearing packages (analysis.ErrSinkTargets,
+// the same table the facts engine's origin detection uses).
 func targetCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 	fn := analysis.CalleeFunc(info, call)
-	if fn == nil || fn.Pkg() == nil {
+	if fn == nil || fn.Pkg() == nil || !analysis.IsErrSinkTarget(fn.Pkg().Path()) {
 		return nil
 	}
-	path := fn.Pkg().Path()
-	for _, t := range targetPkgs {
-		if path == t || strings.HasSuffix(path, "/"+t) || strings.HasSuffix(path, t) {
-			return fn
-		}
-	}
-	return nil
+	return fn
 }
 
 // calleeLabel renders pkg.Func or pkg.Type.Method for diagnostics.

@@ -10,3 +10,11 @@ import (
 func TestErrsinkFixture(t *testing.T) {
 	analysistest.Run(t, errsink.Analyzer, "errsinkfixture")
 }
+
+// TestErrsinkCrossPackage: package errb calls helpers in erra that
+// internally discard failure-layer errors; diagnostics land at the call
+// sites in errb with chains naming erra's functions, and the
+// origin-cleansed helper stays quiet.
+func TestErrsinkCrossPackage(t *testing.T) {
+	analysistest.Run(t, errsink.Analyzer, "xerr")
+}

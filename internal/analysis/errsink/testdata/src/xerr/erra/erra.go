@@ -1,0 +1,27 @@
+// Package erra swallows failure-layer errors inside helpers — the
+// discard origins whose taint must reach importing packages.
+package erra
+
+import "gowren/internal/cos"
+
+// DropDelete swallows the Delete error: flagged here directly, and its
+// summary carries an errdiscard taint every caller inherits.
+func DropDelete(c cos.Client) {
+	c.Delete("bucket", "key")
+}
+
+// DeepDrop reaches the discard through a same-package hop.
+func DeepDrop(c cos.Client) {
+	DropDelete(c)
+}
+
+// CleanDelete is cleansed at the origin: the allow silences the direct
+// finding and strips the taint for every caller.
+func CleanDelete(c cos.Client) {
+	c.Delete("bucket", "key") //gowren:allow errsink — fixture: sanctioned best-effort cleanup
+}
+
+// Propagates handles the error properly: no taint.
+func Propagates(c cos.Client) error {
+	return c.Delete("bucket", "key")
+}

@@ -1,0 +1,34 @@
+// Package errb imports erra's helpers: internal discards must surface at
+// these call sites with chains naming erra's functions.
+package errb
+
+import (
+	"gowren/internal/cos"
+
+	"gowren-fixtures/xerr/erra"
+)
+
+// UsesDropDelete inherits the swallowed error across the package boundary.
+func UsesDropDelete(c cos.Client) {
+	erra.DropDelete(c)
+}
+
+// UsesDeepDrop sees the chain through erra's internal hop.
+func UsesDeepDrop(c cos.Client) {
+	erra.DeepDrop(c)
+}
+
+// UsesCleanDelete calls the origin-cleansed helper: no finding.
+func UsesCleanDelete(c cos.Client) {
+	erra.CleanDelete(c)
+}
+
+// UsesPropagates calls the error-correct helper: no finding.
+func UsesPropagates(c cos.Client) error {
+	return erra.Propagates(c)
+}
+
+// CallerAllowed suppresses the transitive finding at the call site.
+func CallerAllowed(c cos.Client) {
+	erra.DropDelete(c) //gowren:allow errsink — fixture: caller-side allow
+}

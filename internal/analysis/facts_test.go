@@ -1,0 +1,316 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	factsExportsOnce sync.Once
+	factsExports     map[string]string
+	factsExportsErr  error
+)
+
+// factsExportData builds (once) the export index for the module so
+// synthetic test packages can import time, math/rand, and module packages.
+func factsExportData(t *testing.T) map[string]string {
+	t.Helper()
+	factsExportsOnce.Do(func() {
+		factsExports, factsExportsErr = ExportIndex("../..", "./...")
+	})
+	if factsExportsErr != nil {
+		t.Fatalf("building export index: %v", factsExportsErr)
+	}
+	return factsExports
+}
+
+// memImporter serves already-checked synthetic packages from memory and
+// everything else from export data — the same chaining the analysistest
+// harness uses for multi-package fixtures.
+type memImporter struct {
+	mem  map[string]*types.Package
+	base types.Importer
+}
+
+func (m *memImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.mem[path]; ok {
+		return p, nil
+	}
+	return m.base.Import(path)
+}
+
+// checkSrc type-checks one synthetic source file as the package at path.
+func checkSrc(t *testing.T, fset *token.FileSet, imp types.Importer, path, src string) *Package {
+	t.Helper()
+	name := strings.ReplaceAll(path, "/", "_") + ".go"
+	f, err := parser.ParseFile(fset, name, src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	pkg, err := CheckFiles(fset, imp, path, []*ast.File{f})
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", path, err)
+	}
+	return pkg
+}
+
+// checkPair type-checks package a then package b (which may import a) and
+// returns both.
+func checkPair(t *testing.T, aPath, aSrc, bPath, bSrc string) (*Package, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := &memImporter{mem: map[string]*types.Package{}, base: NewImporter(fset, factsExportData(t))}
+	a := checkSrc(t, fset, imp, aPath, aSrc)
+	imp.mem[aPath] = a.Types
+	b := checkSrc(t, fset, imp, bPath, bSrc)
+	return a, b
+}
+
+// decodeFacts unmarshals one package's serialized summary.
+func decodeFacts(t *testing.T, data []byte) *PackageFacts {
+	t.Helper()
+	pf := &PackageFacts{}
+	if err := json.Unmarshal(data, pf); err != nil {
+		t.Fatalf("decode facts: %v", err)
+	}
+	return pf
+}
+
+func chainOf(t *testing.T, pf *PackageFacts, fn string, kind TaintKind) []string {
+	t.Helper()
+	ff := pf.Funcs[fn]
+	if ff == nil {
+		t.Fatalf("no facts for %s (have %v)", fn, pf.Funcs)
+	}
+	for _, taint := range ff.Taints {
+		if taint.Kind == kind {
+			return taint.Chain
+		}
+	}
+	t.Fatalf("no %s taint on %s: %+v", kind, fn, ff.Taints)
+	return nil
+}
+
+// TestFactsCrossPackageChain: an impure wrapper in package a taints its
+// caller in package b through the serialized facts, with the chain naming
+// a's functions down to the intrinsic origin.
+func TestFactsCrossPackageChain(t *testing.T) {
+	a, b := checkPair(t,
+		"synthx/a", `package a
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Deep() time.Time { return Stamp() }
+`,
+		"synthx/b", `package b
+
+import "synthx/a"
+
+func Use() { a.Stamp() }
+
+func UseDeep() { a.Deep() }
+`)
+	sums := Summaries([]*Package{b, a}) // deliberately out of order: topoOrder fixes it
+	af := decodeFacts(t, sums["synthx/a"])
+	bf := decodeFacts(t, sums["synthx/b"])
+
+	if got := chainOf(t, af, "synthx/a.Stamp", TaintWallClock); strings.Join(got, "|") != "time.Now" {
+		t.Errorf("Stamp chain = %v", got)
+	}
+	if got := chainOf(t, af, "synthx/a.Deep", TaintWallClock); strings.Join(got, "|") != "synthx/a.Stamp|time.Now" {
+		t.Errorf("Deep chain = %v", got)
+	}
+	if got := chainOf(t, bf, "synthx/b.Use", TaintWallClock); strings.Join(got, "|") != "synthx/a.Stamp|time.Now" {
+		t.Errorf("Use chain = %v", got)
+	}
+	if got := chainOf(t, bf, "synthx/b.UseDeep", TaintWallClock); strings.Join(got, "|") != "synthx/a.Deep|synthx/a.Stamp|time.Now" {
+		t.Errorf("UseDeep chain = %v", got)
+	}
+}
+
+// TestFactsOriginAllowCleanses: a //gowren:allow at the taint origin
+// removes the taint from the origin function and from every caller,
+// same-package or cross-package.
+func TestFactsOriginAllowCleanses(t *testing.T) {
+	a, b := checkPair(t,
+		"synthc/a", `package a
+
+import "time"
+
+func Stamp() time.Time {
+	return time.Now() //gowren:allow clockcheck — sanctioned real-mode read
+}
+`,
+		"synthc/b", `package b
+
+import "synthc/a"
+
+func Use() { a.Stamp() }
+`)
+	sums := Summaries([]*Package{a, b})
+	for path, fn := range map[string]string{"synthc/a": "synthc/a.Stamp", "synthc/b": "synthc/b.Use"} {
+		pf := decodeFacts(t, sums[path])
+		if pf.Funcs[fn] != nil {
+			t.Errorf("%s should be cleansed at the origin, got %+v", fn, pf.Funcs[fn])
+		}
+	}
+}
+
+// TestFactsIntermediateAllowStopsPropagation: an allow on an intermediate
+// call site stops the taint there without cleansing the origin.
+func TestFactsIntermediateAllowStopsPropagation(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := &memImporter{mem: map[string]*types.Package{}, base: NewImporter(fset, factsExportData(t))}
+	a := checkSrc(t, fset, imp, "synthi/a", `package a
+
+import "time"
+
+func Stamp() time.Time { return time.Now() }
+
+func Wrap() time.Time {
+	return Stamp() //gowren:allow clockcheck — boundary to real time
+}
+`)
+	sums := Summaries([]*Package{a})
+	pf := decodeFacts(t, sums["synthi/a"])
+	if got := chainOf(t, pf, "synthi/a.Stamp", TaintWallClock); strings.Join(got, "|") != "time.Now" {
+		t.Errorf("Stamp chain = %v", got)
+	}
+	if pf.Funcs["synthi/a.Wrap"] != nil {
+		t.Errorf("Wrap should stop the taint at the allowed call site, got %+v", pf.Funcs["synthi/a.Wrap"])
+	}
+}
+
+// TestFactsRecursionTerminates: mutual recursion through an impure
+// function converges — the fixed point keeps the minimal chain per kind, so
+// cycles cannot grow chains forever.
+func TestFactsRecursionTerminates(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := &memImporter{mem: map[string]*types.Package{}, base: NewImporter(fset, factsExportData(t))}
+	a := checkSrc(t, fset, imp, "synthr/a", `package a
+
+import "time"
+
+func Ping(n int) {
+	if n > 0 {
+		Pong(n - 1)
+	}
+}
+
+func Pong(n int) {
+	_ = time.Now()
+	if n > 0 {
+		Ping(n - 1)
+	}
+}
+`)
+	sums := Summaries([]*Package{a})
+	pf := decodeFacts(t, sums["synthr/a"])
+	if got := chainOf(t, pf, "synthr/a.Pong", TaintWallClock); strings.Join(got, "|") != "time.Now" {
+		t.Errorf("Pong chain = %v", got)
+	}
+	if got := chainOf(t, pf, "synthr/a.Ping", TaintWallClock); strings.Join(got, "|") != "synthr/a.Pong|time.Now" {
+		t.Errorf("Ping chain = %v", got)
+	}
+}
+
+// TestSummariesDeterministic: the serialized facts are byte-identical
+// across runs and independent of the input package order — the property
+// the CI determinism gate enforces over the real tree.
+func TestSummariesDeterministic(t *testing.T) {
+	a, b := checkPair(t,
+		"synthd/a", `package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func Roll() int { return rand.Intn(6) }
+
+func Stamp() time.Time { return time.Now() }
+`,
+		"synthd/b", `package b
+
+import "synthd/a"
+
+func Use() int {
+	a.Stamp()
+	return a.Roll()
+}
+`)
+	first := Summaries([]*Package{a, b})
+	second := Summaries([]*Package{b, a})
+	if len(first) != len(second) {
+		t.Fatalf("summary count differs: %d vs %d", len(first), len(second))
+	}
+	for path, data := range first {
+		if string(second[path]) != string(data) {
+			t.Errorf("%s facts differ across package orders:\n%s\n%s", path, data, second[path])
+		}
+	}
+}
+
+// TestFuncLabel: stable labels for package-level functions and for value
+// and pointer methods.
+func TestFuncLabel(t *testing.T) {
+	fset := token.NewFileSet()
+	imp := &memImporter{mem: map[string]*types.Package{}, base: NewImporter(fset, factsExportData(t))}
+	a := checkSrc(t, fset, imp, "synthl/a", `package a
+
+type T int
+
+func (t T) M() {}
+
+func (t *T) P() {}
+
+func F() {}
+`)
+	got := map[string]bool{}
+	for _, obj := range a.Info.Defs {
+		if fn, ok := obj.(*types.Func); ok {
+			got[FuncLabel(fn)] = true
+		}
+	}
+	for _, want := range []string{"synthl/a.T.M", "synthl/a.T.P", "synthl/a.F"} {
+		if !got[want] {
+			t.Errorf("missing label %s (have %v)", want, got)
+		}
+	}
+}
+
+// TestTopoOrder: dependents follow their imports, ties break
+// lexicographically, and a (hypothetical) cycle degrades to path order
+// without dropping packages.
+func TestTopoOrder(t *testing.T) {
+	mk := func(path string, imports ...string) *Package {
+		return &Package{Path: path, Imports: imports}
+	}
+	order := func(pkgs []*Package) string {
+		var paths []string
+		for _, p := range topoOrder(pkgs) {
+			paths = append(paths, p.Path)
+		}
+		return strings.Join(paths, " ")
+	}
+	// c imports a and b; b imports a; d is independent. Among the valid
+	// topological orders the scheduler picks the lexicographically
+	// smallest, so the result is fully deterministic.
+	pkgs := []*Package{mk("c", "a", "b"), mk("b", "a"), mk("d"), mk("a", "fmt")}
+	if got := order(pkgs); got != "a b c d" {
+		t.Errorf("topoOrder = %q, want %q", got, "a b c d")
+	}
+	// Cycle: fall back to keeping everything, path-ordered after the clean part.
+	cyc := []*Package{mk("y", "x"), mk("x", "y"), mk("w")}
+	if got := order(cyc); got != "w x y" {
+		t.Errorf("topoOrder cycle = %q, want %q", got, "w x y")
+	}
+}

@@ -56,11 +56,17 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	var pkgs []*Package
 	var loadErrs []error
 	for _, m := range metas {
-		if m.DepOnly || m.Standard || len(m.GoFiles) == 0 {
+		if m.DepOnly || m.Standard {
 			continue
 		}
+		// Error entries cover both broken matched packages (parse/type
+		// errors) and unmatchable patterns, which `go list -e` reports as
+		// a GoFiles-less pseudo-package named after the pattern.
 		if m.Error != nil {
-			loadErrs = append(loadErrs, fmt.Errorf("%s: %s", m.ImportPath, m.Error.Err))
+			loadErrs = append(loadErrs, fmt.Errorf("%s: %s", m.ImportPath, strings.TrimSpace(m.Error.Err)))
+			continue
+		}
+		if len(m.GoFiles) == 0 {
 			continue
 		}
 		pkg, err := checkPackage(fset, imp, m)
@@ -72,6 +78,9 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	}
 	if len(loadErrs) > 0 {
 		return nil, errors.Join(loadErrs...)
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no packages matched %s", strings.Join(patterns, " "))
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
 	return pkgs, nil
@@ -165,7 +174,15 @@ func CheckFiles(fset *token.FileSet, imp types.Importer, path string, files []*a
 	if err != nil {
 		return nil, fmt.Errorf("analysis: typecheck %s: %w", path, err)
 	}
-	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info}, nil
+	// Record direct imports (from the resolved package objects, so fixture
+	// packages checked out-of-band get them too) for Run's topological
+	// scheduling of taint-fact computation.
+	var imports []string
+	for _, dep := range tpkg.Imports() {
+		imports = append(imports, dep.Path())
+	}
+	sort.Strings(imports)
+	return &Package{Path: path, Fset: fset, Files: files, Types: tpkg, Info: info, Imports: imports}, nil
 }
 
 // NewImporter returns a types.Importer resolving imports from the export

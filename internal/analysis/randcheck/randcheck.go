@@ -1,5 +1,5 @@
 // Package randcheck forbids randomness that does not derive from the job
-// seed.
+// seed — directly or through call chains into other packages.
 //
 // Every random draw in a GoWren simulation must come from a *rand.Rand
 // seeded (directly or transitively) from the configuration seed — that is
@@ -9,27 +9,19 @@
 // construction. Methods on an explicitly constructed *rand.Rand are fine;
 // constructing one is fine too (the seed's provenance is clockcheck's and
 // code review's problem, typically cfg.Seed).
+//
+// The membership table for global-source draws lives in the facts engine
+// (analysis.GlobalRandFunc); the same table feeds the interprocedural
+// summaries, so a helper in one package that wraps rand.Intn is reported
+// at its call sites in every importing package, taint chain included.
 package randcheck
 
 import (
 	"go/ast"
+	"strings"
 
 	"gowren/internal/analysis"
 )
-
-// globalSource lists the math/rand (and math/rand/v2) package-level
-// functions that draw from the shared global source. Constructors (New,
-// NewSource, NewZipf, NewPCG, NewChaCha8) are deliberately absent.
-var globalSource = map[string]bool{
-	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
-	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
-	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
-	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
-	// math/rand/v2 additions.
-	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
-	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
-	"Uint64N": true,
-}
 
 // Analyzer is the randcheck analyzer.
 var Analyzer = &analysis.Analyzer{
@@ -41,19 +33,44 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) {
 	for _, file := range pass.Pkg.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				checkDirect(pass, x)
+			case *ast.CallExpr:
+				checkTransitive(pass, x)
 			}
-			pkgPath, fn := analysis.PkgFuncUse(pass.Pkg.Info, sel)
-			if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
-				return true
-			}
-			if fn == nil || !globalSource[fn.Name()] {
-				return true
-			}
-			pass.Reportf(sel.Pos(), "rand.%s draws from the global auto-seeded source; use a *rand.Rand seeded from the job seed", fn.Name())
 			return true
 		})
+	}
+}
+
+// checkDirect flags references to the global-source package-level rand
+// functions.
+func checkDirect(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	pkgPath, fn := analysis.PkgFuncUse(pass.Pkg.Info, sel)
+	if pkgPath != "math/rand" && pkgPath != "math/rand/v2" {
+		return
+	}
+	if fn == nil || !analysis.GlobalRandFunc(fn.Name()) {
+		return
+	}
+	pass.Reportf(sel.Pos(), "rand.%s draws from the global auto-seeded source; use a *rand.Rand seeded from the job seed", fn.Name())
+}
+
+// checkTransitive flags calls into other packages whose summaries carry a
+// global-rand taint.
+func checkTransitive(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := analysis.CalleeFunc(pass.Pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg() == pass.Pkg.Types {
+		return
+	}
+	for _, t := range pass.FuncTaints(fn) {
+		if t.Kind != analysis.TaintGlobalRand {
+			continue
+		}
+		chain := append([]string{analysis.FuncLabel(fn)}, t.Chain...)
+		pass.ReportTaint(call.Pos(), chain,
+			"call to %s transitively draws from the global auto-seeded rand source (%s); thread a job-seeded *rand.Rand through the callee or //gowren:allow randcheck at the origin",
+			analysis.FuncLabel(fn), strings.Join(chain, " → "))
 	}
 }

@@ -10,3 +10,11 @@ import (
 func TestRandcheckFixture(t *testing.T) {
 	analysistest.Run(t, randcheck.Analyzer, "randfixture")
 }
+
+// TestRandcheckCrossPackage: package randb calls global-rand wrappers
+// defined in package randa; diagnostics land at the call sites in randb
+// with chains naming randa's functions, and the origin-cleansed wrapper
+// stays quiet.
+func TestRandcheckCrossPackage(t *testing.T) {
+	analysistest.Run(t, randcheck.Analyzer, "xrand")
+}

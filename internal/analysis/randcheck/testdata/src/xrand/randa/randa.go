@@ -1,0 +1,25 @@
+// Package randa wraps global math/rand draws — the impure origins whose
+// taint must reach importing packages through the facts engine.
+package randa
+
+import "math/rand"
+
+// Roll wraps a global-source draw.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// DoubleRoll reaches the global source through a same-package hop.
+func DoubleRoll() int {
+	return Roll() + Roll()
+}
+
+// Sanctioned is cleansed at the origin.
+func Sanctioned() int {
+	return rand.Int() //gowren:allow randcheck — fixture: sanctioned global draw
+}
+
+// Seeded draws from an explicit job-seeded source: no taint.
+func Seeded(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}

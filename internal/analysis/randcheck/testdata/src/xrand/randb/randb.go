@@ -1,0 +1,30 @@
+// Package randb imports randa's wrappers: taints must surface at these
+// call sites with chains naming randa's functions.
+package randb
+
+import "gowren-fixtures/xrand/randa"
+
+// UsesRoll inherits the global-source draw across the package boundary.
+func UsesRoll() int {
+	return randa.Roll()
+}
+
+// UsesDoubleRoll sees the chain through randa's internal hop.
+func UsesDoubleRoll() int {
+	return randa.DoubleRoll()
+}
+
+// UsesSanctioned calls the origin-cleansed wrapper: no finding.
+func UsesSanctioned() int {
+	return randa.Sanctioned()
+}
+
+// UsesSeeded calls the pure, job-seeded variant: no finding.
+func UsesSeeded() int {
+	return randa.Seeded(42)
+}
+
+// CallerAllowed suppresses the transitive finding at the call site.
+func CallerAllowed() int {
+	return randa.Roll() //gowren:allow randcheck — fixture: caller-side allow
+}

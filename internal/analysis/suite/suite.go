@@ -11,6 +11,7 @@ import (
 	"gowren/internal/analysis/lockhold"
 	"gowren/internal/analysis/mapiter"
 	"gowren/internal/analysis/randcheck"
+	"gowren/internal/analysis/vclockescape"
 )
 
 // All returns every analyzer in the suite, in stable order.
@@ -22,6 +23,7 @@ func All() []*analysis.Analyzer {
 		lockhold.Analyzer,
 		mapiter.Analyzer,
 		randcheck.Analyzer,
+		vclockescape.Analyzer,
 	}
 }
 

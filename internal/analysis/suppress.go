@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -10,7 +12,11 @@ import (
 //
 // Several checks may be listed, comma-separated. The directive silences
 // matching diagnostics on its own line and on the line directly below it,
-// so it works both as a trailing comment and as a preceding one.
+// so it works both as a trailing comment and as a preceding one. When the
+// directive trails a multi-line expression statement (or precedes one),
+// it covers the statement's full line span: a diagnostic anchored at the
+// first line of a wrapped call is silenced by the comment after the
+// closing parenthesis three lines later.
 const allowDirective = "//gowren:allow"
 
 // AuditCheck names the allow-list audit analyzer. Its diagnostics flag
@@ -25,6 +31,7 @@ type allowSet map[string]map[int]map[string]bool
 func allowedLines(pkg *Package) allowSet {
 	set := allowSet{}
 	for _, file := range pkg.Files {
+		spans := stmtSpans(pkg, file)
 		for _, group := range file.Comments {
 			for _, c := range group.List {
 				checks, _, ok := ParseAllow(c.Text)
@@ -38,8 +45,20 @@ func allowedLines(pkg *Package) allowSet {
 					set[pos.Filename] = lines
 				}
 				// The directive covers its own line (trailing comment)
-				// and the next line (standalone comment above the code).
-				for _, line := range []int{pos.Line, pos.Line + 1} {
+				// and the next line (standalone comment above the code) —
+				// widened to the full line span of the statement the
+				// comment trails (ends on the directive's line) or
+				// precedes (starts on the next line), so multi-line call
+				// expressions are covered wherever the diagnostic anchors.
+				mark := map[int]bool{pos.Line: true, pos.Line + 1: true}
+				for _, s := range spans {
+					if s.end == pos.Line || s.start == pos.Line+1 {
+						for line := s.start; line <= s.end; line++ {
+							mark[line] = true
+						}
+					}
+				}
+				for line := range mark { //gowren:allow mapiter — set insertion is order-independent
 					if lines[line] == nil {
 						lines[line] = map[string]bool{}
 					}
@@ -51,6 +70,34 @@ func allowedLines(pkg *Package) allowSet {
 		}
 	}
 	return set
+}
+
+// lineSpan is the line range of one suppressible statement.
+type lineSpan struct{ start, end int }
+
+// stmtSpans collects the line spans of the file's blockless statements and
+// declarations — the nodes a //gowren:allow comment plausibly attaches to.
+// Block-bodied constructs (functions, if/for/switch/select) are excluded:
+// a trailing comment after a closing brace must not silently blanket an
+// entire body. For overlapping candidates sharing an end (or start) line,
+// the widened coverage is their union, which is dominated by the outermost
+// statement — exactly the expression the human wrote the comment against.
+func stmtSpans(pkg *Package, file *ast.File) []lineSpan {
+	var spans []lineSpan
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ExprStmt, *ast.AssignStmt, *ast.ReturnStmt, *ast.GoStmt,
+			*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt,
+			*ast.GenDecl, *ast.ValueSpec:
+			start := pkg.Fset.Position(n.Pos()).Line
+			end := pkg.Fset.Position(n.End()).Line
+			if end > start {
+				spans = append(spans, lineSpan{start: start, end: end})
+			}
+		}
+		return true
+	})
+	return spans
 }
 
 // ParseAllow extracts the check names and the free-form justification from
@@ -92,13 +139,20 @@ func (s allowSet) matches(d Diagnostic) bool {
 	if d.Check == AuditCheck {
 		return false
 	}
-	lines, ok := s[d.Pos.Filename]
+	return s.allowsAt(d.Pos, d.Check)
+}
+
+// allowsAt reports whether a directive covers the given position for the
+// named check. The facts engine uses this to cleanse taints at their
+// origin: an allowed origin propagates nothing to its callers.
+func (s allowSet) allowsAt(pos token.Position, check string) bool {
+	lines, ok := s[pos.Filename]
 	if !ok {
 		return false
 	}
-	checks, ok := lines[d.Pos.Line]
+	checks, ok := lines[pos.Line]
 	if !ok {
 		return false
 	}
-	return checks[d.Check] || checks["all"]
+	return checks[check] || checks["all"]
 }

@@ -1,0 +1,29 @@
+// Package vescapea holds wall-time blockers for goroutines in importing
+// packages to escape onto.
+package vescapea
+
+import "time"
+
+// SpinWall blocks on the wall clock — the escape vclockescape chases
+// through the facts engine.
+func SpinWall() {
+	for i := 0; i < 3; i++ {
+		time.Sleep(time.Second)
+	}
+}
+
+// SpinDeep reaches the wall sleep through a same-package hop.
+func SpinDeep() {
+	SpinWall()
+}
+
+// SpinSanctioned is cleansed at the origin: spawning it stays quiet.
+func SpinSanctioned() {
+	time.Sleep(time.Second) //gowren:allow clockcheck — fixture: sanctioned real-mode spinner
+}
+
+// ReadOnly reads the clock but never blocks: clockcheck's business, not
+// vclockescape's.
+func ReadOnly() int64 {
+	return time.Now().UnixNano()
+}

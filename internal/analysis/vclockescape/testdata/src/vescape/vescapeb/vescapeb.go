@@ -1,0 +1,38 @@
+// Package vescapeb spawns goroutines from vclock-driven code; bodies that
+// transitively block on wall time must be flagged at the go statement.
+package vescapeb
+
+import (
+	"time"
+
+	"gowren-fixtures/vescape/vescapea"
+	"gowren/internal/vclock"
+)
+
+// Drive advances the simulation on the virtual clock while spawning
+// helpers; every wall-time escape below is one finding.
+func Drive(clk vclock.Clock) {
+	go vescapea.SpinWall()
+	go vescapea.SpinDeep()
+	go func() {
+		time.Sleep(time.Millisecond)
+	}()
+	go func() {
+		clk.Sleep(time.Millisecond) // vclock sleep: quiet
+	}()
+	go vescapea.SpinSanctioned() // origin cleansed: quiet
+	go vescapea.ReadOnly()       // reads, never blocks: quiet here
+	clk.Sleep(time.Second)
+}
+
+// NotDriven never touches the vclock: the escape-from-virtual-time hazard
+// does not exist, so spawning a wall-time sleeper is not flagged here.
+func NotDriven() {
+	go vescapea.SpinWall()
+}
+
+// AllowedEscape documents a justified wall-time helper at the spawn site.
+func AllowedEscape(clk vclock.Clock) {
+	go vescapea.SpinWall() //gowren:allow vclockescape — fixture: sanctioned wall-time helper
+	clk.Sleep(time.Second)
+}

@@ -1,0 +1,12 @@
+package vclockescape_test
+
+import (
+	"testing"
+
+	"gowren/internal/analysis/analysistest"
+	"gowren/internal/analysis/vclockescape"
+)
+
+func TestVclockescapeFixture(t *testing.T) {
+	analysistest.Run(t, vclockescape.Analyzer, "vescape")
+}
