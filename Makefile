@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race chaos bench verify
+.PHONY: all build vet lint test race chaos bench profile verify
 
 all: verify
 
@@ -51,10 +51,24 @@ chaos:
 # tenants, one bursting 10× its share, writing BENCH_tenants.json. Gates:
 # Jain fairness index ≥ 0.9 on goodput satisfaction, zero starved in-quota
 # tenants, and bit-identical same-seed reruns.
+# simbench gates the simulator's own speed: one million seeded arrivals
+# through admission, execution and drain, writing BENCH_simcore.json.
+# Gates: ≥200k simulated arrivals per real second (5× the pre-overhaul
+# baseline recorded in the report) and bit-identical same-seed reruns.
 bench: build
-	$(GO) run ./cmd/waitbench -n 10000 -out BENCH_waitpath.json -minreduction 10
+	$(GO) run ./cmd/waitbench -n 10000 -out BENCH_waitpath.json -minreduction 10 -minthroughput 3000
 	$(GO) run ./cmd/regionbench -out BENCH_regions.json -minackspeedup 2 -minreadreduction 5
 	$(GO) run ./cmd/tenantbench -out BENCH_tenants.json -minjain 0.9
+	$(GO) run ./cmd/simbench -out BENCH_simcore.json -minsims 200000
+
+# profile runs simbench under the Go profiler and prints the hottest CPU
+# frames; simcore.cpu.pprof and simcore.mem.pprof are left behind for
+# `go tool pprof` sessions. See DESIGN.md "Simulator performance" for how
+# to read the output.
+profile: build
+	$(GO) run ./cmd/simbench -arrivals 300000 -naive-arrivals 0 -out /dev/null \
+		-cpuprofile simcore.cpu.pprof -memprofile simcore.mem.pprof
+	$(GO) tool pprof -top -nodecount 20 simcore.cpu.pprof
 
 # verify is the tier-1 gate plus the race detector and the analyzer
 # suite — what CI runs.

@@ -5,11 +5,15 @@
 // client-side storage request counts plus the simulated wall-clock of each
 // run as JSON.
 //
-//	waitbench [-n 10000] [-seconds 15] [-seed 1] [-out BENCH_waitpath.json] [-minreduction 0]
+//	waitbench [-n 10000] [-seconds 15] [-seed 1] [-out BENCH_waitpath.json]
+//	          [-minreduction 0] [-minthroughput 0]
 //
 // With -minreduction r the command exits non-zero unless the incremental
 // sweep reduced the number of objects listed per collection by at least
-// r× — the acceptance gate CI runs at r=10.
+// r× — the acceptance gate CI runs at r=10. With -minthroughput f it also
+// fails unless the incremental run simulated at least f futures per real
+// second, gating the simulator's own speed on this workload alongside the
+// request-count reduction.
 package main
 
 import (
@@ -56,6 +60,9 @@ type report struct {
 	// Reductions are full-relist ÷ incremental ratios (higher is better).
 	ObjectsListedReduction float64 `json:"objectsListedReduction"`
 	GetOpsReduction        float64 `json:"getOpsReduction"`
+	// FuturesPerRealSecond is the incremental run's futures divided by the
+	// host seconds spent simulating it — the wait path's simulator speed.
+	FuturesPerRealSecond float64 `json:"futuresPerRealSecond"`
 }
 
 func run(args []string) error {
@@ -66,6 +73,8 @@ func run(args []string) error {
 	out := fs.String("out", "BENCH_waitpath.json", "output JSON path")
 	minReduction := fs.Float64("minreduction", 0,
 		"fail unless objects-listed dropped at least this factor (0 disables the gate)")
+	minThroughput := fs.Float64("minthroughput", 0,
+		"fail unless the incremental run simulated at least this many futures per real second (0 disables the gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,7 +105,11 @@ func run(args []string) error {
 	inc, full := rep.Modes["incremental"], rep.Modes["fullRelist"]
 	rep.ObjectsListedReduction = ratio(full.ObjectsListed, inc.ObjectsListed)
 	rep.GetOpsReduction = ratio(full.GetOps, inc.GetOps)
-	fmt.Printf("objects-listed reduction: %.1f×\n", rep.ObjectsListedReduction)
+	if inc.RealSeconds > 0 {
+		rep.FuturesPerRealSecond = float64(*n) / inc.RealSeconds
+	}
+	fmt.Printf("objects-listed reduction: %.1f×, %.0f futures/real-second\n",
+		rep.ObjectsListedReduction, rep.FuturesPerRealSecond)
 
 	body, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -110,6 +123,10 @@ func run(args []string) error {
 	if *minReduction > 0 && rep.ObjectsListedReduction < *minReduction {
 		return fmt.Errorf("objects-listed reduction %.1f× below required %.1f×",
 			rep.ObjectsListedReduction, *minReduction)
+	}
+	if *minThroughput > 0 && rep.FuturesPerRealSecond < *minThroughput {
+		return fmt.Errorf("incremental throughput %.0f futures/real-second below required %.0f",
+			rep.FuturesPerRealSecond, *minThroughput)
 	}
 	return nil
 }

@@ -29,6 +29,9 @@ func parallelFor(clk vclock.Clock, workers, n int, fn func(i int) error) []error
 		errs    []error
 		errsSet bool
 	)
+	// Workers signal each completion; the caller blocks until the count
+	// reaches n instead of polling the clock every simulated millisecond.
+	evt := vclock.NewEvent(clk)
 	for w := 0; w < workers; w++ {
 		clk.Go(func() {
 			for {
@@ -53,14 +56,15 @@ func parallelFor(clk vclock.Clock, workers, n int, fn func(i int) error) []error
 				}
 				done++
 				mu.Unlock()
+				evt.Signal()
 			}
 		})
 	}
-	vclock.Poll(clk, func() bool {
+	evt.WaitFor(func() bool {
 		mu.Lock()
 		defer mu.Unlock()
 		return done == n
-	}, time.Millisecond, time.Time{})
+	}, time.Time{})
 
 	mu.Lock()
 	defer mu.Unlock()

@@ -77,6 +77,10 @@ type sweepState struct {
 	swept     bool      // at least one LIST has ever succeeded
 	lastSweep time.Time // completion time of the last successful LIST
 	fails     int       // consecutive failed LISTs
+	// evt is signalled whenever a successful sweep lands for the namespace,
+	// so waiters sharing it recheck their pending sets immediately instead
+	// of discovering a sibling's harvest on their next poll tick.
+	evt *vclock.Event
 	// gen counts forget calls. A sweep whose LIST was on the wire when a
 	// forget landed must discard its harvest: the listing may still show
 	// the status object a concurrent respawn just deleted, and marking
@@ -113,7 +117,11 @@ func newSweepCoordinator(storage cos.Client, clock vclock.Clock, fullRelist bool
 func (c *sweepCoordinator) stateLocked(ns nsKey) *sweepState {
 	s, ok := c.states[ns]
 	if !ok {
-		s = &sweepState{ahead: make(map[int]bool), odd: make(map[string]bool)}
+		s = &sweepState{
+			ahead: make(map[int]bool),
+			odd:   make(map[string]bool),
+			evt:   vclock.NewEvent(c.clock),
+		}
 		c.states[ns] = s
 	}
 	return s
@@ -186,6 +194,7 @@ func (c *sweepCoordinator) sweep(ns nsKey, asOf time.Time) sweepOutcome {
 	}
 	s.swept = true
 	s.lastSweep = now
+	s.evt.Signal()
 	return sweepOutcome{listed: true}
 }
 
@@ -266,17 +275,26 @@ func (c *sweepCoordinator) resetFailures(ns nsKey) {
 func (c *sweepCoordinator) awaitStatuses(ns nsKey, want, activations []string,
 	lookup func(string) (done, ok bool), interval time.Duration, deadline time.Time) error {
 
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
 	pending := make([]int, len(want))
 	for i := range want {
 		pending[i] = i
 	}
-	var deadErr error
-	var sweepErr error
-	ok := vclock.Poll(c.clock, func() bool {
+	c.mu.Lock()
+	evt := c.stateLocked(ns).evt
+	c.mu.Unlock()
+	// Event-driven poll loop: each pass sweeps and prunes like the old
+	// Poll-based version, but between passes the waiter parks until either a
+	// sibling's sweep lands (the state's event fires) or its own interval
+	// tick — whichever comes first — rather than waking every tick to find
+	// nothing changed.
+	for {
+		gen := evt.Gen()
 		out := c.sweep(ns, c.clock.Now())
 		if out.err != nil {
-			sweepErr = out.err
-			return true
+			return out.err
 		}
 		kept := pending[:0]
 		for _, i := range pending {
@@ -286,7 +304,7 @@ func (c *sweepCoordinator) awaitStatuses(ns nsKey, want, activations []string,
 		}
 		pending = kept
 		if len(pending) == 0 {
-			return true
+			return nil
 		}
 		if out.consult() && lookup != nil {
 			// Same rationale as sweepStatuses: a call that died without
@@ -297,22 +315,20 @@ func (c *sweepCoordinator) awaitStatuses(ns nsKey, want, activations []string,
 					continue
 				}
 				if done, okRun := lookup(activations[i]); done && !okRun {
-					deadErr = &deadCallError{execID: ns.execID, callID: want[i], activationID: activations[i]}
-					return true
+					return &deadCallError{execID: ns.execID, callID: want[i], activationID: activations[i]}
 				}
 			}
 		}
-		return false
-	}, interval, deadline)
-	switch {
-	case sweepErr != nil:
-		return sweepErr
-	case deadErr != nil:
-		return deadErr
-	case !ok:
-		return ErrWaitTimeout
+		now := c.clock.Now()
+		if !deadline.IsZero() && !now.Before(deadline) {
+			return ErrWaitTimeout
+		}
+		wake := now.Add(interval)
+		if !deadline.IsZero() && deadline.Before(wake) {
+			wake = deadline
+		}
+		evt.Wait(gen, wake)
 	}
-	return nil
 }
 
 // deadCallError reports a composed call whose activation died without

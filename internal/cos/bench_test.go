@@ -1,0 +1,66 @@
+package cos
+
+import (
+	"fmt"
+	"testing"
+)
+
+// benchStore builds a store with n zero-padded status-style keys, the shape
+// the wait path lists: one namespace prefix, keys arriving in order.
+func benchStore(b *testing.B, n int, naive bool) *Store {
+	b.Helper()
+	var opts []StoreOption
+	if naive {
+		opts = append(opts, WithNaiveListing())
+	}
+	s := NewStore(opts...)
+	if err := s.CreateBucket("b"); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if _, err := s.Put("b", fmt.Sprintf("exec/status/%08d", i), nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkList measures one page off a large bucket — the indexed path
+// binary-searches and copies a page; the naive path sorts every key first.
+func BenchmarkList(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		for _, naive := range []bool{false, true} {
+			name := fmt.Sprintf("n=%d/indexed=%v", n, !naive)
+			b.Run(name, func(b *testing.B) {
+				s := benchStore(b, n, naive)
+				marker := fmt.Sprintf("exec/status/%08d", n/2)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := s.List("b", "exec/status/", marker, 100); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkListFrom measures the frontier-resume pattern: repeatedly list a
+// short tail page from a marker near the end of a large bucket, the
+// steady-state shape of the sweep coordinator's incremental LISTs.
+func BenchmarkListFrom(b *testing.B) {
+	for _, naive := range []bool{false, true} {
+		name := fmt.Sprintf("indexed=%v", !naive)
+		b.Run(name, func(b *testing.B) {
+			const n = 100000
+			s := benchStore(b, n, naive)
+			marker := fmt.Sprintf("exec/status/%08d", n-10)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ListFrom(s, "b", "exec/status/", marker); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -24,8 +24,9 @@ type Store struct {
 	clock vclock.Clock
 	link  *netsim.Link // nil disables network modeling
 
-	mu      sync.RWMutex
-	buckets map[string]*bucket
+	mu        sync.RWMutex
+	buckets   map[string]*bucket
+	naiveList bool // re-sort the full key set on every List (A/B baseline)
 
 	stats Stats
 }
@@ -50,8 +51,39 @@ type StatsSnapshot struct {
 	BytesIn, BytesOut                           int64
 }
 
+// bucket pairs the object map with an incrementally maintained sorted key
+// index. List range-scans the index from a binary-searched start position
+// instead of materializing and sorting the full key set per call, which is
+// what makes repeated prefix listings over large buckets (the wait path's
+// status sweeps) cheap. The index is exact: insert on first Put of a key,
+// remove on Delete, no tombstones.
 type bucket struct {
 	objects map[string]*object
+	keys    []string // sorted; in sync with objects
+}
+
+// insertKey adds key to the sorted index if absent. Appends (keys arriving
+// in order, the common case for zero-padded call IDs) are O(1).
+func (b *bucket) insertKey(key string) {
+	if n := len(b.keys); n == 0 || b.keys[n-1] < key {
+		b.keys = append(b.keys, key)
+		return
+	}
+	i := sort.SearchStrings(b.keys, key)
+	if i < len(b.keys) && b.keys[i] == key {
+		return
+	}
+	b.keys = append(b.keys, "")
+	copy(b.keys[i+1:], b.keys[i:])
+	b.keys[i] = key
+}
+
+// removeKey deletes key from the sorted index if present.
+func (b *bucket) removeKey(key string) {
+	i := sort.SearchStrings(b.keys, key)
+	if i < len(b.keys) && b.keys[i] == key {
+		b.keys = append(b.keys[:i], b.keys[i+1:]...)
+	}
 }
 
 type object struct {
@@ -70,6 +102,14 @@ func WithLink(clk vclock.Clock, link *netsim.Link) StoreOption {
 		s.clock = clk
 		s.link = link
 	}
+}
+
+// WithNaiveListing disables the incrementally maintained per-bucket key
+// index and re-sorts the full key set on every List call — the
+// pre-overhaul behavior, kept as an A/B baseline for cmd/simbench and the
+// index equivalence tests. Listing output is byte-identical either way.
+func WithNaiveListing() StoreOption {
+	return func(s *Store) { s.naiveList = true }
 }
 
 // NewStore returns an empty Store. Without options it is a zero-latency
@@ -175,6 +215,9 @@ func (s *Store) Put(bucketName, key string, data []byte) (ObjectMeta, error) {
 	if !ok {
 		return ObjectMeta{}, fmt.Errorf("put %s/%s: %w", bucketName, key, ErrNoSuchBucket)
 	}
+	if _, exists := b.objects[key]; !exists {
+		b.insertKey(key)
+	}
 	b.objects[key] = &object{meta: meta, data: body}
 	return meta, nil
 }
@@ -201,6 +244,9 @@ func (s *Store) PutGenerated(bucketName, key string, size int64, gen Generator) 
 	b, ok := s.buckets[bucketName]
 	if !ok {
 		return ObjectMeta{}, fmt.Errorf("put generated %s/%s: %w", bucketName, key, ErrNoSuchBucket)
+	}
+	if _, exists := b.objects[key]; !exists {
+		b.insertKey(key)
 	}
 	b.objects[key] = &object{meta: meta, gen: gen}
 	return meta, nil
@@ -278,6 +324,38 @@ func (s *Store) List(bucketName, prefix, marker string, maxKeys int) (ListResult
 	if !ok {
 		return ListResult{}, fmt.Errorf("list %s: %w", bucketName, ErrNoSuchBucket)
 	}
+	if s.naiveList {
+		return listNaive(b, prefix, marker, maxKeys), nil
+	}
+	// Range-scan the sorted index: binary-search the first candidate (past
+	// both the prefix's lower bound and the marker), then walk forward until
+	// the prefix is exhausted or the page fills.
+	start := prefix
+	if marker != "" && marker >= start {
+		// First key strictly after the marker.
+		start = marker + "\x00"
+	}
+	i := sort.SearchStrings(b.keys, start)
+	var res ListResult
+	for ; i < len(b.keys); i++ {
+		k := b.keys[i]
+		if len(prefix) > 0 && (len(k) < len(prefix) || k[:len(prefix)] != prefix) {
+			break
+		}
+		if len(res.Objects) == maxKeys {
+			res.IsTruncated = true
+			res.NextMarker = res.Objects[len(res.Objects)-1].Key
+			break
+		}
+		res.Objects = append(res.Objects, b.objects[k].meta)
+	}
+	return res, nil
+}
+
+// listNaive is the pre-index listing path: materialize and sort every key,
+// then filter. Kept behind WithNaiveListing as the A/B baseline; its output
+// is byte-identical to the indexed path.
+func listNaive(b *bucket, prefix, marker string, maxKeys int) ListResult {
 	keys := make([]string, 0, len(b.objects))
 	for _, k := range slices.Sorted(maps.Keys(b.objects)) {
 		if len(prefix) > 0 && (len(k) < len(prefix) || k[:len(prefix)] != prefix) {
@@ -297,7 +375,7 @@ func (s *Store) List(bucketName, prefix, marker string, maxKeys int) (ListResult
 		}
 		res.Objects = append(res.Objects, b.objects[k].meta)
 	}
-	return res, nil
+	return res
 }
 
 // ListBuckets implements Client.
@@ -327,7 +405,10 @@ func (s *Store) Delete(bucketName, key string) error {
 	if !ok {
 		return fmt.Errorf("delete %s/%s: %w", bucketName, key, ErrNoSuchBucket)
 	}
-	delete(b.objects, key)
+	if _, exists := b.objects[key]; exists {
+		delete(b.objects, key)
+		b.removeKey(key)
+	}
 	return nil
 }
 

@@ -80,6 +80,13 @@ type AdmissionConfig struct {
 	// queue time an invocation tolerates before it is shed with ErrShed.
 	// Zero selects DefaultMaxQueueDelay.
 	MaxQueueDelay time.Duration
+	// PollWaiters makes queued callers observe their dispatch decision by
+	// polling the virtual clock every admissionPollInterval — the
+	// pre-event-primitive behavior, kept as an A/B baseline for
+	// cmd/simbench. The default (false) parks each waiter on an
+	// event-driven vclock signal the dispatcher fires on state flips, so a
+	// queued invocation costs O(1) scheduler events instead of O(polls).
+	PollWaiters bool
 }
 
 func (cfg AdmissionConfig) queueLimit() int {
@@ -111,8 +118,11 @@ const (
 )
 
 // admWaiter is one invocation parked in a tenant's admission queue. All
-// fields are guarded by Controller.mu; the queued caller observes state
-// flips by polling on the virtual clock.
+// fields are guarded by Controller.mu; the queued caller parks on evt and
+// the dispatcher signals it on every state flip (admitted or shed), so a
+// queued invocation costs O(1) scheduler events. With
+// AdmissionConfig.PollWaiters the caller instead observes state by polling
+// the clock — the pre-event baseline kept for A/B benchmarking.
 type admWaiter struct {
 	tenant   string
 	act      *action
@@ -120,6 +130,15 @@ type admWaiter struct {
 	deadline time.Time
 	state    int
 	id       string // activation ID once admitted
+	evt      *vclock.Event
+}
+
+// wake signals the waiter's event after a state flip. Callers hold
+// Controller.mu; the signal itself only touches clock state.
+func (w *admWaiter) wake() {
+	if w.evt != nil {
+		w.evt.Signal()
+	}
 }
 
 // tenantState is one tenant's token bucket, queue and DWRR credit.
@@ -307,6 +326,9 @@ func (c *Controller) admitTenant(tenant string, act *action, params []byte) (str
 		return "", fmt.Errorf("faas: invoke %q: tenant %q admission queue full: %w", act.spec.Name, tenant, ErrShed)
 	}
 	w := &admWaiter{tenant: tenant, act: act, params: params, deadline: deadline}
+	if !a.cfg.PollWaiters {
+		w.evt = vclock.NewEvent(c.cfg.Clock)
+	}
 	a.enqueue(ts, w)
 	// A slot may have freed since the fast-path check; drain opportunistically.
 	c.dispatchLocked()
@@ -314,11 +336,16 @@ func (c *Controller) admitTenant(tenant string, act *action, params []byte) (str
 	c.mu.Unlock()
 
 	if state == admPending {
-		vclock.Poll(c.cfg.Clock, func() bool {
+		pending := func() bool {
 			c.mu.Lock()
 			defer c.mu.Unlock()
 			return w.state != admPending
-		}, admissionPollInterval, deadline)
+		}
+		if w.evt != nil {
+			w.evt.WaitFor(pending, deadline)
+		} else {
+			vclock.Poll(c.cfg.Clock, pending, admissionPollInterval, deadline)
+		}
 		c.mu.Lock()
 		if w.state == admPending {
 			// Deadline passed while queued: shed ourselves.
@@ -359,6 +386,7 @@ func (c *Controller) dispatchLocked() {
 		}
 		w.state = admAdmitted
 		w.id = c.startActivationLocked(w.tenant, w.act, w.params)
+		w.wake()
 	}
 }
 
@@ -407,6 +435,7 @@ func (c *Controller) shedExpiredLocked(now time.Time) {
 		for _, w := range ts.queue {
 			if now.After(w.deadline) {
 				w.state = admShed
+				w.wake()
 				a.queued--
 				c.cfg.Trace.Emitf(now, trace.KindShed, w.act.spec.Name,
 					"tenant=%s queued=%d reason=shed: queued past admission deadline", name, len(kept))

@@ -126,6 +126,15 @@ type Config struct {
 	// Trace, when non-nil, records platform events (invocations,
 	// throttles, container lifecycle) for post-run inspection.
 	Trace *trace.Recorder
+
+	// RetainActivations bounds the completed activation records kept in
+	// memory: once more than this many completed activations exist, the
+	// oldest completed records are evicted from Activation/Activations
+	// lookups, the way a real platform ages out its activation log. The
+	// per-tenant completion counters (CompletedByTenant) survive eviction.
+	// Zero retains everything — required by waiters that consult records
+	// long after completion (the executor's dead-call detection).
+	RetainActivations int
 }
 
 func (c *Config) applyDefaults() {
@@ -196,12 +205,18 @@ type Controller struct {
 	actions     map[string]*action
 	activations map[string]*Activation
 	order       []string // activation IDs in submit order
-	inflight    int
-	nextActID   uint64
-	gatewayFree time.Time       // next free slot of the serialized admission pipeline
-	pulled      map[string]bool // images already cached in the internal registry
-	warm        map[string][]warmContainer
-	rng         *rand.Rand
+	// Completed-record aging (Config.RetainActivations): completed IDs in
+	// completion order, consumed from completedHead as records age out.
+	// completedOK counts successful completions per tenant forever.
+	completed     []string
+	completedHead int
+	completedOK   map[string]int
+	inflight      int
+	nextActID     uint64
+	gatewayFree   time.Time       // next free slot of the serialized admission pipeline
+	pulled        map[string]bool // images already cached in the internal registry
+	warm          map[string][]warmContainer
+	rng           *rand.Rand
 
 	// adm is the tenant-aware admission state; nil when Config.Admission
 	// is unset (legacy global gate).
@@ -231,6 +246,7 @@ func New(cfg Config) (*Controller, error) {
 		cfg:         cfg,
 		actions:     make(map[string]*action),
 		activations: make(map[string]*Activation),
+		completedOK: make(map[string]int),
 		pulled:      make(map[string]bool),
 		warm:        make(map[string][]warmContainer),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
@@ -411,8 +427,13 @@ func (c *Controller) startActivationLocked(tenant string, act *action, params []
 // activation outcome.
 func (c *Controller) execute(act *action, rec *Activation, params []byte) {
 	cold, setup := c.provision(act)
+	// Emitf boxes its variadic args at the call site even when the recorder
+	// is nil, so the per-activation sites guard explicitly to keep the
+	// untraced hot path allocation-free.
 	if cold {
-		c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindColdStart, rec.ID, "setup %v", setup)
+		if c.cfg.Trace != nil {
+			c.cfg.Trace.Emitf(c.cfg.Clock.Now(), trace.KindColdStart, rec.ID, "setup %v", setup)
+		}
 	} else {
 		c.cfg.Trace.Emit(c.cfg.Clock.Now(), trace.KindWarmStart, rec.ID, act.spec.Name)
 	}
@@ -462,7 +483,9 @@ func (c *Controller) execute(act *action, rec *Activation, params []byte) {
 	if err != nil {
 		outcome = "error: " + err.Error()
 	}
-	c.cfg.Trace.Emitf(end, trace.KindActEnd, rec.ID, "%s %s after %v", act.spec.Name, outcome, end.Sub(start))
+	if c.cfg.Trace != nil {
+		c.cfg.Trace.Emitf(end, trace.KindActEnd, rec.ID, "%s %s after %v", act.spec.Name, outcome, end.Sub(start))
+	}
 	c.mu.Lock()
 	rec.EndAt = end
 	if err != nil {
@@ -473,12 +496,63 @@ func (c *Controller) execute(act *action, rec *Activation, params []byte) {
 		rec.Result = result
 	}
 	c.inflight--
+	if rec.OK {
+		c.completedOK[rec.Tenant]++
+	}
+	c.retireLocked(rec.ID)
 	if !crash {
 		c.warm[act.spec.Name] = append(c.warm[act.spec.Name], warmContainer{idleSince: end})
 	}
 	// The freed slot goes to the fairest queued invocation, if any.
 	c.dispatchLocked()
 	c.mu.Unlock()
+}
+
+// retireLocked ages out completed activation records once more than
+// Config.RetainActivations of them exist. Eviction is oldest-completed
+// first; the order slice is compacted lazily when evictions leave it more
+// than half dead, keeping both bookkeeping structures O(retained) instead
+// of O(all-time).
+func (c *Controller) retireLocked(id string) {
+	limit := c.cfg.RetainActivations
+	if limit <= 0 {
+		return
+	}
+	c.completed = append(c.completed, id)
+	for len(c.completed)-c.completedHead > limit {
+		old := c.completed[c.completedHead]
+		c.completed[c.completedHead] = ""
+		c.completedHead++
+		delete(c.activations, old)
+	}
+	if c.completedHead > len(c.completed)/2 {
+		c.completed = append(c.completed[:0:0], c.completed[c.completedHead:]...)
+		c.completedHead = 0
+	}
+	if len(c.order) > 2*(len(c.activations)+1) {
+		kept := c.order[:0]
+		for _, oid := range c.order {
+			if _, ok := c.activations[oid]; ok {
+				kept = append(kept, oid)
+			}
+		}
+		clear(c.order[len(kept):])
+		c.order = kept
+	}
+}
+
+// CompletedByTenant reports, per tenant, how many activations have finished
+// successfully since the controller started. Unlike the activation records
+// themselves these counters survive RetainActivations eviction, so load
+// generators can account outcomes without retaining a million records.
+func (c *Controller) CompletedByTenant() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.completedOK))
+	for tenant, n := range c.completedOK {
+		out[tenant] = n
+	}
+	return out
 }
 
 func (c *Controller) buildCtxConfig(act *action, rec *Activation, cold bool, start time.Time) runtime.CtxConfig {
@@ -508,19 +582,27 @@ func (c *Controller) provision(act *action) (cold bool, setup time.Duration) {
 	defer c.mu.Unlock()
 	now := c.cfg.Clock.Now()
 
-	// Evict expired warm containers lazily.
+	// Evict expired warm containers lazily. idleSince is nondecreasing —
+	// containers are appended at completion under c.mu, and simulated time
+	// cannot advance while the completing task is runnable — so the expired
+	// containers form a prefix of the pool. Trimming that prefix and reusing
+	// from the back (most recently idle first) is amortized O(1) per
+	// provision, where the old full-pool scan went quadratic once KeepAlive
+	// let hundreds of thousands of containers accumulate.
 	pool := c.warm[act.spec.Name]
-	live := pool[:0]
-	for _, w := range pool {
-		if now.Sub(w.idleSince) <= c.cfg.KeepAlive {
-			live = append(live, w)
-		}
+	trimmed := 0
+	for trimmed < len(pool) && now.Sub(pool[trimmed].idleSince) > c.cfg.KeepAlive {
+		trimmed++
 	}
-	if len(live) > 0 {
-		c.warm[act.spec.Name] = live[:len(live)-1]
+	pool = pool[trimmed:]
+	if len(pool) > 0 {
+		c.warm[act.spec.Name] = pool[:len(pool)-1]
 		return false, c.cfg.WarmStart
 	}
-	c.warm[act.spec.Name] = live
+	if trimmed > 0 {
+		// Drop the drained backing array so it does not pin memory.
+		c.warm[act.spec.Name] = nil
+	}
 
 	setup = c.cfg.ColdStartBoot
 	if !c.pulled[act.img.Name()] {
@@ -551,7 +633,11 @@ func (c *Controller) Activations() []Activation {
 	defer c.mu.Unlock()
 	out := make([]Activation, 0, len(c.order))
 	for _, id := range c.order {
-		out = append(out, *c.activations[id])
+		// Records aged out by RetainActivations leave gaps in the submit
+		// order until the next compaction.
+		if rec, ok := c.activations[id]; ok {
+			out = append(out, *rec)
+		}
 	}
 	return out
 }

@@ -1,0 +1,90 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkVirtualSleep measures the scheduler's innermost loop: one task
+// sleeping repeatedly, each sleep a park, an advance, and a wake.
+func BenchmarkVirtualSleep(b *testing.B) {
+	clk := NewVirtual()
+	clk.Run(func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clk.Sleep(time.Millisecond)
+		}
+	})
+}
+
+// BenchmarkVirtualSleepFanout measures batch release: many tasks asleep at
+// once with interleaved wake instants, the shape of a loaded simulation.
+func BenchmarkVirtualSleepFanout(b *testing.B) {
+	const tasks = 64
+	clk := NewVirtual()
+	clk.Run(func() {
+		b.ResetTimer()
+		per := b.N/tasks + 1
+		for t := 0; t < tasks; t++ {
+			d := time.Duration(t+1) * 100 * time.Microsecond
+			clk.Go(func() {
+				for i := 0; i < per; i++ {
+					clk.Sleep(d)
+				}
+			})
+		}
+	})
+}
+
+// BenchmarkVirtualGo measures task spawn/exit accounting.
+func BenchmarkVirtualGo(b *testing.B) {
+	clk := NewVirtual()
+	clk.Run(func() {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			clk.Go(func() {})
+		}
+	})
+	clk.Wait()
+}
+
+// BenchmarkEventSignalWait measures the event primitive round trip: one
+// waiter parked, one signaller flipping it awake.
+func BenchmarkEventSignalWait(b *testing.B) {
+	clk := NewVirtual()
+	evt := NewEvent(clk)
+	clk.Run(func() {
+		var turn int
+		b.ResetTimer()
+		clk.Go(func() {
+			for i := 0; i < b.N; i++ {
+				evt.WaitFor(func() bool { return turn > i }, time.Time{})
+			}
+		})
+		for i := 0; i < b.N; i++ {
+			turn++
+			evt.Signal()
+			clk.Sleep(time.Microsecond)
+		}
+	})
+}
+
+// TestSleepSteadyStateAllocs pins the pooled-parker guarantee: once the
+// free list is warm, Sleep on a Virtual clock performs zero heap
+// allocations per call. A regression here silently reintroduces the
+// per-sleep channel allocation the hot-path overhaul removed.
+func TestSleepSteadyStateAllocs(t *testing.T) {
+	clk := NewVirtual()
+	clk.Run(func() {
+		// Warm the parker free list past any startup growth.
+		for i := 0; i < 64; i++ {
+			clk.Sleep(time.Millisecond)
+		}
+		avg := testing.AllocsPerRun(200, func() {
+			clk.Sleep(time.Millisecond)
+		})
+		if avg != 0 {
+			t.Fatalf("steady-state Sleep allocates %.1f objects per call, want 0", avg)
+		}
+	})
+}

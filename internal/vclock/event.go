@@ -1,0 +1,156 @@
+package vclock
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is the clock's event-driven wait primitive: tasks block in Wait (or
+// the WaitFor convenience loop) until another goroutine calls Signal, with
+// an optional virtual-time deadline. On a Virtual clock a waiter costs O(1)
+// scheduler events — park once, wake once — where the Poll helper costs one
+// scheduler event per tick for the whole wait. Code that today spins on the
+// clock waiting for shared state another task flips (admission queues,
+// worker-pool barriers, sweep followers) should signal that flip instead.
+//
+// The generation protocol makes waits lost-wakeup-free without holding any
+// lock across the predicate: snapshot Gen, check the predicate, then
+// Wait(gen, ...) — a Signal that lands between the snapshot and the park
+// returns immediately instead of being missed.
+//
+// Signal may be called from any goroutine. Wait and WaitFor must be called
+// from a registered task (they block on the clock). On non-Virtual clocks
+// the primitive degrades to polling at a small fixed interval, preserving
+// semantics for real-time and scaled runs.
+type Event struct {
+	v *Virtual // nil selects the polling fallback
+
+	// Fallback state; gen is guarded by v.mu when v != nil, by mu below
+	// otherwise.
+	c  Clock
+	mu sync.Mutex
+
+	gen     uint64
+	waiters []*parker // native mode, guarded by v.mu
+}
+
+// eventPollInterval is the polling granularity of the non-Virtual fallback.
+const eventPollInterval = time.Millisecond
+
+// NewEvent returns an Event bound to c. Virtual clocks get the native
+// event-driven implementation; any other Clock gets a polling fallback.
+func NewEvent(c Clock) *Event {
+	e := &Event{c: c}
+	if v, ok := c.(*Virtual); ok {
+		e.v = v
+	}
+	return e
+}
+
+// Gen returns the signal generation: it increments on every Signal. Pair it
+// with Wait to close the check-then-block race.
+func (e *Event) Gen() uint64 {
+	if e.v != nil {
+		e.v.mu.Lock()
+		defer e.v.mu.Unlock()
+		return e.gen
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gen
+}
+
+// Signal wakes every waiter parked on the event and advances the
+// generation so concurrent Wait(gen, ...) callers do not park at all.
+// It never blocks.
+func (e *Event) Signal() {
+	if e.v == nil {
+		e.mu.Lock()
+		e.gen++
+		e.mu.Unlock()
+		return
+	}
+	v := e.v
+	v.mu.Lock()
+	e.gen++
+	for i, p := range e.waiters {
+		e.waiters[i] = nil
+		if p.woken {
+			continue // already released by its deadline
+		}
+		p.woken = true
+		p.signaled = true
+		v.parked--
+		v.active++
+		v.events++
+		p.ch <- struct{}{} //gowren:allow lockhold — cap-1 parker channel with exactly one send per wake; never blocks
+	}
+	e.waiters = e.waiters[:0]
+	v.mu.Unlock()
+}
+
+// Wait blocks the calling task until the event is signalled past gen or
+// the (virtual-time) deadline passes; a zero deadline means no deadline.
+// It reports whether the wake-up was a signal. A Signal that happened
+// after the Gen() snapshot but before Wait returns true immediately.
+func (e *Event) Wait(gen uint64, deadline time.Time) bool {
+	if e.v == nil {
+		return Poll(e.c, func() bool { return e.Gen() != gen }, eventPollInterval, deadline)
+	}
+	v := e.v
+	v.mu.Lock()
+	if e.gen != gen {
+		v.mu.Unlock()
+		return true
+	}
+	timed := !deadline.IsZero()
+	var wakeNS int64
+	if timed {
+		wakeNS = int64(deadline.Sub(v.epoch))
+		if wakeNS <= v.offset.Load() {
+			v.mu.Unlock()
+			return false
+		}
+	}
+	// Event waiters get a fresh parker: a timed waiter has two potential
+	// wakers (Signal and its deadline group), and the loser of that race
+	// still holds a reference after the wait returns, so the parker cannot
+	// be recycled the way Sleep's are. Compact previously released
+	// waiters while appending so an often-timed-out event list stays
+	// short.
+	kept := e.waiters[:0]
+	for _, w := range e.waiters {
+		if !w.woken {
+			kept = append(kept, w)
+		}
+	}
+	p := &parker{ch: make(chan struct{}, 1)}
+	e.waiters = append(kept, p)
+	if timed {
+		v.enqueueLocked(wakeNS, p)
+	} else {
+		v.parked++
+	}
+	v.active--
+	v.events++
+	v.maybeAdvanceLocked()
+	v.mu.Unlock()
+	<-p.ch
+	return p.signaled
+}
+
+// WaitFor blocks until pred reports true, rechecking on every signal, or
+// until the deadline (zero means none) passes; it returns pred's final
+// answer. pred runs without event-internal locks held and may itself
+// block on the clock.
+func (e *Event) WaitFor(pred func() bool, deadline time.Time) bool {
+	for {
+		gen := e.Gen()
+		if pred() {
+			return true
+		}
+		if !e.Wait(gen, deadline) {
+			return pred()
+		}
+	}
+}

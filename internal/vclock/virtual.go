@@ -1,8 +1,8 @@
 package vclock
 
 import (
-	"container/heap"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -15,23 +15,43 @@ import (
 //
 //   - every goroutine that participates in the simulation is started via Go
 //     (directly or transitively from a task);
-//   - tasks block only via Sleep / Poll, never on bare channels or mutexes
-//     held across simulated time.
+//   - tasks block only via Sleep / Poll / Event.Wait, never on bare
+//     channels or mutexes held across simulated time.
 //
 // Shared state protected by mutexes is fine as long as critical sections do
 // not block on the clock.
+//
+// Internally the scheduler works in integer nanoseconds since the epoch and
+// keeps sleepers in a hand-rolled min-heap keyed by (wake instant, arrival
+// sequence): when time advances, every parker due at the minimum instant is
+// released in one batch under one lock acquisition, in FIFO sequence order —
+// the deterministic tiebreak for simultaneous wake-ups. Parkers — the
+// one-slot channels a blocked task waits on — are recycled on a free list
+// under the scheduler lock, so steady-state Sleep allocates nothing.
 type Virtual struct {
-	mu       sync.Mutex
-	now      time.Time
-	active   int    // registered tasks currently runnable
-	tasks    int    // registered tasks alive (runnable, sleeping, or blocked)
-	events   uint64 // scheduler progress counter (sleeps, wakes, spawns, exits)
-	sleepers sleepQueue
-	seq      uint64
-	wg       sync.WaitGroup
+	epoch time.Time
+
+	mu     sync.Mutex
+	offset atomic.Int64 // ns since epoch; written under mu, read lock-free
+	active int          // registered tasks currently runnable
+	tasks  int          // registered tasks alive (runnable, sleeping, or blocked)
+	events uint64       // scheduler progress counter (sleeps, wakes, spawns, exits)
+	parked int          // tasks blocked in Sleep or a timed/untimed Event wait
+	seq    uint64       // next parker arrival sequence (FIFO tiebreak)
+
+	sleepers parkerHeap
+
+	freeParkers []*parker
+
+	wg sync.WaitGroup
 }
 
 var _ Clock = (*Virtual)(nil)
+
+// maxFreeParkers bounds the parker free list: high enough to cover a large
+// simulation's concurrent-sleeper high-water mark, low enough that a burst
+// does not pin memory forever.
+const maxFreeParkers = 1 << 16
 
 // NewVirtual returns a Virtual clock starting at epoch. A fixed, non-zero
 // epoch keeps timestamps deterministic across runs.
@@ -41,14 +61,57 @@ func NewVirtual() *Virtual {
 
 // NewVirtualAt returns a Virtual clock starting at epoch.
 func NewVirtualAt(epoch time.Time) *Virtual {
-	return &Virtual{now: epoch}
+	return &Virtual{epoch: epoch}
 }
 
-// Now returns the current simulated time.
+// Now returns the current simulated time. It is lock-free: the offset is
+// published atomically by the scheduler, so hot paths that timestamp every
+// operation do not serialize on the scheduler mutex.
 func (v *Virtual) Now() time.Time {
-	v.mu.Lock()
-	defer v.mu.Unlock()
-	return v.now
+	return v.epoch.Add(time.Duration(v.offset.Load()))
+}
+
+// parker is the one-slot channel a blocked task waits on, tagged with its
+// position in the wake heap. Sleep parkers are recycled through the clock's
+// free list; Event waiters allocate their own (they can be woken twice —
+// signal and deadline — so recycling them would race a late wake-up against
+// reuse).
+type parker struct {
+	ch     chan struct{}
+	wakeNS int64  // heap key: wake instant, ns since epoch
+	seq    uint64 // heap tiebreak: arrival order among equal instants
+	// timer entries always fire; event entries are skipped once woken.
+	woken bool
+	// signaled records, for event waiters, whether the wake-up came from
+	// Signal (true) or the deadline (false).
+	signaled bool
+}
+
+// getParkerLocked pops a recycled parker or allocates one.
+func (v *Virtual) getParkerLocked() *parker {
+	if n := len(v.freeParkers); n > 0 {
+		p := v.freeParkers[n-1]
+		v.freeParkers = v.freeParkers[:n-1]
+		return p
+	}
+	return &parker{ch: make(chan struct{}, 1)}
+}
+
+func (v *Virtual) putParkerLocked(p *parker) {
+	p.woken = false
+	p.signaled = false
+	if len(v.freeParkers) < maxFreeParkers {
+		v.freeParkers = append(v.freeParkers, p)
+	}
+}
+
+// enqueueLocked parks p at the wake instant.
+func (v *Virtual) enqueueLocked(wakeNS int64, p *parker) {
+	p.wakeNS = wakeNS
+	p.seq = v.seq
+	v.seq++
+	v.sleepers.push(p)
+	v.parked++
 }
 
 // Sleep blocks the calling task for d of simulated time. It must be called
@@ -59,14 +122,16 @@ func (v *Virtual) Sleep(d time.Duration) {
 		return
 	}
 	v.mu.Lock()
-	s := &sleeper{wake: v.now.Add(d), seq: v.seq, ch: make(chan struct{})}
-	v.seq++
+	p := v.getParkerLocked()
 	v.events++
-	heap.Push(&v.sleepers, s)
+	v.enqueueLocked(v.offset.Load()+int64(d), p)
 	v.active--
 	v.maybeAdvanceLocked()
 	v.mu.Unlock()
-	<-s.ch
+	<-p.ch
+	v.mu.Lock()
+	v.putParkerLocked(p)
+	v.mu.Unlock()
 }
 
 // Go starts fn as a registered simulation task.
@@ -106,50 +171,85 @@ func (v *Virtual) Run(fn func()) {
 }
 
 // maybeAdvanceLocked advances simulated time to the earliest wake-up and
-// releases the sleepers due at that instant, but only once no task is
-// runnable. Callers must hold v.mu.
+// releases every parker due at that instant in one batch — in FIFO seq
+// order, the heap's tiebreak — but only once no task is runnable. Instants
+// whose entries were all cancelled (event waiters signalled before their
+// deadline) release nobody; the loop skips past them to the next instant.
+// Callers must hold v.mu.
 func (v *Virtual) maybeAdvanceLocked() {
-	if v.active != 0 || v.sleepers.Len() == 0 {
-		return
-	}
-	next := v.sleepers[0].wake
-	if next.After(v.now) {
-		v.now = next
-	}
-	for v.sleepers.Len() > 0 && !v.sleepers[0].wake.After(v.now) {
-		s := heap.Pop(&v.sleepers).(*sleeper)
-		v.active++
-		v.events++
-		close(s.ch)
+	for v.active == 0 && v.sleepers.len() > 0 {
+		instant := v.sleepers.ps[0].wakeNS
+		if instant > v.offset.Load() {
+			v.offset.Store(instant)
+		}
+		released := 0
+		for v.sleepers.len() > 0 && v.sleepers.ps[0].wakeNS == instant {
+			p := v.sleepers.pop()
+			if p.woken {
+				continue // event waiter already released by Signal
+			}
+			p.woken = true
+			v.parked--
+			v.active++
+			v.events++
+			p.ch <- struct{}{}
+			released++
+		}
+		if released > 0 {
+			return
+		}
 	}
 }
 
-type sleeper struct {
-	wake time.Time
-	seq  uint64 // FIFO tiebreak for equal wake times
-	ch   chan struct{}
+// parkerHeap is a binary min-heap of parkers keyed by (wakeNS, seq). It is
+// hand-rolled over the two integer keys rather than container/heap to keep
+// the per-operation cost — this is the simulator's innermost loop — free of
+// interface dispatch.
+type parkerHeap struct {
+	ps []*parker
 }
 
-type sleepQueue []*sleeper
+func (h *parkerHeap) len() int { return len(h.ps) }
 
-func (q sleepQueue) Len() int { return len(q) }
+// before reports whether a wakes strictly before b.
+func before(a, b *parker) bool {
+	return a.wakeNS < b.wakeNS || (a.wakeNS == b.wakeNS && a.seq < b.seq)
+}
 
-func (q sleepQueue) Less(i, j int) bool {
-	if !q[i].wake.Equal(q[j].wake) {
-		return q[i].wake.Before(q[j].wake)
+func (h *parkerHeap) push(p *parker) {
+	h.ps = append(h.ps, p)
+	i := len(h.ps) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(h.ps[i], h.ps[parent]) {
+			break
+		}
+		h.ps[parent], h.ps[i] = h.ps[i], h.ps[parent]
+		i = parent
 	}
-	return q[i].seq < q[j].seq
 }
 
-func (q sleepQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *sleepQueue) Push(x any) { *q = append(*q, x.(*sleeper)) }
-
-func (q *sleepQueue) Pop() any {
-	old := *q
-	n := len(old)
-	s := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return s
+func (h *parkerHeap) pop() *parker {
+	top := h.ps[0]
+	n := len(h.ps) - 1
+	h.ps[0] = h.ps[n]
+	h.ps[n] = nil
+	h.ps = h.ps[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && before(h.ps[l], h.ps[smallest]) {
+			smallest = l
+		}
+		if r < n && before(h.ps[r], h.ps[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.ps[i], h.ps[smallest] = h.ps[smallest], h.ps[i]
+		i = smallest
+	}
+	return top
 }

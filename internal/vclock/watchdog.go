@@ -16,7 +16,7 @@ import (
 // WatchdogReport describes a detected stall.
 type WatchdogReport struct {
 	Tasks    int // registered tasks still alive
-	Sleepers int // tasks blocked in Sleep
+	Sleepers int // tasks parked in Sleep or an Event wait
 	Runnable int // tasks the scheduler believes are runnable
 }
 
@@ -76,7 +76,7 @@ func (v *Virtual) sample() (WatchdogReport, uint64) {
 	defer v.mu.Unlock()
 	r := WatchdogReport{
 		Tasks:    v.tasks,
-		Sleepers: v.sleepers.Len(),
+		Sleepers: v.parked,
 		Runnable: v.active,
 	}
 	return r, v.events
