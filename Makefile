@@ -33,8 +33,11 @@ race:
 
 # chaos runs the fault-injection acceptance suite under the race detector:
 # scripted COS brownouts, controller outages, regional partitions with
-# failover, the recovery/dead-letter machinery, and the driver-kill
-# crash-recovery scenario (kill the driver mid-map, Attach a fresh one).
+# failover, the recovery/dead-letter machinery, the driver-kill
+# crash-recovery scenario (kill the driver mid-map, Attach a fresh one),
+# and the exchange-tier kills (memory cache node killed mid-shuffle,
+# lingering direct-transfer peers lost before the pull — both must degrade
+# to the COS baseline with zero dead letters, bit-identically per seed).
 chaos:
 	$(GO) test -race -run 'TestChaos|TestController|TestRecovery|TestRegion|TestAttach|TestDriver' .
 
@@ -55,11 +58,17 @@ chaos:
 # through admission, execution and drain, writing BENCH_simcore.json.
 # Gates: ≥200k simulated arrivals per real second (5× the pre-overhaul
 # baseline recorded in the report) and bit-identical same-seed reruns.
+# exchangebench A/Bs the shuffle data plane (COS baseline vs memory-tier
+# cache vs direct peer transfer) and writes BENCH_exchange.json. Gates:
+# both fast tiers cut the p50 shuffle makespan ≥3× (latency scenario) and
+# COS PUT+GET traffic ≥5× (ops scenario), with bit-identical same-seed
+# reruns.
 bench: build
 	$(GO) run ./cmd/waitbench -n 10000 -out BENCH_waitpath.json -minreduction 10 -minthroughput 3000
 	$(GO) run ./cmd/regionbench -out BENCH_regions.json -minackspeedup 2 -minreadreduction 5
 	$(GO) run ./cmd/tenantbench -out BENCH_tenants.json -minjain 0.9
 	$(GO) run ./cmd/simbench -out BENCH_simcore.json -minsims 200000
+	$(GO) run ./cmd/exchangebench -out BENCH_exchange.json -minspeedup 3 -minops 5
 
 # profile runs simbench under the Go profiler and prints the hottest CPU
 # frames; simcore.cpu.pprof and simcore.mem.pprof are left behind for

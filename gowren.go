@@ -38,6 +38,7 @@ import (
 	"gowren/internal/chaos"
 	"gowren/internal/core"
 	"gowren/internal/cos"
+	"gowren/internal/exchange"
 	"gowren/internal/faas"
 	"gowren/internal/netsim"
 	"gowren/internal/runtime"
@@ -94,6 +95,39 @@ const (
 	ChaosControllerOutage = chaos.ControllerOutage
 	// ChaosSlowContainers multiplies activation jitter during the window.
 	ChaosSlowContainers = chaos.SlowContainers
+	// ChaosExchangeCacheDown kills the memory-tier exchange cache during
+	// the window: fast-tier shuffle ops fail, the node's contents are
+	// lost, and shuffles degrade to the COS baseline.
+	ChaosExchangeCacheDown = chaos.ExchangeCacheDown
+	// ChaosExchangePeerLoss kills lingering direct-exchange peers during
+	// the window: partition pulls fail and reducers fall back to
+	// COS/recomputation.
+	ChaosExchangePeerLoss = chaos.ExchangePeerLoss
+)
+
+// Shuffle exchange transports for ShuffleOptions.Exchange (see DESIGN.md,
+// "Data exchange tiers"): COS is the default and correctness baseline; the
+// fast tiers keep intermediates off the object store and degrade back to
+// it transparently on any loss.
+const (
+	// ExchangeCOS stages every shuffle partition as a COS object.
+	ExchangeCOS = wire.ExchangeCOS
+	// ExchangeMemory stages partitions in the ephemeral memory-tier cache
+	// node (LRU, spill-to-COS on eviction).
+	ExchangeMemory = wire.ExchangeMemory
+	// ExchangeDirect serves partitions straight from the producing map
+	// activation while it lingers.
+	ExchangeDirect = wire.ExchangeDirect
+)
+
+// Exchange-tier accounting snapshots, the fast-tier analogue of
+// Executor.StorageOps (see Cloud.ExchangeOps).
+type (
+	// ExchangeOpCounts aggregates per-transport exchange traffic plus
+	// cache lifecycle counters (evictions, spills, kills, expiries).
+	ExchangeOpCounts = exchange.OpCounts
+	// ExchangeTransportCounts is one transport's op/byte/outcome counters.
+	ExchangeTransportCounts = exchange.TransportCounts
 )
 
 // Multi-tenant admission building blocks (see DESIGN.md, "Admission &
@@ -280,6 +314,16 @@ type SimConfig struct {
 	// TraceCapacity, when positive, enables the platform flight recorder
 	// with a ring of that many events (see Cloud.Trace).
 	TraceCapacity int
+	// ExchangeCacheMB bounds the memory-tier exchange cache node used by
+	// ShuffleOptions.Exchange = ExchangeMemory (zero selects 256 MB).
+	// Overfilling it evicts least-recently-used partitions, which spill to
+	// COS asynchronously.
+	ExchangeCacheMB int
+	// ExchangeLinger bounds how long a direct-transport map activation
+	// stays resident after completing to serve peer pulls (zero selects
+	// 30s). It must cover the map phase's tail: partitions published
+	// before the window closes but pulled after it are recomputed.
+	ExchangeLinger time.Duration
 }
 
 // Cloud is a wired simulated cloud: object store, FaaS platform and
@@ -409,16 +453,18 @@ func NewSimCloud(cfg SimConfig) (*Cloud, error) {
 	}
 
 	pcfg := core.PlatformConfig{
-		Clock:         clk,
-		Registry:      registry,
-		Store:         store,
-		Seed:          cfg.Seed,
-		MaxConcurrent: cfg.MaxConcurrent,
-		Admission:     cfg.Admission,
-		CrashProb:     cfg.CrashProb,
-		MetaBucket:    cfg.MetaBucket,
-		Trace:         recorder,
-		Chaos:         plan,
+		Clock:              clk,
+		Registry:           registry,
+		Store:              store,
+		Seed:               cfg.Seed,
+		MaxConcurrent:      cfg.MaxConcurrent,
+		Admission:          cfg.Admission,
+		CrashProb:          cfg.CrashProb,
+		MetaBucket:         cfg.MetaBucket,
+		Trace:              recorder,
+		Chaos:              plan,
+		ExchangeCacheBytes: int64(cfg.ExchangeCacheMB) << 20,
+		ExchangeLinger:     cfg.ExchangeLinger,
 	}
 	if multi != nil {
 		pcfg.Backend = multi
@@ -500,6 +546,12 @@ func (c *Cloud) Platform() *core.Platform { return c.platform }
 // Trace returns the platform flight recorder, or nil when SimConfig did not
 // enable one.
 func (c *Cloud) Trace() *trace.Recorder { return c.recorder }
+
+// ExchangeOps returns the fast-tier exchange accounting snapshot: per-
+// transport GET/PUT ops, bytes and hit/miss/fallback outcomes, plus cache
+// evictions, spills and kill losses. The fast-tier analogue of
+// Executor.StorageOps.
+func (c *Cloud) ExchangeOps() ExchangeOpCounts { return c.platform.ExchangeOps() }
 
 // ClientProfile selects the network position of an executor's client.
 type ClientProfile int

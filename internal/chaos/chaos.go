@@ -40,6 +40,15 @@ const (
 	// Factor while the window is active — the noisy-neighbour windows
 	// behind the paper's Fig. 3 stragglers.
 	SlowContainers Kind = "slow-containers"
+	// ExchangeCacheDown kills the memory-tier exchange cache while the
+	// window is active: requests fail and the node's contents are lost,
+	// so it restarts empty when the window closes. Shuffles must degrade
+	// to the COS path, never fail.
+	ExchangeCacheDown Kind = "exchange-cache-down"
+	// ExchangePeerLoss kills lingering exchange peers while the window is
+	// active: direct partition pulls fail and advertised partitions are
+	// dropped, forcing reducers onto the COS/recompute fallback.
+	ExchangePeerLoss Kind = "exchange-peer-loss"
 )
 
 // Fault is one scripted fault window, relative to the plan epoch.
@@ -59,7 +68,8 @@ type Fault struct {
 
 func (f Fault) validate() error {
 	switch f.Kind {
-	case COSBrownout, ControllerOutage, SlowContainers:
+	case COSBrownout, ControllerOutage, SlowContainers,
+		ExchangeCacheDown, ExchangePeerLoss:
 	default:
 		return fmt.Errorf("chaos: unknown fault kind %q", f.Kind)
 	}
@@ -144,6 +154,18 @@ func (p *Plan) StorageFailure() bool {
 // now.
 func (p *Plan) ControllerDown() bool {
 	_, ok := p.active(ControllerOutage)
+	return ok
+}
+
+// CacheDown reports whether the memory-tier exchange cache is dead now.
+func (p *Plan) CacheDown() bool {
+	_, ok := p.active(ExchangeCacheDown)
+	return ok
+}
+
+// PeerLost reports whether lingering exchange peers are being killed now.
+func (p *Plan) PeerLost() bool {
+	_, ok := p.active(ExchangePeerLoss)
 	return ok
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"gowren/internal/chaos"
 	"gowren/internal/cos"
+	"gowren/internal/exchange"
 	"gowren/internal/faas"
 	"gowren/internal/netsim"
 	"gowren/internal/retry"
@@ -58,6 +59,14 @@ type PlatformConfig struct {
 	// use their own region's view — is the default.
 	RegionZeroPlacement bool
 
+	// ExchangeCacheBytes bounds the memory-tier exchange cache node; zero
+	// selects exchange.DefaultCacheCapacity.
+	ExchangeCacheBytes int64
+	// ExchangeLinger bounds how long a direct-transport map activation
+	// stays resident to serve peer pulls; zero selects
+	// exchange.DefaultLinger.
+	ExchangeLinger time.Duration
+
 	// FaaS platform knobs, forwarded to faas.Config.
 	MaxConcurrent int
 	// Admission, when non-nil, enables the tenant-aware admission layer
@@ -86,6 +95,8 @@ type Platform struct {
 	metaBucket   string
 	seed         int64
 	chaos        *chaos.Plan
+	trace        *trace.Recorder
+	exchange     *exchange.Fabric
 
 	// multi is the Backend downcast to the multi-region facade (nil on
 	// single-region platforms); regionNames caches its region order for
@@ -181,6 +192,7 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		metaBucket:   cfg.MetaBucket,
 		seed:         cfg.Seed,
 		chaos:        cfg.Chaos,
+		trace:        cfg.Trace,
 		regionZero:   cfg.RegionZeroPlacement,
 		regionViews:  make(map[string]cos.Client),
 		deployed:     make(map[string]string),
@@ -207,6 +219,31 @@ func NewPlatform(cfg PlatformConfig) (*Platform, error) {
 		MaxBackoff:  5 * time.Second,
 		Multiplier:  2,
 	}, classifyCallErr)
+
+	// The exchange fabric is always wired (selection is per shuffle stage):
+	// its two links get dedicated seed offsets so adding fast-tier traffic
+	// never perturbs the draws of the main cloud link, and its chaos probes
+	// come from the same plan as everything else. Evicted cache entries
+	// spill to COS asynchronously via the platform's storage stack.
+	var cacheDown, peerLost func() bool
+	if cfg.Chaos != nil {
+		cacheDown = cfg.Chaos.CacheDown
+		peerLost = cfg.Chaos.PeerLost
+	}
+	fabric, err := exchange.NewFabric(exchange.Config{
+		Clock:         cfg.Clock,
+		CacheLink:     netsim.MemoryTier(cfg.Seed + 21),
+		PeerLink:      netsim.PeerToPeer(cfg.Seed + 22),
+		CacheCapacity: cfg.ExchangeCacheBytes,
+		Linger:        cfg.ExchangeLinger,
+		CacheDown:     cacheDown,
+		PeerLost:      peerLost,
+		Spill:         p.spillShuffleObject,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: build exchange fabric: %w", err)
+	}
+	p.exchange = fabric
 
 	if err := cfg.Store.CreateBucket(cfg.MetaBucket); err != nil && !errors.Is(err, cos.ErrBucketExists) {
 		return nil, fmt.Errorf("core: create meta bucket: %w", err)
@@ -255,6 +292,34 @@ func (p *Platform) nextExecutorSeed() int64 {
 
 // Chaos returns the active fault plan, or nil when fault injection is off.
 func (p *Platform) Chaos() *chaos.Plan { return p.chaos }
+
+// Exchange returns the fast-tier data-exchange fabric.
+func (p *Platform) Exchange() *exchange.Fabric { return p.exchange }
+
+// ExchangeOps returns the fabric-wide exchange accounting snapshot, the
+// fast-tier analogue of Executor.StorageOps.
+func (p *Platform) ExchangeOps() exchange.OpCounts { return p.exchange.Counts() }
+
+// spillShuffleObject is the write-back path of the memory-tier cache: an
+// evicted shuffle partition becomes a COS object under its canonical
+// shuffle key, so reducers that miss the cache find it on the baseline
+// path. It runs as its own clock task, off the evicting writer's critical
+// path, and retries transient failures like any in-cloud storage consumer.
+func (p *Platform) spillShuffleObject(key string, data []byte) {
+	err := p.fnStorageRetry.Do(func() error {
+		_, perr := p.cloudStorage.Put(p.metaBucket, key, data)
+		return perr
+	})
+	if p.trace != nil {
+		if err != nil {
+			p.trace.Emitf(p.clock.Now(), trace.KindExchange, "exchange-cache",
+				"spill key=%s bytes=%d failed: %v", key, len(data), err)
+		} else {
+			p.trace.Emitf(p.clock.Now(), trace.KindExchange, "exchange-cache",
+				"spill key=%s bytes=%d", key, len(data))
+		}
+	}
+}
 
 // runnerActionName is the platform action executing staged calls for image.
 func runnerActionName(image string) string { return "gowren-runner--" + image }

@@ -58,6 +58,16 @@ func (p *Platform) runnerHandler() faas.Handler {
 		value, runErr := p.dispatch(ctx, &payload)
 		ended := ctx.Clock().Now()
 
+		// A fast-tier shuffle map returns its value wrapped with the
+		// exchange advertisement; unwrap it so the ad rides the status
+		// record and the envelope sees the plain value (same pattern as
+		// the *wire.FuturesRef unwrap in envelopeFor).
+		var exchangeAd *wire.ExchangeAd
+		if sr, ok := value.(*shuffleMapResult); ok {
+			exchangeAd = sr.ad
+			value = sr.value
+		}
+
 		rec := wire.StatusRecord{
 			ExecutorID:   payload.ExecutorID,
 			CallID:       payload.CallID,
@@ -66,6 +76,7 @@ func (p *Platform) runnerHandler() faas.Handler {
 			SubmitUnixNs: started.UnixNano(),
 			StartUnixNs:  started.UnixNano(),
 			EndUnixNs:    ended.UnixNano(),
+			Exchange:     exchangeAd,
 		}
 		if runErr != nil {
 			rec.OK = false

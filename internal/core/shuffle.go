@@ -9,18 +9,25 @@ import (
 	"slices"
 	"time"
 
+	"gowren/internal/cos"
+	"gowren/internal/exchange"
 	"gowren/internal/runtime"
+	"gowren/internal/trace"
 	"gowren/internal/wire"
 )
 
 // Keyed-shuffle MapReduce. The paper's related-work section singles out
 // data shuffling as "one of the biggest challenges in running MapReduce
 // jobs over serverless architectures" and lists object storage among the
-// proposed shuffle media; this file implements exactly that: map executors
-// hash-partition their emitted key–value pairs into per-reducer objects in
-// COS, and R reduce executors each merge their partition of every map
-// output, grouping by key. It generalizes the paper's reducer-per-object
-// mode to arbitrary keys.
+// proposed shuffle media; this file implements exactly that — map
+// executors hash-partition their emitted key–value pairs into per-reducer
+// objects in COS, and R reduce executors each merge their partition of
+// every map output, grouping by key — plus the fast tiers the follow-up
+// literature argues for: a per-stage Exchange selector can route the
+// intermediates through the memory-tier cache node or directly between
+// the producing and consuming activations (internal/exchange), with COS
+// remaining the default and the correctness baseline every fast-tier
+// failure degrades back to.
 
 // ShuffleOptions tune MapReduceShuffle.
 type ShuffleOptions struct {
@@ -28,16 +35,38 @@ type ShuffleOptions struct {
 	ChunkBytes int64
 	// NumReducers is the reduce-side parallelism R (default 1).
 	NumReducers int
+	// Exchange selects the intermediate-data transport: one of
+	// wire.ExchangeCOS (default, also the empty string),
+	// wire.ExchangeMemory or wire.ExchangeDirect. The fast tiers are
+	// best-effort: any miss, eviction, node kill or expired linger window
+	// falls back transparently to the COS path (spilled object, short
+	// poll, then recomputation from the staged map payload), so results
+	// are byte-identical across transports.
+	Exchange string
+}
+
+// shuffleMapResult carries a shuffle-map call's user-visible value
+// together with its fast-tier advertisement; the runner unwraps it and
+// embeds the ad in the status record (like the *wire.FuturesRef unwrap in
+// envelopeFor). COS-transport maps return the bare value, keeping the
+// baseline status records unchanged.
+type shuffleMapResult struct {
+	value any
+	ad    *wire.ExchangeAd
 }
 
 // MapReduceShuffle runs a keyed MapReduce: mapFn (a KV map function) over
-// the partitioned source, an object-storage shuffle, and reduceFn (a
-// per-key reduce function) across NumReducers reduce executors. It returns
-// the reducer futures; each resolves to a []wire.KeyResult sorted by key.
+// the partitioned source, a data-exchange shuffle (COS by default; see
+// ShuffleOptions.Exchange), and reduceFn (a per-key reduce function)
+// across NumReducers reduce executors. It returns the reducer futures;
+// each resolves to a []wire.KeyResult sorted by key.
 func (e *Executor) MapReduceShuffle(mapFn string, src DataSource, reduceFn string, opts ShuffleOptions) ([]*Future, error) {
 	r := opts.NumReducers
 	if r <= 0 {
 		r = 1
+	}
+	if !wire.ValidExchange(opts.Exchange) {
+		return nil, fmt.Errorf("core: unknown exchange transport %q", opts.Exchange)
 	}
 	meta := e.cfg.Platform.MetaBucket()
 
@@ -60,7 +89,7 @@ func (e *Executor) MapReduceShuffle(mapFn string, src DataSource, reduceFn strin
 			Function:   mapFn,
 			Kind:       wire.KindShuffleMap,
 			Partition:  &part,
-			Shuffle:    &wire.ShuffleSpec{NumReducers: r},
+			Shuffle:    &wire.ShuffleSpec{NumReducers: r, Exchange: opts.Exchange},
 			MetaBucket: meta,
 		}
 	}
@@ -81,6 +110,7 @@ func (e *Executor) MapReduceShuffle(mapFn string, src DataSource, reduceFn strin
 				NumReducers: r,
 				Reducer:     i,
 				MapCallIDs:  mapIDs,
+				Exchange:    opts.Exchange,
 			},
 			MetaBucket: meta,
 		}
@@ -100,8 +130,11 @@ func reducerForKey(key string, numReducers int) int {
 }
 
 // runShuffleMap executes the map side: run the KV function, hash-partition
-// its output, and write one shuffle object per reducer (always, even when
-// empty, so reducers need no existence probes).
+// its output, and stage one partition per reducer (always, even when
+// empty, so reducers need no existence probes) on the selected exchange
+// transport. Fast-tier refusals — cache down, entry too large, peers being
+// killed — degrade to the baseline COS write per partition, so the shuffle
+// never depends on the fast tier being alive.
 func (p *Platform) runShuffleMap(ctx *runtime.Ctx, payload *wire.CallPayload) (any, error) {
 	fn, err := ctx.Image().KVMap(payload.Function)
 	if err != nil {
@@ -119,23 +152,228 @@ func (p *Platform) runShuffleMap(ctx *runtime.Ctx, payload *wire.CallPayload) (a
 		buckets[i] = append(buckets[i], kv)
 	}
 	counts := make([]int, r)
+	bodies := make([][]byte, r)
+	descs := make([]wire.PartitionDescriptor, r)
 	for i, bucket := range buckets {
 		body, err := wire.Marshal(bucket)
 		if err != nil {
 			return nil, fmt.Errorf("core: shuffle map serialize partition %d: %w", i, err)
 		}
-		key := wire.ShuffleKey(payload.ExecutorID, payload.CallID, i)
-		if err := p.putRetry(ctx, payload.MetaBucket, key, body); err != nil {
-			return nil, fmt.Errorf("core: shuffle map write partition %d: %w", i, err)
-		}
+		bodies[i] = body
 		counts[i] = len(bucket)
+		descs[i] = wire.PartitionDescriptor{Reducer: i, Bytes: int64(len(body)), Keys: len(bucket)}
 	}
-	return map[string]any{"emitted": len(kvs), "perReducer": counts}, nil
+
+	transport := payload.Shuffle.Exchange
+	if transport == "" {
+		transport = wire.ExchangeCOS
+	}
+	ad := &wire.ExchangeAd{Transport: transport, Partitions: descs}
+	writeStart := ctx.Clock().Now()
+
+	switch transport {
+	case wire.ExchangeMemory:
+		for i, body := range bodies {
+			key := wire.ShuffleKey(payload.ExecutorID, payload.CallID, i)
+			putErr := p.exchange.Cache.Put(key, body)
+			if putErr == nil {
+				continue
+			}
+			// Cache refused (down, transient failure, oversized entry):
+			// this partition takes the baseline path right now, so no
+			// reducer ever waits on a write that never happened.
+			p.exchange.NoteFallback(wire.ExchangeMemory)
+			ad.Fallbacks++
+			if p.trace != nil {
+				p.trace.Emitf(ctx.Clock().Now(), trace.KindExchange, ctx.ActivationID(),
+					"transport=memory op=put key=%s bytes=%d fallback=%v", key, len(body), putErr)
+			}
+			if err := p.putRetry(ctx, payload.MetaBucket, key, body); err != nil {
+				return nil, fmt.Errorf("core: shuffle map write partition %d: %w", i, err)
+			}
+		}
+	case wire.ExchangeDirect:
+		expires, pubErr := p.exchange.Peers.Publish(payload.ExecutorID, payload.CallID, bodies)
+		if pubErr == nil {
+			ad.LingerUntilNs = expires.UnixNano()
+			// The producing container stays resident — pinned against
+			// idle eviction, though still reusable — until the linger
+			// window closes, serving peer pulls.
+			p.controller.LingerActivation(ctx.ActivationID(), expires)
+		} else {
+			// Peers are being killed: every partition degrades to COS.
+			p.exchange.NoteFallback(wire.ExchangeDirect)
+			ad.Fallbacks = r
+			if p.trace != nil {
+				p.trace.Emitf(ctx.Clock().Now(), trace.KindExchange, ctx.ActivationID(),
+					"transport=direct op=publish call=%s fallback=%v", payload.CallID, pubErr)
+			}
+			for i, body := range bodies {
+				key := wire.ShuffleKey(payload.ExecutorID, payload.CallID, i)
+				if err := p.putRetry(ctx, payload.MetaBucket, key, body); err != nil {
+					return nil, fmt.Errorf("core: shuffle map write partition %d: %w", i, err)
+				}
+			}
+		}
+	default: // wire.ExchangeCOS
+		for i, body := range bodies {
+			key := wire.ShuffleKey(payload.ExecutorID, payload.CallID, i)
+			if err := p.putRetry(ctx, payload.MetaBucket, key, body); err != nil {
+				return nil, fmt.Errorf("core: shuffle map write partition %d: %w", i, err)
+			}
+		}
+	}
+	p.exchange.NoteWrite(writeStart, ctx.Clock().Now())
+
+	value := map[string]any{"emitted": len(kvs), "perReducer": counts}
+	if transport == wire.ExchangeCOS {
+		// Baseline path: bare value, status record unchanged from the
+		// pre-exchange wire format.
+		return value, nil
+	}
+	return &shuffleMapResult{value: value, ad: ad}, nil
+}
+
+// Bounds for the COS poll between a fast-tier miss and recomputation: long
+// enough to cover an in-flight eviction spill or a producer's synchronous
+// fallback write landing, short enough that a dead tier costs the reducer
+// a bounded delay, not its deadline.
+const (
+	shuffleFallbackWait = 2 * time.Second
+	shuffleFallbackPoll = 100 * time.Millisecond
+	// shuffleTierRetries bounds the quick same-tier retries a reducer pays
+	// on ErrUnavailable before declaring the tier gone: a transient link
+	// blip recovers in one hop instead of a full fallback poll, while a
+	// genuinely dead node fails all retries in a few milliseconds.
+	shuffleTierRetries  = 2
+	shuffleTierRetryGap = 25 * time.Millisecond
+)
+
+// fetchShufflePartition fetches this reducer's partition of one map call
+// over the job's exchange transport. Fast-tier misses fall through to
+// shuffleFallback; the COS baseline reads the shuffle object directly.
+func (p *Platform) fetchShufflePartition(ctx *runtime.Ctx, payload *wire.CallPayload, mapID string) ([]byte, error) {
+	spec := payload.Shuffle
+	key := wire.ShuffleKey(payload.ExecutorID, mapID, spec.Reducer)
+	switch spec.Exchange {
+	case wire.ExchangeMemory:
+		body, err := p.tierGet(ctx, func() ([]byte, error) { return p.exchange.Cache.Get(key) })
+		if err == nil {
+			return body, nil
+		}
+		return p.shuffleFallback(ctx, payload, mapID, key, err)
+	case wire.ExchangeDirect:
+		body, err := p.tierGet(ctx, func() ([]byte, error) {
+			return p.exchange.Peers.Pull(payload.ExecutorID, mapID, spec.Reducer)
+		})
+		if err == nil {
+			return body, nil
+		}
+		return p.shuffleFallback(ctx, payload, mapID, key, err)
+	default: // wire.ExchangeCOS
+		return p.getRetry(ctx, payload.MetaBucket, key)
+	}
+}
+
+// tierGet runs one fast-tier read, absorbing up to shuffleTierRetries
+// transient ErrUnavailable failures. Definitive misses (not found, peer
+// lost, expired) return immediately — retrying cannot change them.
+func (p *Platform) tierGet(ctx *runtime.Ctx, get func() ([]byte, error)) ([]byte, error) {
+	body, err := get()
+	for attempt := 0; errors.Is(err, exchange.ErrUnavailable) && attempt < shuffleTierRetries; attempt++ {
+		ctx.Clock().Sleep(shuffleTierRetryGap)
+		body, err = get()
+	}
+	return body, err
+}
+
+// shuffleFallback is the degradation path after a fast-tier miss: poll COS
+// for the partition object (an eviction spill or a producer-side fallback
+// write may still be landing), then recompute the partition from the
+// staged map payload. cause is the fast-tier error, kept for the trace.
+func (p *Platform) shuffleFallback(ctx *runtime.Ctx, payload *wire.CallPayload, mapID, key string, cause error) ([]byte, error) {
+	spec := payload.Shuffle
+	p.exchange.NoteFallback(spec.Exchange)
+	if p.trace != nil {
+		p.trace.Emitf(ctx.Clock().Now(), trace.KindExchange, ctx.ActivationID(),
+			"transport=%s op=get key=%s fallback=%v", spec.Exchange, key, cause)
+	}
+	deadline := ctx.Clock().Now().Add(shuffleFallbackWait)
+	if ctxDeadline := ctx.Deadline(); !ctxDeadline.IsZero() && ctxDeadline.Before(deadline) {
+		deadline = ctxDeadline
+	}
+	for {
+		body, err := p.getRetry(ctx, payload.MetaBucket, key)
+		if err == nil {
+			if p.trace != nil {
+				p.trace.Emitf(ctx.Clock().Now(), trace.KindExchange, ctx.ActivationID(),
+					"transport=%s op=get key=%s bytes=%d served=cos", spec.Exchange, key, len(body))
+			}
+			return body, nil
+		}
+		if !errors.Is(err, cos.ErrNoSuchKey) {
+			return nil, fmt.Errorf("core: shuffle fallback fetch %s: %w", key, err)
+		}
+		if !ctx.Clock().Now().Add(shuffleFallbackPoll).Before(deadline) {
+			break
+		}
+		ctx.Clock().Sleep(shuffleFallbackPoll)
+	}
+	body, err := p.recomputeShufflePartition(ctx, payload, mapID)
+	if err != nil {
+		return nil, err
+	}
+	if p.trace != nil {
+		p.trace.Emitf(ctx.Clock().Now(), trace.KindExchange, ctx.ActivationID(),
+			"transport=%s op=get key=%s bytes=%d served=recompute", spec.Exchange, key, len(body))
+	}
+	return body, nil
+}
+
+// recomputeShufflePartition rebuilds this reducer's partition of one map
+// call from first principles: load the map call's staged payload, re-run
+// its KV function over its source partition, and keep the keys that hash
+// to this reducer. The staged payload is durable in COS and the map
+// function is pure over its partition, so the result is byte-identical to
+// what the producer staged — this is the recomputation-from-payload
+// fallback that lets the fast tiers skip synchronous COS backups. The
+// reducer's activation pays the map work again, which is the documented
+// cost of losing a fast-tier node.
+func (p *Platform) recomputeShufflePartition(ctx *runtime.Ctx, payload *wire.CallPayload, mapID string) ([]byte, error) {
+	spec := payload.Shuffle
+	body, err := p.getRetry(ctx, payload.MetaBucket, payloadKey(payload.ExecutorID, mapID))
+	if err != nil {
+		return nil, fmt.Errorf("core: shuffle recompute load payload %s: %w", mapID, err)
+	}
+	var mp wire.CallPayload
+	if err := wire.Unmarshal(body, &mp); err != nil {
+		return nil, err
+	}
+	if mp.Kind != wire.KindShuffleMap || mp.Partition == nil {
+		return nil, fmt.Errorf("core: shuffle recompute: call %s is not a shuffle map", mapID)
+	}
+	fn, err := ctx.Image().KVMap(mp.Function)
+	if err != nil {
+		return nil, err
+	}
+	reader := runtime.NewPartitionReader(ctx.Storage(), *mp.Partition)
+	kvs, err := fn(ctx, reader)
+	if err != nil {
+		return nil, fmt.Errorf("core: shuffle recompute map %s: %w", mapID, err)
+	}
+	var bucket []wire.KV
+	for _, kv := range kvs {
+		if reducerForKey(kv.Key, spec.NumReducers) == spec.Reducer {
+			bucket = append(bucket, kv)
+		}
+	}
+	return wire.Marshal(bucket)
 }
 
 // runShuffleReduce executes the reduce side: wait for every map call,
-// fetch this reducer's shuffle partition from each, group by key, and call
-// the per-key reduce function over sorted keys.
+// fetch this reducer's shuffle partition from each over the job's exchange
+// transport, group by key, and call the per-key reduce function over
+// sorted keys.
 func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload) (any, error) {
 	fn, err := ctx.Image().KVReduce(payload.Function)
 	if err != nil {
@@ -143,10 +381,10 @@ func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload)
 	}
 	spec := payload.Shuffle
 
-	// The shuffle files are committed before the map status, so awaiting
-	// statuses (same mechanism as plain reducers) is sufficient. The
-	// per-activation coordinator keeps the polling incremental: each LIST
-	// resumes at the reducer's done-frontier.
+	// The shuffle partitions are staged before the map status commits, so
+	// awaiting statuses (same mechanism as plain reducers) is sufficient
+	// on every transport. The per-activation coordinator keeps the polling
+	// incremental: each LIST resumes at the reducer's done-frontier.
 	sweeps := newSweepCoordinator(ctx.Storage(), ctx.Clock(), false)
 	ns := nsKey{bucket: payload.MetaBucket, execID: payload.ExecutorID}
 	if err := sweeps.awaitStatuses(ns, spec.MapCallIDs, nil, nil, 100*time.Millisecond, ctx.Deadline()); err != nil {
@@ -156,12 +394,12 @@ func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload)
 		return nil, fmt.Errorf("core: shuffle reduce status sweep: %w", err)
 	}
 
+	readStart := ctx.Clock().Now()
 	groups := make(map[string][]json.RawMessage)
 	for _, mapID := range spec.MapCallIDs {
-		key := wire.ShuffleKey(payload.ExecutorID, mapID, spec.Reducer)
-		body, err := p.getRetry(ctx, payload.MetaBucket, key)
+		body, err := p.fetchShufflePartition(ctx, payload, mapID)
 		if err != nil {
-			return nil, fmt.Errorf("core: shuffle reduce fetch %s: %w", key, err)
+			return nil, fmt.Errorf("core: shuffle reduce fetch partition of %s: %w", mapID, err)
 		}
 		var kvs []wire.KV
 		if err := wire.Unmarshal(body, &kvs); err != nil {
@@ -171,6 +409,7 @@ func (p *Platform) runShuffleReduce(ctx *runtime.Ctx, payload *wire.CallPayload)
 			groups[kv.Key] = append(groups[kv.Key], kv.Value)
 		}
 	}
+	p.exchange.NoteRead(readStart, ctx.Clock().Now())
 
 	keys := slices.Sorted(maps.Keys(groups))
 	for _, k := range keys {

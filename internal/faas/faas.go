@@ -187,6 +187,11 @@ type Activation struct {
 
 	// MemoryMB is the container memory limit, for GB-second billing.
 	MemoryMB int
+
+	// LingerUntil, when set, is how long the container stayed resident
+	// after completion to serve direct-exchange peer pulls (see
+	// LingerActivation); zero for ordinary activations.
+	LingerUntil time.Time
 }
 
 // Done reports whether the activation has finished.
@@ -216,7 +221,11 @@ type Controller struct {
 	gatewayFree   time.Time       // next free slot of the serialized admission pipeline
 	pulled        map[string]bool // images already cached in the internal registry
 	warm          map[string][]warmContainer
-	rng           *rand.Rand
+	// lingers holds per-activation keep-resident deadlines requested by
+	// the exchange layer before the activation completes (direct shuffle
+	// transport); consumed at completion time.
+	lingers map[string]time.Time
+	rng     *rand.Rand
 
 	// adm is the tenant-aware admission state; nil when Config.Admission
 	// is unset (legacy global gate).
@@ -227,6 +236,12 @@ type Controller struct {
 
 type warmContainer struct {
 	idleSince time.Time
+	// residentUntil, when set, pins the container against KeepAlive
+	// eviction: it is a lingering direct-exchange producer whose partition
+	// outputs must stay pullable until the deadline. It remains a normal
+	// warm container otherwise — new activations may reuse it (its staged
+	// outputs live in the exchange layer, not the activation).
+	residentUntil time.Time
 }
 
 // New returns a Controller with cfg. Clock, Registry and Storage are
@@ -249,6 +264,7 @@ func New(cfg Config) (*Controller, error) {
 		completedOK: make(map[string]int),
 		pulled:      make(map[string]bool),
 		warm:        make(map[string][]warmContainer),
+		lingers:     make(map[string]time.Time),
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 	}
 	if cfg.Admission != nil {
@@ -500,12 +516,40 @@ func (c *Controller) execute(act *action, rec *Activation, params []byte) {
 		c.completedOK[rec.Tenant]++
 	}
 	c.retireLocked(rec.ID)
+	linger, lingering := c.lingers[rec.ID]
+	if lingering {
+		delete(c.lingers, rec.ID)
+		rec.LingerUntil = linger
+	}
 	if !crash {
-		c.warm[act.spec.Name] = append(c.warm[act.spec.Name], warmContainer{idleSince: end})
+		wc := warmContainer{idleSince: end}
+		if lingering && linger.After(end) {
+			// The container stays resident serving exchange peer pulls
+			// until the linger deadline: it joins the warm pool like any
+			// other (reuse does not disturb its staged outputs) but is
+			// pinned against KeepAlive eviction until the window closes.
+			wc.residentUntil = linger
+		}
+		c.warm[act.spec.Name] = append(c.warm[act.spec.Name], wc)
 	}
 	// The freed slot goes to the fairest queued invocation, if any.
 	c.dispatchLocked()
 	c.mu.Unlock()
+}
+
+// LingerActivation asks the platform to keep the activation's container
+// resident until the given instant after it completes, so it can serve
+// direct-exchange partition pulls from reducers. The container still joins
+// the warm pool at completion — reuse does not disturb its staged outputs —
+// but it is pinned against idle eviction until the window closes. Later
+// deadlines extend earlier ones; requests for unknown activations are
+// dropped at completion time.
+func (c *Controller) LingerActivation(id string, until time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if until.After(c.lingers[id]) {
+		c.lingers[id] = until
+	}
 }
 
 // retireLocked ages out completed activation records once more than
@@ -592,6 +636,12 @@ func (c *Controller) provision(act *action) (cold bool, setup time.Duration) {
 	pool := c.warm[act.spec.Name]
 	trimmed := 0
 	for trimmed < len(pool) && now.Sub(pool[trimmed].idleSince) > c.cfg.KeepAlive {
+		if pool[trimmed].residentUntil.After(now) {
+			// A lingering direct-exchange producer pins itself (and,
+			// conservatively, everything behind it) until its window
+			// closes; the prefix resumes trimming afterwards.
+			break
+		}
 		trimmed++
 	}
 	pool = pool[trimmed:]

@@ -224,6 +224,35 @@ func InCloud(seed int64) *Link {
 	})
 }
 
+// MemoryTier returns a link profile for the in-memory exchange cache node
+// (a Redis-like instance in the same availability zone as the function
+// containers): sub-millisecond round trips, negligible service overhead,
+// and roughly an order of magnitude more per-connection bandwidth than the
+// shared COS frontend. This gap — not a different protocol — is what the
+// fast shuffle tier buys.
+func MemoryTier(seed int64) *Link {
+	return NewLink(LinkConfig{
+		RTT:          Uniform{Min: 100 * time.Microsecond, Max: 300 * time.Microsecond},
+		PerRequest:   50 * time.Microsecond,
+		BandwidthBps: 1 << 30, // 1 GiB/s
+		FailureProb:  0.0005,
+		Seed:         seed,
+	})
+}
+
+// PeerToPeer returns a link profile for direct container-to-container
+// transfer inside the datacenter fabric (a reducer pulling a partition
+// straight from the map activation that produced it).
+func PeerToPeer(seed int64) *Link {
+	return NewLink(LinkConfig{
+		RTT:          Uniform{Min: 100 * time.Microsecond, Max: 400 * time.Microsecond},
+		PerRequest:   100 * time.Microsecond,
+		BandwidthBps: 1 << 30, // 1 GiB/s, in-rack
+		FailureProb:  0.0005,
+		Seed:         seed,
+	})
+}
+
 // Loopback returns a link with no latency, no failures and infinite
 // bandwidth, for unit tests that do not exercise the network model.
 func Loopback() *Link {

@@ -27,6 +27,7 @@ const (
 	KindActStart  = "act-start"  // handler entered
 	KindActEnd    = "act-end"    // handler finished
 	KindCrash     = "crash"      // injected container crash
+	KindExchange  = "exchange"   // shuffle-intermediate exchange op (fast tier or fallback)
 )
 
 // Event is one recorded occurrence.

@@ -87,6 +87,31 @@ type KV struct {
 	Value json.RawMessage `json:"v"`
 }
 
+// Exchange transports for shuffle intermediates. COS is the default and
+// the correctness baseline; the fast tiers bypass the object-store round
+// trip and degrade back to it (spill or recompute) when their node dies.
+const (
+	// ExchangeCOS stages every partition as an object in COS (the paper's
+	// only data path).
+	ExchangeCOS = "cos"
+	// ExchangeMemory stages partitions in the ephemeral memory-tier cache
+	// node, spilling to COS on eviction.
+	ExchangeMemory = "memory"
+	// ExchangeDirect keeps partitions inside the producing map activation,
+	// which lingers so reducers can pull from it peer-to-peer.
+	ExchangeDirect = "direct"
+)
+
+// ValidExchange reports whether name is a known exchange transport. The
+// empty string is valid and means ExchangeCOS.
+func ValidExchange(name string) bool {
+	switch name {
+	case "", ExchangeCOS, ExchangeMemory, ExchangeDirect:
+		return true
+	}
+	return false
+}
+
 // ShuffleSpec configures the shuffle side-channel of a keyed MapReduce
 // job. Map executors hash-partition their emitted KVs into NumReducers
 // shuffle objects under jobs/{executorId}/shuffle/{reducer}/{mapCallId};
@@ -98,6 +123,36 @@ type ShuffleSpec struct {
 	Reducer int `json:"reducer"`
 	// MapCallIDs are the map calls feeding the shuffle (reduce side).
 	MapCallIDs []string `json:"mapCallIds,omitempty"`
+	// Exchange selects the intermediate-data transport (Exchange*
+	// constants). Empty means ExchangeCOS.
+	Exchange string `json:"exchange,omitempty"`
+}
+
+// PartitionDescriptor advertises one shuffle partition a map call produced:
+// which reducer it belongs to, and its size in keys and serialized bytes.
+type PartitionDescriptor struct {
+	Reducer int   `json:"reducer"`
+	Bytes   int64 `json:"bytes"`
+	Keys    int   `json:"keys"`
+}
+
+// ExchangeAd is the fast-tier advertisement a shuffle-map call embeds in
+// its status record: where its partitions live, how big they are, and —
+// for the direct transport — until when the producing activation lingers
+// to serve peer pulls. Reducers locate partitions deterministically from
+// the spec alone; the ad exists for observability and for tests asserting
+// on transport behaviour.
+type ExchangeAd struct {
+	// Transport is the exchange transport the partitions were written to.
+	Transport string `json:"transport"`
+	// LingerUntilNs is when the producing activation stops serving peer
+	// pulls (direct transport only), in ns on the simulation clock.
+	LingerUntilNs int64 `json:"lingerUntilNs,omitempty"`
+	// Partitions describes the produced partitions, indexed by reducer.
+	Partitions []PartitionDescriptor `json:"partitions,omitempty"`
+	// Fallbacks counts partitions this map wrote straight to COS because
+	// the fast tier refused them (node down, entry too large).
+	Fallbacks int `json:"fallbacks,omitempty"`
 }
 
 // ShuffleKey is where a map call writes its partition for one reducer.
@@ -190,12 +245,18 @@ func (p *CallPayload) Validate() error {
 		if p.Shuffle == nil || p.Shuffle.NumReducers < 1 {
 			return fmt.Errorf("wire: shuffle-map payload missing shuffle spec")
 		}
+		if !ValidExchange(p.Shuffle.Exchange) {
+			return fmt.Errorf("wire: unknown exchange transport %q", p.Shuffle.Exchange)
+		}
 	case KindShuffleReduce:
 		if p.Shuffle == nil || p.Shuffle.NumReducers < 1 || len(p.Shuffle.MapCallIDs) == 0 {
 			return fmt.Errorf("wire: shuffle-reduce payload missing shuffle spec")
 		}
 		if p.Shuffle.Reducer < 0 || p.Shuffle.Reducer >= p.Shuffle.NumReducers {
 			return fmt.Errorf("wire: shuffle-reduce partition %d out of range", p.Shuffle.Reducer)
+		}
+		if !ValidExchange(p.Shuffle.Exchange) {
+			return fmt.Errorf("wire: unknown exchange transport %q", p.Shuffle.Exchange)
 		}
 	default:
 		return fmt.Errorf("wire: unknown call kind %d", int(p.Kind))
@@ -274,6 +335,10 @@ type StatusRecord struct {
 	// ResultRef names the spilled result object; it is the zero value when
 	// the result is inlined (or the call failed).
 	ResultRef ObjectRef `json:"resultRef"`
+
+	// Exchange is the fast-tier partition advertisement of a shuffle-map
+	// call; nil for every other kind and for the COS transport.
+	Exchange *ExchangeAd `json:"exchange,omitempty"`
 }
 
 // Marshal encodes v as JSON.
